@@ -1,0 +1,542 @@
+// Package privateclean_test holds the benchmark harness that regenerates
+// every table and figure of the paper's evaluation (one benchmark per
+// experiment id; see DESIGN.md's experiment index) plus micro-benchmarks of
+// the core primitives.
+//
+// Figure benchmarks run the corresponding experiment driver once per
+// iteration with a reduced trial count and report the mean error (%) of the
+// Direct and PrivateClean estimators at the sweep's last point as custom
+// metrics, so `go test -bench` output doubles as a compact reproduction of
+// the figure's right edge. Run cmd/experiments for the full tables.
+package privateclean_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"privateclean/internal/cleaning"
+	"privateclean/internal/core"
+	"privateclean/internal/csvio"
+	"privateclean/internal/dist"
+	"privateclean/internal/estimator"
+	"privateclean/internal/experiments"
+	"privateclean/internal/privacy"
+	"privateclean/internal/provenance"
+	"privateclean/internal/query"
+	"privateclean/internal/relation"
+	"privateclean/internal/stats"
+	"privateclean/internal/textutil"
+	"privateclean/internal/workload"
+)
+
+// benchConfig keeps figure benchmarks affordable; the experiment drivers
+// themselves default to the paper's 100-trial protocol.
+func benchConfig() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Trials = 5
+	return cfg
+}
+
+// reportLastPoint publishes the final sweep point of the named series as
+// benchmark metrics.
+func reportLastPoint(b *testing.B, t *experiments.Table, series ...string) {
+	b.Helper()
+	if len(t.Points) == 0 {
+		b.Fatal("no points")
+	}
+	last := t.Points[len(t.Points)-1]
+	for _, s := range series {
+		if v, ok := last.Values[s]; ok {
+			// testing.B metric units must be whitespace-free.
+			unit := strings.ReplaceAll(s, " ", "-") + "-err-%"
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func benchFigure(b *testing.B, f func(experiments.Config) ([]*experiments.Table, error), idx int, series ...string) {
+	b.Helper()
+	cfg := benchConfig()
+	var tables []*experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = f(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLastPoint(b, tables[idx], series...)
+}
+
+// ---- Figure/table reproductions (experiment index of DESIGN.md) ----------
+
+func BenchmarkFigure2a(b *testing.B) {
+	benchFigure(b, experiments.Figure2, 0, experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure2b(b *testing.B) {
+	benchFigure(b, experiments.Figure2, 1, experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure2c(b *testing.B) {
+	benchFigure(b, experiments.Figure2, 2, experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure2d(b *testing.B) {
+	benchFigure(b, experiments.Figure2, 3, experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure3a(b *testing.B) {
+	benchFigure(b, experiments.Figure3, 0, experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure3b(b *testing.B) {
+	benchFigure(b, experiments.Figure3, 1, experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	benchFigure(b, experiments.Figure4, 0, experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	benchFigure(b, experiments.Figure5, 1, experiments.SeriesDirect, experiments.SeriesPCNoProv, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	benchFigure(b, experiments.Figure6, 1, experiments.SeriesDirect, experiments.SeriesPCNoProv, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	benchFigure(b, experiments.Figure7, 0, experiments.SeriesDirect, experiments.SeriesPCUnweighted, experiments.SeriesPCWeighted)
+}
+
+func BenchmarkFigure8a(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Trials = 2
+	var tables []*experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLastPoint(b, tables[0], experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure8b(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Trials = 2
+	var tables []*experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLastPoint(b, tables[1], experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	benchFigure(b, experiments.Figure9, 1, experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Trials = 2
+	var tables []*experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = experiments.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLastPoint(b, tables[0],
+		experiments.SeriesDirect, experiments.SeriesPrivateClean, experiments.SeriesDirtyNoPriv)
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Trials = 2
+	var tables []*experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = experiments.Figure11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLastPoint(b, tables[0], experiments.SeriesDirect, experiments.SeriesPrivateClean)
+}
+
+func BenchmarkTheorem2(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Trials = 20
+	var table *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.Theorem2Validation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(table.Points[0].Values["empirical P[all] %"], "preserved-%")
+}
+
+func BenchmarkAblationSum(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Trials = 10
+	var table *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.AblationSumComplement(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := table.Points[len(table.Points)-1]
+	b.ReportMetric(last.Values[experiments.SeriesSumComplement], "full-err-%")
+	b.ReportMetric(last.Values[experiments.SeriesSumNaive], "naive-err-%")
+}
+
+func BenchmarkAblationProvenance(b *testing.B) {
+	cfg := benchConfig()
+	var table *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.AblationProvenanceCost(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := table.Points[len(table.Points)-1]
+	b.ReportMetric(last.Values["weighted edges/value"], "weighted-edges/value")
+}
+
+func BenchmarkTuner(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Trials = 10
+	var table *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.TunerValidation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(table.Points[0].Values["within target %"], "within-target-%")
+}
+
+// ---- Micro-benchmarks of the core primitives ------------------------------
+
+func benchSynthetic(b *testing.B, s int) *relation.Relation {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	r, err := workload.Synthetic(rng, workload.SyntheticConfig{S: s})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func BenchmarkPrivatize10k(b *testing.B) {
+	r := benchSynthetic(b, 10000)
+	params := privacy.Uniform(r.Schema(), 0.1, 10)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := privacy.Privatize(rng, r, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(10000*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkRandomizedResponse100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	col := make([]string, 100000)
+	domain := make([]string, 50)
+	for i := range domain {
+		domain[i] = workload.CategoryValue(i)
+	}
+	for i := range col {
+		col[i] = domain[i%50]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privacy.RandomizedResponse(rng, col, domain, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaplaceSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += stats.Laplace(rng, 0, 10)
+	}
+	_ = acc
+}
+
+func BenchmarkCountEstimate10k(b *testing.B) {
+	r := benchSynthetic(b, 10000)
+	rng := rand.New(rand.NewSource(5))
+	v, meta, err := privacy.Privatize(rng, r, privacy.Uniform(r.Schema(), 0.1, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := &estimator.Estimator{Meta: meta}
+	pred := estimator.In("category", workload.CategoryValue(0), workload.CategoryValue(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Count(v, pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSumEstimate10k(b *testing.B) {
+	r := benchSynthetic(b, 10000)
+	rng := rand.New(rand.NewSource(6))
+	v, meta, err := privacy.Privatize(rng, r, privacy.Uniform(r.Schema(), 0.1, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := &estimator.Estimator{Meta: meta}
+	pred := estimator.In("category", workload.CategoryValue(0), workload.CategoryValue(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Sum(v, "value", pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProvenanceSelectivity(b *testing.B) {
+	domain := make([]string, 1000)
+	for i := range domain {
+		domain[i] = workload.CategoryValue(i)
+	}
+	g := provenance.NewGraph("d", domain)
+	g.ApplyDeterministic(func(v string) string {
+		if v < workload.CategoryValue(500) {
+			return "low"
+		}
+		return v
+	})
+	pred := func(v string) bool { return v == "low" }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Selectivity(pred) != 500 {
+			b.Fatal("wrong cut")
+		}
+	}
+}
+
+func BenchmarkFDRepair10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	r, err := workload.CustomerAddress(rng, workload.TPCDSConfig{Rows: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.CorruptStates(rng, r, 500, 20); err != nil {
+		b.Fatal(err)
+	}
+	repair := cleaning.FDRepair{LHS: []string{"ca_city", "ca_county"}, RHS: "ca_state"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := r.Clone()
+		if err := cleaning.Apply(&cleaning.Context{Rel: work}, repair); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMDRepair(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	r, err := workload.CustomerAddress(rng, workload.TPCDSConfig{Rows: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.CorruptCountries(rng, r, 300); err != nil {
+		b.Fatal(err)
+	}
+	repair := cleaning.MDRepair{Attr: "ca_country", MaxDist: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := r.Clone()
+		if err := cleaning.Apply(&cleaning.Context{Rel: work}, repair); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrivatizeScaling validates that GRR is linear in the dataset
+// size (the provider-side cost of releasing a view).
+func BenchmarkPrivatizeScaling(b *testing.B) {
+	for _, size := range []int{1000, 10000, 100000} {
+		b.Run(fmtSize(size), func(b *testing.B) {
+			r := benchSynthetic(b, size)
+			params := privacy.Uniform(r.Schema(), 0.1, 10)
+			rng := rand.New(rand.NewSource(11))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := privacy.Privatize(rng, r, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkEstimateScaling validates that the corrected count estimator is
+// linear in the relation size (Propositions 3/4 put the provenance part at
+// O(l'); the scan dominates).
+func BenchmarkEstimateScaling(b *testing.B) {
+	for _, size := range []int{1000, 10000, 100000} {
+		b.Run(fmtSize(size), func(b *testing.B) {
+			r := benchSynthetic(b, size)
+			rng := rand.New(rand.NewSource(12))
+			v, meta, err := privacy.Privatize(rng, r, privacy.Uniform(r.Schema(), 0.1, 10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			est := &estimator.Estimator{Meta: meta}
+			pred := estimator.In("category", workload.CategoryValue(0), workload.CategoryValue(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Count(v, pred); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkIntelWirelessFullScale exercises the paper's actual IntelWireless
+// scale (2.3M rows) end to end: generate, privatize, clean, query.
+func BenchmarkIntelWirelessFullScale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-scale dataset in short mode")
+	}
+	rng := rand.New(rand.NewSource(13))
+	r, err := workload.IntelWireless(rng, workload.IntelWirelessConfig{Rows: 2_300_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	valid := workload.ValidSensorIDs(68)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, meta, err := privacy.Privatize(rng, r, privacy.Uniform(r.Schema(), 0.2, 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prov := provenance.NewStore()
+		ctx := &cleaning.Context{Rel: v, Prov: prov, Meta: meta}
+		err = cleaning.Apply(ctx, cleaning.NullifyInvalid{
+			Attr:  "sensor_id",
+			Valid: func(id string) bool { return valid[id] },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		est := &estimator.Estimator{Meta: meta, Prov: prov}
+		pred := estimator.NotEq("sensor_id", relation.Null)
+		if _, err := est.Count(v, pred); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := est.Avg(v, "temp", pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2_300_000*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func fmtSize(n int) string {
+	switch {
+	case n >= 1_000_000:
+		return "2300k"
+	case n >= 1000:
+		return fmt.Sprintf("%dk", n/1000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func BenchmarkCSVRoundTrip10k(b *testing.B) {
+	r := benchSynthetic(b, 10000)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := csvio.Write(&buf, r); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := csvio.Read(bytes.NewReader(buf.Bytes()), csvio.Options{
+			ForceKinds: map[string]relation.Kind{"category": relation.Discrete},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(10000*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkSessionSaveLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	r := benchSynthetic(b, 5000)
+	provider := core.NewProvider(r)
+	view, err := provider.Release(rng, privacy.Uniform(r.Schema(), 0.1, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyst := core.NewAnalyst(view)
+	if err := analyst.Clean(cleaning.FindReplace{Attr: "category", From: workload.CategoryValue(1), To: workload.CategoryValue(0)}); err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := analyst.Save(dir); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.LoadSession(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if textutil.Levenshtein("United States", "United Statesx") != 1 {
+			b.Fatal("wrong distance")
+		}
+	}
+}
+
+func BenchmarkQueryParse(b *testing.B) {
+	src := "SELECT avg(score) FROM evals WHERE major IN ('Mechanical Engineering', 'EECS', 'Math')"
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	zipf, err := dist.NewZipf(1000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = zipf.Sample(rng)
+	}
+}

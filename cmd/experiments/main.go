@@ -1,0 +1,175 @@
+// Command experiments regenerates every table and figure of the
+// PrivateClean paper's evaluation (Section 8) as text tables. Each reported
+// cell is the mean relative query error (%) over the configured number of
+// randomized private instances.
+//
+// Usage:
+//
+//	experiments [-trials N] [-seed S] [-only fig2a,fig8b,...] [-list]
+//
+// With no -only flag, all experiments run in paper order.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"privateclean/internal/experiments"
+)
+
+type runner func(experiments.Config) ([]*experiments.Table, error)
+
+func wrap1(f func(experiments.Config) (*experiments.Table, error)) runner {
+	return func(cfg experiments.Config) ([]*experiments.Table, error) {
+		t, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{t}, nil
+	}
+}
+
+// registry maps experiment ids to the runner producing them. Several ids
+// share a runner (e.g. fig2a..fig2d); the runner is invoked once.
+var registry = map[string]runner{
+	"table1":   wrap1(func(experiments.Config) (*experiments.Table, error) { return experiments.DefaultParams(), nil }),
+	"fig2":     experiments.Figure2,
+	"fig3":     experiments.Figure3,
+	"fig4":     experiments.Figure4,
+	"fig5":     experiments.Figure5,
+	"fig6":     experiments.Figure6,
+	"fig7":     experiments.Figure7,
+	"fig8":     experiments.Figure8,
+	"fig9":     experiments.Figure9,
+	"fig10":    experiments.Figure10,
+	"fig11":    experiments.Figure11,
+	"thm2":     wrap1(experiments.Theorem2Validation),
+	"tuner":    wrap1(experiments.TunerValidation),
+	"abl-sum":  wrap1(experiments.AblationSumComplement),
+	"abl-prov": wrap1(experiments.AblationProvenanceCost),
+	"coverage": wrap1(experiments.CoverageValidation),
+	"perf":     wrap1(experiments.PerfProfile),
+	"tradeoff": wrap1(experiments.PrivacyUtilityTradeoff),
+}
+
+var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "thm2", "tuner", "abl-sum", "abl-prov", "coverage", "perf", "tradeoff"}
+
+func main() {
+	cfg := experiments.Default()
+	trials := flag.Int("trials", cfg.Trials, "randomized private instances per point")
+	seed := flag.Int64("seed", cfg.Seed, "base RNG seed")
+	only := flag.String("only", "", "comma-separated experiment ids to run (prefix match, e.g. fig2 or fig2a)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "output format: text, csv, json, or chart")
+	outdir := flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(registry))
+		for id := range registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+
+	want := func(string) bool { return true }
+	if *only != "" {
+		sel := strings.Split(*only, ",")
+		want = func(id string) bool {
+			for _, s := range sel {
+				s = strings.TrimSpace(s)
+				if s == "" {
+					continue
+				}
+				if strings.HasPrefix(s, id) || strings.HasPrefix(id, s) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	var emit func(*experiments.Table)
+	switch *format {
+	case "text":
+		emit = func(t *experiments.Table) { fmt.Println(t.Format()) }
+	case "csv":
+		emit = func(t *experiments.Table) {
+			fmt.Printf("# %s [%s]\n%s\n", t.Title, t.ID, t.FormatCSV())
+		}
+	case "json":
+		emit = func(t *experiments.Table) {
+			data, err := json.Marshal(t)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+		}
+	case "chart":
+		emit = func(t *experiments.Table) { fmt.Println(t.Chart()) }
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+
+	// Experiments are independent (every trial derives its RNG from the
+	// hashed (seed, point, trial) triple), so they run concurrently;
+	// results are printed in paper order once all are in.
+	type outcome struct {
+		tables []*experiments.Table
+		err    error
+	}
+	results := make(map[string]chan outcome, len(order))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, id := range order {
+		if !want(id) {
+			continue
+		}
+		ch := make(chan outcome, 1)
+		results[id] = ch
+		go func(id string, ch chan outcome) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tables, err := registry[id](cfg)
+			ch <- outcome{tables, err}
+		}(id, ch)
+	}
+
+	for _, id := range order {
+		ch, ok := results[id]
+		if !ok {
+			continue
+		}
+		res := <-ch
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, res.err)
+			os.Exit(1)
+		}
+		for _, t := range res.tables {
+			emit(t)
+			if *outdir != "" {
+				if err := os.MkdirAll(*outdir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*outdir, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.FormatCSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"privateclean/internal/experiments"
+)
+
+func TestRegistryCoversOrder(t *testing.T) {
+	for _, id := range order {
+		if _, ok := registry[id]; !ok {
+			t.Errorf("ordered id %q missing from registry", id)
+		}
+	}
+	if len(registry) != len(order) {
+		t.Errorf("registry has %d entries, order has %d", len(registry), len(order))
+	}
+}
+
+func TestWrap1(t *testing.T) {
+	r := wrap1(func(experiments.Config) (*experiments.Table, error) {
+		return &experiments.Table{ID: "x"}, nil
+	})
+	tables, err := r(experiments.Default())
+	if err != nil || len(tables) != 1 || tables[0].ID != "x" {
+		t.Fatalf("wrap1 = %v, %v", tables, err)
+	}
+}
+
+func TestTable1Runner(t *testing.T) {
+	cfg := experiments.Default()
+	cfg.Trials = 1
+	tables, err := registry["table1"](cfg)
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("table1 = %v, %v", tables, err)
+	}
+}

@@ -1,0 +1,577 @@
+// Command privateclean is the end-to-end CLI for the PrivateClean workflow:
+//
+//	privateclean privatize -in data.csv -out private.csv -meta meta.json -p 0.1 -b 10
+//	privateclean tune      -in data.csv -error 0.05
+//	privateclean minsize   -n 25 -p 0.25 -alpha 0.05
+//	privateclean clean     -in private.csv -out cleaned.csv -meta meta.json -prov prov.json -op 'replace:major:Mech. Eng.:Mechanical Engineering'
+//	privateclean query     -in cleaned.csv -meta meta.json -prov prov.json "SELECT count(1) FROM R WHERE major = 'Mechanical Engineering'"
+//
+// The provider runs privatize (and optionally tune); the analyst runs clean
+// and query. Metadata and provenance files carry the state between steps.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"privateclean/internal/cleaning"
+	"privateclean/internal/core"
+	"privateclean/internal/csvio"
+	"privateclean/internal/estimator"
+	"privateclean/internal/privacy"
+	"privateclean/internal/provenance"
+	"privateclean/internal/query"
+	"privateclean/internal/relation"
+	"privateclean/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "privateclean:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "privatize":
+		return cmdPrivatize(args[1:])
+	case "tune":
+		return cmdTune(args[1:])
+	case "minsize":
+		return cmdMinSize(args[1:])
+	case "epsilon":
+		return cmdEpsilon(args[1:])
+	case "explain":
+		return cmdExplain(args[1:])
+	case "describe":
+		return cmdDescribe(args[1:])
+	case "clean":
+		return cmdClean(args[1:])
+	case "query":
+		return cmdQuery(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: privateclean <subcommand> [flags]
+
+subcommands:
+  privatize  apply Generalized Randomized Response to a CSV (provider side)
+  tune       derive GRR parameters from a target count-query error (Appendix E)
+  minsize    Theorem 2 dataset-size bound for domain preservation
+  epsilon    allocate a total epsilon budget across attributes (Sec. 4.2.3)
+  clean      apply cleaning operations to a private CSV, recording provenance
+  query      estimate a sum/count/avg query on a (cleaned) private CSV
+  explain    show the channel parameters (p, N, l, tau) behind a query
+  describe   profile a CSV: per-column kind, distinct counts, ranges
+
+run 'privateclean <subcommand> -h' for flags`)
+}
+
+// loadRelation reads a CSV, optionally forcing some columns discrete.
+func loadRelation(path, forceDiscrete string) (*relation.Relation, error) {
+	opts := csvio.Options{ForceKinds: map[string]relation.Kind{}}
+	if forceDiscrete != "" {
+		for _, name := range strings.Split(forceDiscrete, ",") {
+			opts.ForceKinds[strings.TrimSpace(name)] = relation.Discrete
+		}
+	}
+	return csvio.ReadFile(path, opts)
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+func cmdPrivatize(args []string) error {
+	fs := flag.NewFlagSet("privatize", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV (required)")
+	out := fs.String("out", "", "output CSV for the private view (required)")
+	metaPath := fs.String("meta", "", "output JSON for the view metadata (required)")
+	p := fs.Float64("p", 0.1, "randomization probability for discrete attributes")
+	b := fs.Float64("b", 10, "Laplace scale for numeric attributes")
+	targetErr := fs.Float64("error", 0, "if > 0, tune p and b from this count-error target instead")
+	confidence := fs.Float64("confidence", 0.95, "confidence level for tuning")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" || *metaPath == "" {
+		return fmt.Errorf("privatize: -in, -out, and -meta are required")
+	}
+	r, err := loadRelation(*in, *forceDiscrete)
+	if err != nil {
+		return err
+	}
+	params := privacy.Uniform(r.Schema(), *p, *b)
+	if *targetErr > 0 {
+		params, err = privacy.Tune(r, *targetErr, *confidence)
+		if err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	view, meta, err := privacy.Privatize(rng, r, params)
+	if err != nil {
+		return err
+	}
+	if err := csvio.WriteFile(*out, view); err != nil {
+		return err
+	}
+	if err := writeJSON(*metaPath, meta); err != nil {
+		return err
+	}
+	fmt.Printf("released %d rows; total epsilon = %.4f\n", view.NumRows(), meta.TotalEpsilon())
+	for _, name := range sortedKeys(meta.Discrete) {
+		m := meta.Discrete[name]
+		fmt.Printf("  discrete %-16s p=%.4f N=%d eps=%.4f\n", m.Name, m.P, m.N(), m.Epsilon())
+	}
+	for _, name := range sortedKeys(meta.Numeric) {
+		m := meta.Numeric[name]
+		fmt.Printf("  numeric  %-16s b=%.4f delta=%.4f eps=%.4f\n", m.Name, m.B, m.Delta, m.Epsilon())
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV (required)")
+	targetErr := fs.Float64("error", 0.05, "target maximum count-query fraction error")
+	confidence := fs.Float64("confidence", 0.95, "confidence level")
+	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("tune: -in is required")
+	}
+	r, err := loadRelation(*in, *forceDiscrete)
+	if err != nil {
+		return err
+	}
+	params, err := privacy.Tune(r, *targetErr, *confidence)
+	if err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(params.P) {
+		fmt.Printf("discrete %-16s p=%.4f (eps=%.4f)\n", name, params.P[name], privacy.EpsilonDiscrete(params.P[name]))
+	}
+	for _, name := range sortedKeys(params.B) {
+		fmt.Printf("numeric  %-16s b=%.4f\n", name, params.B[name])
+	}
+	return nil
+}
+
+func cmdMinSize(args []string) error {
+	fs := flag.NewFlagSet("minsize", flag.ContinueOnError)
+	n := fs.Int("n", 0, "number of distinct values (required)")
+	p := fs.Float64("p", 0.1, "randomization probability")
+	alpha := fs.Float64("alpha", 0.05, "failure probability (domain preserved w.p. 1-alpha)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("minsize: -n is required")
+	}
+	s, err := privacy.MinDatasetSize(*n, *p, *alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("S > %.0f rows for all %d values to survive p=%.2f with probability %.2f\n",
+		s, *n, *p, 1-*alpha)
+	return nil
+}
+
+func cmdEpsilon(args []string) error {
+	fs := flag.NewFlagSet("epsilon", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV (required)")
+	eps := fs.Float64("eps", 1, "total privacy budget to allocate")
+	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("epsilon: -in is required")
+	}
+	r, err := loadRelation(*in, *forceDiscrete)
+	if err != nil {
+		return err
+	}
+	params, err := privacy.AllocateEpsilon(r, *eps)
+	if err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(params.P) {
+		fmt.Printf("discrete %-16s p=%.4f (eps=%.4f)\n", name, params.P[name], privacy.EpsilonDiscrete(params.P[name]))
+	}
+	for _, name := range sortedKeys(params.B) {
+		fmt.Printf("numeric  %-16s b=%.4f\n", name, params.B[name])
+	}
+	return nil
+}
+
+func cmdDescribe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV (required)")
+	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("describe: -in is required")
+	}
+	r, err := loadRelation(*in, *forceDiscrete)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rows\n", r.NumRows())
+	for _, c := range r.Schema().Columns() {
+		switch c.Kind {
+		case relation.Discrete:
+			n, err := r.DomainSize(c.Name)
+			if err != nil {
+				return err
+			}
+			frac := 0.0
+			if r.NumRows() > 0 {
+				frac = float64(n) / float64(r.NumRows())
+			}
+			// Theorem 2 guidance: how far randomization can go at this size.
+			note := ""
+			if bound, err := privacy.MinDatasetSize(n, 0.25, 0.05); err == nil && float64(r.NumRows()) < bound {
+				note = fmt.Sprintf("  (below the Theorem 2 size %d for p=0.25)", int(bound)+1)
+			}
+			fmt.Printf("  discrete %-16s distinct=%d (%.1f%% of rows)%s\n", c.Name, n, frac*100, note)
+		case relation.Numeric:
+			col := r.MustNumeric(c.Name)
+			lo, hi, err := stats.MinMax(col)
+			if err != nil {
+				fmt.Printf("  numeric  %-16s (all missing)\n", c.Name)
+				continue
+			}
+			mean, _ := stats.Mean(col)
+			fmt.Printf("  numeric  %-16s min=%.4g max=%.4g mean=%.4g delta=%.4g\n",
+				c.Name, lo, hi, mean, hi-lo)
+		}
+	}
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	metaPath := fs.String("meta", "", "view metadata JSON (required)")
+	provPath := fs.String("prov", "", "provenance JSON (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sql := strings.Join(fs.Args(), " ")
+	if *metaPath == "" || sql == "" {
+		return fmt.Errorf("explain: -meta and a SQL string are required")
+	}
+	meta := &privacy.ViewMeta{}
+	if err := readJSON(*metaPath, meta); err != nil {
+		return fmt.Errorf("explain: reading metadata: %w", err)
+	}
+	var prov *provenance.Store
+	if *provPath != "" {
+		prov = provenance.NewStore()
+		if err := readJSON(*provPath, prov); err != nil {
+			return fmt.Errorf("explain: reading provenance: %w", err)
+		}
+	}
+	ex, err := core.ExplainQuery(sql, meta, prov, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ex)
+	return nil
+}
+
+// parseOp turns a CLI op spec into a cleaning.Op. Supported specs:
+//
+//	replace:<attr>:<from>:<to>       find-and-replace one value
+//	md:<attr>:<maxdist>              matching-dependency repair
+//	fd:<lhs1,lhs2,...>:<rhs>         functional-dependency repair
+//	fdimpute:<lhs1,...>:<rhs>        FD-based null imputation
+//	nullify:<attr>:<v1,v2,...>       merge all values NOT in the list to NULL
+func parseOp(spec string) (cleaning.Op, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("bad op spec %q", spec)
+	}
+	switch parts[0] {
+	case "replace":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("replace needs attr:from:to, got %q", spec)
+		}
+		return cleaning.FindReplace{Attr: parts[1], From: parts[2], To: parts[3]}, nil
+	case "md":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("md needs attr:maxdist, got %q", spec)
+		}
+		d, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("md distance: %w", err)
+		}
+		return cleaning.MDRepair{Attr: parts[1], MaxDist: d}, nil
+	case "fd":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("fd needs lhs:rhs, got %q", spec)
+		}
+		return cleaning.FDRepair{LHS: strings.Split(parts[1], ","), RHS: parts[2]}, nil
+	case "fdimpute":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("fdimpute needs lhs:rhs, got %q", spec)
+		}
+		return cleaning.FDImpute{LHS: strings.Split(parts[1], ","), RHS: parts[2]}, nil
+	case "nullify":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("nullify needs attr:valid values, got %q", spec)
+		}
+		valid := map[string]bool{}
+		for _, v := range strings.Split(parts[2], ",") {
+			valid[v] = true
+		}
+		return cleaning.NullifyInvalid{Attr: parts[1], Valid: func(v string) bool { return valid[v] }}, nil
+	default:
+		return nil, fmt.Errorf("unknown op kind %q", parts[0])
+	}
+}
+
+type opList []cleaning.Op
+
+func (o *opList) String() string { return fmt.Sprintf("%d ops", len(*o)) }
+
+func (o *opList) Set(spec string) error {
+	op, err := parseOp(spec)
+	if err != nil {
+		return err
+	}
+	*o = append(*o, op)
+	return nil
+}
+
+func cmdClean(args []string) error {
+	fs := flag.NewFlagSet("clean", flag.ContinueOnError)
+	in := fs.String("in", "", "input private CSV (required)")
+	out := fs.String("out", "", "output cleaned CSV (required)")
+	metaPath := fs.String("meta", "", "view metadata JSON from privatize (required)")
+	provPath := fs.String("prov", "", "provenance JSON (read if present, always written) (required)")
+	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	var ops opList
+	fs.Var(&ops, "op", "cleaning op spec (repeatable): replace:a:f:t | md:a:d | fd:l1,l2:r | fdimpute:l:r | nullify:a:v1,v2")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" || *metaPath == "" || *provPath == "" {
+		return fmt.Errorf("clean: -in, -out, -meta, and -prov are required")
+	}
+	if len(ops) == 0 {
+		return fmt.Errorf("clean: at least one -op is required")
+	}
+	r, err := loadRelation(*in, *forceDiscrete)
+	if err != nil {
+		return err
+	}
+	meta := &privacy.ViewMeta{}
+	if err := readJSON(*metaPath, meta); err != nil {
+		return fmt.Errorf("clean: reading metadata: %w", err)
+	}
+	prov := provenance.NewStore()
+	if _, statErr := os.Stat(*provPath); statErr == nil {
+		if err := readJSON(*provPath, prov); err != nil {
+			return fmt.Errorf("clean: reading provenance: %w", err)
+		}
+	}
+	ctx := &cleaning.Context{Rel: r, Prov: prov, Meta: meta}
+	if err := cleaning.Apply(ctx, ops...); err != nil {
+		return err
+	}
+	if err := csvio.WriteFile(*out, r); err != nil {
+		return err
+	}
+	if err := writeJSON(*provPath, prov); err != nil {
+		return err
+	}
+	fmt.Printf("applied %d ops; provenance tracks %d attribute(s)\n", len(ops), len(prov.Attrs()))
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	in := fs.String("in", "", "cleaned private CSV (required)")
+	metaPath := fs.String("meta", "", "view metadata JSON (required)")
+	provPath := fs.String("prov", "", "provenance JSON (optional)")
+	confidence := fs.Float64("confidence", 0.95, "confidence level for intervals")
+	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sql := strings.Join(fs.Args(), " ")
+	if *in == "" || *metaPath == "" || sql == "" {
+		return fmt.Errorf("query: -in, -meta, and a SQL string are required")
+	}
+	r, err := loadRelation(*in, *forceDiscrete)
+	if err != nil {
+		return err
+	}
+	meta := &privacy.ViewMeta{}
+	if err := readJSON(*metaPath, meta); err != nil {
+		return fmt.Errorf("query: reading metadata: %w", err)
+	}
+	var prov *provenance.Store
+	if *provPath != "" {
+		prov = provenance.NewStore()
+		if err := readJSON(*provPath, prov); err != nil {
+			return fmt.Errorf("query: reading provenance: %w", err)
+		}
+	}
+
+	q, err := query.Parse(sql)
+	if err != nil {
+		return err
+	}
+	est := &estimator.Estimator{Meta: meta, Prov: prov, Confidence: *confidence}
+
+	if len(q.AndWhere) > 0 {
+		preds, err := query.CompileConjunction(q.Conds(), nil)
+		if err != nil {
+			return err
+		}
+		var pc estimator.Estimate
+		switch q.Agg {
+		case query.AggCount:
+			pc, err = est.CountConj(r, preds...)
+		case query.AggSum:
+			pc, err = est.SumConj(r, q.AggAttr, preds...)
+		case query.AggAvg:
+			pc, err = est.AvgConj(r, q.AggAttr, preds...)
+		default:
+			return fmt.Errorf("query: %s does not support AND conjunctions", q.Agg)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("privateclean = %s\n", pc)
+		return nil
+	}
+
+	if q.GroupBy != "" {
+		if q.Agg != query.AggCount {
+			return fmt.Errorf("query: GROUP BY supports count(1) only")
+		}
+		groups, err := est.GroupCounts(r, q.GroupBy)
+		if err != nil {
+			return err
+		}
+		direct, err := estimator.DirectGroupCounts(r, q.GroupBy)
+		if err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(groups) {
+			fmt.Printf("%-24s privateclean=%s direct=%.0f\n", k, groups[k], direct[k])
+		}
+		return nil
+	}
+
+	if q.Where == nil {
+		var e estimator.Estimate
+		switch q.Agg {
+		case query.AggCount:
+			e = est.TotalCount(r)
+		case query.AggSum:
+			e, err = est.TotalSum(r, q.AggAttr)
+		case query.AggAvg:
+			e, err = est.TotalAvg(r, q.AggAttr)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("privateclean = %s\n", e)
+		return nil
+	}
+
+	pred, err := query.CompilePredicate(q.Where, nil)
+	if err != nil {
+		return err
+	}
+	var pc estimator.Estimate
+	var direct float64
+	switch q.Agg {
+	case query.AggCount:
+		pc, err = est.Count(r, pred)
+		if err == nil {
+			direct, err = estimator.DirectCount(r, pred)
+		}
+	case query.AggSum:
+		pc, err = est.Sum(r, q.AggAttr, pred)
+		if err == nil {
+			direct, err = estimator.DirectSum(r, q.AggAttr, pred)
+		}
+	case query.AggAvg:
+		pc, err = est.Avg(r, q.AggAttr, pred)
+		if err == nil {
+			direct, err = estimator.DirectAvg(r, q.AggAttr, pred)
+		}
+	case query.AggMedian:
+		pc, err = est.Median(r, q.AggAttr, pred)
+		direct = pc.Value
+	case query.AggVar:
+		pc, err = est.Var(r, q.AggAttr, pred)
+		if err == nil {
+			direct, err = estimator.DirectVar(r, q.AggAttr, pred)
+		}
+	case query.AggStd:
+		pc, err = est.Std(r, q.AggAttr, pred)
+		if err == nil {
+			var dv float64
+			dv, err = estimator.DirectVar(r, q.AggAttr, pred)
+			direct = math.Sqrt(dv)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("privateclean = %s\ndirect       = %.6g\n", pc, direct)
+	return nil
+}

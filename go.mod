@@ -1,0 +1,3 @@
+module privateclean
+
+go 1.22

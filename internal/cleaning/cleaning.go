@@ -1,0 +1,352 @@
+// Package cleaning implements PrivateClean's data cleaning model
+// (Section 3.2.1 of the paper): deterministic user-defined local cleaners
+// over the discrete attributes of a relation, expressible as compositions of
+// three primitive operations:
+//
+//   - Transform(g_i): replace each value of a projection with C(v[g_i]);
+//   - Merge(g_i, Domain(g_i)): replace each value with another value of the
+//     attribute's domain chosen by C(v[g_i], Domain(g_i));
+//   - Extract(g_i): create a new discrete attribute from C(v[g_i]).
+//
+// Every operation implements Op. When an Op runs inside a Context that
+// carries a provenance store, it records the dirty-to-clean value mapping so
+// the estimators can recover the original selectivity (Sections 6 and 7).
+// Single-attribute cleaners record deterministic (fork-free) edges;
+// multi-attribute cleaners record row-level (possibly weighted) edges.
+//
+// The same Ops can run without provenance (Context.Prov == nil), which is
+// how the experiment harness produces the hypothetically cleaned non-private
+// relation R_clean = C(R) that defines ground truth.
+package cleaning
+
+import (
+	"fmt"
+
+	"privateclean/internal/privacy"
+	"privateclean/internal/provenance"
+	"privateclean/internal/relation"
+)
+
+// Context is the environment a cleaner runs in. Rel is mutated in place.
+// Prov and Meta are optional: when both are set, provenance is recorded
+// against the dirty domains released in Meta.
+type Context struct {
+	Rel  *relation.Relation
+	Prov *provenance.Store
+	Meta *privacy.ViewMeta
+}
+
+// Op is one local cleaner.
+type Op interface {
+	// Name identifies the cleaner for error messages and logs.
+	Name() string
+	// Apply runs the cleaner, mutating ctx.Rel and recording provenance if
+	// ctx.Prov is set.
+	Apply(ctx *Context) error
+}
+
+// Apply runs a composition of cleaners C = C_1 ∘ C_2 ∘ ... ∘ C_k in order.
+func Apply(ctx *Context, ops ...Op) error {
+	for _, op := range ops {
+		if err := op.Apply(ctx); err != nil {
+			return fmt.Errorf("cleaning: %s: %w", op.Name(), err)
+		}
+	}
+	return nil
+}
+
+// dirtyDomain returns the domain a new provenance graph for attr should be
+// initialized with: the released randomization domain when metadata is
+// available (it is the domain GRR drew from, hence a superset of the
+// attribute's current values), otherwise the attribute's current domain.
+func (ctx *Context) dirtyDomain(attr string) ([]string, error) {
+	if ctx.Meta != nil {
+		if m, err := ctx.Meta.DiscreteFor(attr); err == nil {
+			return m.Domain, nil
+		}
+	}
+	return ctx.Rel.Domain(attr)
+}
+
+// graphFor returns (and lazily creates) the provenance graph for attr, or
+// nil when the context records no provenance.
+func (ctx *Context) graphFor(attr string) (*provenance.Graph, error) {
+	if ctx.Prov == nil {
+		return nil, nil
+	}
+	if g, ok := ctx.Prov.Graph(attr); ok {
+		return g, nil
+	}
+	dom, err := ctx.dirtyDomain(attr)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Prov.Ensure(attr, dom), nil
+}
+
+// Transform replaces every value of a single discrete attribute with F(v).
+// F must be deterministic (Section 3.2.1); the induced provenance edges are
+// fork-free.
+type Transform struct {
+	Attr  string
+	Label string // optional human-readable label
+	F     func(string) string
+}
+
+// Name implements Op.
+func (t Transform) Name() string {
+	if t.Label != "" {
+		return fmt.Sprintf("transform(%s:%s)", t.Attr, t.Label)
+	}
+	return fmt.Sprintf("transform(%s)", t.Attr)
+}
+
+// Apply implements Op.
+func (t Transform) Apply(ctx *Context) error {
+	if t.F == nil {
+		return fmt.Errorf("nil transform function")
+	}
+	g, err := ctx.graphFor(t.Attr)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Rel.MapDiscrete(t.Attr, t.F); err != nil {
+		return err
+	}
+	if g != nil {
+		g.ApplyDeterministic(t.F)
+	}
+	return nil
+}
+
+// Merge replaces every value of a discrete attribute with
+// F(v, Domain(attr)), where the domain is the attribute's current distinct
+// values. This is the paper's Merge(g_i, Domain(g_i)) operation; the choice
+// must be deterministic in v.
+type Merge struct {
+	Attr  string
+	Label string
+	F     func(v string, domain []string) string
+}
+
+// Name implements Op.
+func (m Merge) Name() string {
+	if m.Label != "" {
+		return fmt.Sprintf("merge(%s:%s)", m.Attr, m.Label)
+	}
+	return fmt.Sprintf("merge(%s)", m.Attr)
+}
+
+// Apply implements Op.
+func (m Merge) Apply(ctx *Context) error {
+	if m.F == nil {
+		return fmt.Errorf("nil merge function")
+	}
+	domain, err := ctx.Rel.Domain(m.Attr)
+	if err != nil {
+		return err
+	}
+	f := func(v string) string { return m.F(v, domain) }
+	return Transform{Attr: m.Attr, Label: m.Label, F: f}.Apply(ctx)
+}
+
+// FindReplace rewrites one value of a discrete attribute to another
+// (Example 1 in the paper: "Electrical Engineering and Computer Sciences ->
+// EECS"). It is a special case of Merge.
+type FindReplace struct {
+	Attr string
+	From string
+	To   string
+}
+
+// Name implements Op.
+func (f FindReplace) Name() string {
+	return fmt.Sprintf("find-replace(%s: %q -> %q)", f.Attr, f.From, f.To)
+}
+
+// Apply implements Op.
+func (f FindReplace) Apply(ctx *Context) error {
+	return Transform{
+		Attr: f.Attr,
+		F: func(v string) string {
+			if v == f.From {
+				return f.To
+			}
+			return v
+		},
+	}.Apply(ctx)
+}
+
+// DictionaryMerge rewrites every value that appears as a key of Mapping to
+// its mapped value; other values are unchanged. Useful for bulk
+// find-and-replace, e.g. merging alternative spellings of majors.
+type DictionaryMerge struct {
+	Attr    string
+	Mapping map[string]string
+}
+
+// Name implements Op.
+func (d DictionaryMerge) Name() string {
+	return fmt.Sprintf("dictionary-merge(%s, %d entries)", d.Attr, len(d.Mapping))
+}
+
+// Apply implements Op.
+func (d DictionaryMerge) Apply(ctx *Context) error {
+	return Transform{
+		Attr: d.Attr,
+		F: func(v string) string {
+			if to, ok := d.Mapping[v]; ok {
+				return to
+			}
+			return v
+		},
+	}.Apply(ctx)
+}
+
+// NullifyInvalid merges every value for which Valid returns false into
+// relation.Null. This is the IntelWireless cleaning task of Section 8.4:
+// spurious sensor ids are merged to null so a sensor_id != NULL predicate
+// drops untrustworthy log entries.
+type NullifyInvalid struct {
+	Attr  string
+	Valid func(string) bool
+}
+
+// Name implements Op.
+func (n NullifyInvalid) Name() string { return fmt.Sprintf("nullify-invalid(%s)", n.Attr) }
+
+// Apply implements Op.
+func (n NullifyInvalid) Apply(ctx *Context) error {
+	if n.Valid == nil {
+		return fmt.Errorf("nil validity predicate")
+	}
+	return Transform{
+		Attr: n.Attr,
+		F: func(v string) string {
+			if n.Valid(v) {
+				return v
+			}
+			return relation.Null
+		},
+	}.Apply(ctx)
+}
+
+// Extract creates a new discrete attribute NewAttr whose values are
+// F(v[SrcAttr]). The new attribute's provenance graph is the source graph
+// composed with F, and its privacy parameters are inherited from the source
+// attribute (Section 3.2.1's Extract; post-processing preserves epsilon).
+type Extract struct {
+	SrcAttr string
+	NewAttr string
+	F       func(string) string
+}
+
+// Name implements Op.
+func (e Extract) Name() string { return fmt.Sprintf("extract(%s -> %s)", e.SrcAttr, e.NewAttr) }
+
+// Apply implements Op.
+func (e Extract) Apply(ctx *Context) error {
+	if e.F == nil {
+		return fmt.Errorf("nil extract function")
+	}
+	src, err := ctx.Rel.Discrete(e.SrcAttr)
+	if err != nil {
+		return err
+	}
+	vals := make([]string, len(src))
+	for i, v := range src {
+		vals[i] = e.F(v)
+	}
+	if err := ctx.Rel.AddDiscreteColumn(e.NewAttr, vals); err != nil {
+		return err
+	}
+	if ctx.Prov != nil {
+		srcGraph, err := ctx.graphFor(e.SrcAttr)
+		if err != nil {
+			return err
+		}
+		g := srcGraph.Clone()
+		g.ApplyDeterministic(e.F)
+		ctx.Prov.LinkExtracted(e.NewAttr, ctx.Prov.BaseAttr(e.SrcAttr), g)
+	}
+	return nil
+}
+
+// TransformRows is the general multi-attribute cleaner: F receives the
+// current discrete values of Attrs for one row and returns their
+// replacements (same length, same order). Because F can read several
+// attributes, rows sharing a value in one attribute may diverge, so
+// provenance is recorded row-level with weighted edges (Section 7).
+//
+// F must be deterministic in its inputs.
+type TransformRows struct {
+	Attrs []string
+	Label string
+	F     func(vals []string) []string
+}
+
+// Name implements Op.
+func (t TransformRows) Name() string {
+	if t.Label != "" {
+		return fmt.Sprintf("transform-rows(%v:%s)", t.Attrs, t.Label)
+	}
+	return fmt.Sprintf("transform-rows(%v)", t.Attrs)
+}
+
+// Apply implements Op.
+func (t TransformRows) Apply(ctx *Context) error {
+	if t.F == nil {
+		return fmt.Errorf("nil row transform function")
+	}
+	if len(t.Attrs) == 0 {
+		return fmt.Errorf("no attributes")
+	}
+	cols := make([][]string, len(t.Attrs))
+	graphs := make([]*provenance.Graph, len(t.Attrs))
+	for i, a := range t.Attrs {
+		col, err := ctx.Rel.Discrete(a)
+		if err != nil {
+			return err
+		}
+		cols[i] = col
+		// Graphs must be created before the relation is mutated so the
+		// identity graph covers the pre-cleaning domain.
+		g, err := ctx.graphFor(a)
+		if err != nil {
+			return err
+		}
+		graphs[i] = g
+	}
+	n := ctx.Rel.NumRows()
+	before := make([][]string, len(t.Attrs))
+	after := make([][]string, len(t.Attrs))
+	for i := range t.Attrs {
+		before[i] = make([]string, n)
+		copy(before[i], cols[i])
+		after[i] = make([]string, n)
+	}
+	buf := make([]string, len(t.Attrs))
+	for r := 0; r < n; r++ {
+		for i := range t.Attrs {
+			buf[i] = before[i][r]
+		}
+		out := t.F(buf)
+		if len(out) != len(t.Attrs) {
+			return fmt.Errorf("row transform returned %d values, want %d", len(out), len(t.Attrs))
+		}
+		for i := range t.Attrs {
+			after[i][r] = out[i]
+		}
+	}
+	for i := range t.Attrs {
+		copy(cols[i], after[i])
+	}
+	if ctx.Prov != nil {
+		for i := range t.Attrs {
+			if err := graphs[i].ApplyRowLevel(before[i], after[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

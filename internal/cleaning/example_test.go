@@ -1,0 +1,57 @@
+package cleaning_test
+
+import (
+	"fmt"
+	"log"
+
+	"privateclean/internal/cleaning"
+	"privateclean/internal/provenance"
+	"privateclean/internal/relation"
+)
+
+// Example composes the three primitive cleaners of Section 3.2.1 and shows
+// the provenance the estimators consume.
+func Example() {
+	schema := relation.MustSchema(
+		relation.Column{Name: "major", Kind: relation.Discrete},
+	)
+	r, err := relation.FromColumns(schema, nil, map[string][]string{
+		"major": {"Mechanical Engineering", "Mech. Eng.", "M.E.", "Math"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prov := provenance.NewStore()
+	ctx := &cleaning.Context{Rel: r, Prov: prov}
+	err = cleaning.Apply(ctx,
+		// Merge the spellings (Example 5 in the paper).
+		cleaning.DictionaryMerge{Attr: "major", Mapping: map[string]string{
+			"Mech. Eng.": "Mechanical Engineering",
+			"M.E.":       "Mechanical Engineering",
+		}},
+		// Extract a coarse flag from the cleaned attribute.
+		cleaning.Extract{SrcAttr: "major", NewAttr: "is_eng", F: func(v string) string {
+			if v == "Mechanical Engineering" {
+				return "yes"
+			}
+			return "no"
+		}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, _ := prov.Graph("major")
+	fmt.Println("majors:", r.MustDiscrete("major"))
+	fmt.Println("is_eng:", r.MustDiscrete("is_eng"))
+	fmt.Printf("l(Mechanical Engineering) = %.0f of N = %d\n",
+		g.Selectivity(func(v string) bool { return v == "Mechanical Engineering" }),
+		g.DomainSize())
+	fmt.Println("is_eng estimates with the parameters of:", prov.BaseAttr("is_eng"))
+	// Output:
+	// majors: [Mechanical Engineering Mechanical Engineering Mechanical Engineering Math]
+	// is_eng: [yes yes yes no]
+	// l(Mechanical Engineering) = 3 of N = 4
+	// is_eng estimates with the parameters of: major
+}

@@ -1,0 +1,87 @@
+package cleaning
+
+import (
+	"testing"
+
+	"privateclean/internal/relation"
+)
+
+func libraryRel(t *testing.T, values ...string) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(relation.Column{Name: "d", Kind: relation.Discrete})
+	r, err := relation.FromColumns(schema, nil, map[string][]string{"d": values})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegexReplace(t *testing.T) {
+	r := libraryRel(t, "Mech. Eng.", "Elec. Eng.", "Math")
+	ctx := ctxWithProv(t, r)
+	op := RegexReplace{Attr: "d", Pattern: `(\w+)\. Eng\.`, Replacement: "$1 Engineering"}
+	if err := Apply(ctx, op); err != nil {
+		t.Fatal(err)
+	}
+	got := r.MustDiscrete("d")
+	if got[0] != "Mech Engineering" || got[1] != "Elec Engineering" || got[2] != "Math" {
+		t.Fatalf("values = %v", got)
+	}
+	g, ok := ctx.Prov.Graph("d")
+	if !ok || g.Forked() {
+		t.Fatal("regex replace should record a fork-free graph")
+	}
+	if err := Apply(ctx, RegexReplace{Attr: "d", Pattern: `(`}); err == nil {
+		t.Fatal("want error for invalid pattern")
+	}
+	if op.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	r := libraryRel(t, "  Mechanical   Engineering ", "MECHANICAL ENGINEERING", "math")
+	if err := Apply(&Context{Rel: r}, Canonicalize{Attr: "d", Lowercase: true}); err != nil {
+		t.Fatal(err)
+	}
+	got := r.MustDiscrete("d")
+	if got[0] != "mechanical engineering" || got[1] != "mechanical engineering" {
+		t.Fatalf("values = %v", got)
+	}
+	// Without lowercasing, case is preserved.
+	r2 := libraryRel(t, " A  B ")
+	if err := Apply(&Context{Rel: r2}, Canonicalize{Attr: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if r2.MustDiscrete("d")[0] != "A B" {
+		t.Fatalf("value = %q", r2.MustDiscrete("d")[0])
+	}
+}
+
+func TestTrimPrefixSuffix(t *testing.T) {
+	r := libraryRel(t, "sensor:s01", "sensor:s02c", "s03")
+	op := TrimPrefixSuffix{Attr: "d", Prefix: "sensor:", Suffix: "c"}
+	if err := Apply(&Context{Rel: r}, op); err != nil {
+		t.Fatal(err)
+	}
+	got := r.MustDiscrete("d")
+	if got[0] != "s01" || got[1] != "s02" || got[2] != "s03" {
+		t.Fatalf("values = %v", got)
+	}
+	if op.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestLibraryOpNames(t *testing.T) {
+	ops := []Op{
+		RegexReplace{Attr: "a", Pattern: "x", Replacement: "y"},
+		Canonicalize{Attr: "a"},
+		TrimPrefixSuffix{Attr: "a", Prefix: "p"},
+	}
+	for _, op := range ops {
+		if op.Name() == "" {
+			t.Fatalf("%T has empty name", op)
+		}
+	}
+}

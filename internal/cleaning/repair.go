@@ -1,0 +1,319 @@
+package cleaning
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privateclean/internal/relation"
+	"privateclean/internal/textutil"
+)
+
+// relationNull aliases the relation package's missing-value sentinel.
+const relationNull = relation.Null
+
+// FDRepair repairs violations of a functional dependency LHS -> RHS by
+// value modification, in the style of the cost-based heuristic of Bohannon
+// et al. (SIGMOD 2005) that the paper's Example 2 and the TPC-DS experiment
+// (Section 8.3.4) use: within each group of rows agreeing on the LHS
+// attributes, the RHS attribute is rewritten to the group's most frequent
+// value (minimum number of cell changes), with ties broken
+// lexicographically so the repair is deterministic.
+//
+// FDRepair reads multiple attributes, so its provenance edges on RHS are
+// recorded row-level and may be weighted (the Example 6 situation: the same
+// dirty RHS value can be repaired to different clean values in different
+// groups).
+type FDRepair struct {
+	LHS []string
+	RHS string
+}
+
+// Name implements Op.
+func (f FDRepair) Name() string {
+	return fmt.Sprintf("fd-repair(%s -> %s)", strings.Join(f.LHS, ","), f.RHS)
+}
+
+// Apply implements Op.
+func (f FDRepair) Apply(ctx *Context) error {
+	if len(f.LHS) == 0 {
+		return fmt.Errorf("empty FD left-hand side")
+	}
+	lhsCols := make([][]string, len(f.LHS))
+	for i, a := range f.LHS {
+		col, err := ctx.Rel.Discrete(a)
+		if err != nil {
+			return err
+		}
+		lhsCols[i] = col
+	}
+	rhsCol, err := ctx.Rel.Discrete(f.RHS)
+	if err != nil {
+		return err
+	}
+	// The graph must exist before the relation is mutated so its identity
+	// edges cover the pre-cleaning domain.
+	g, err := ctx.graphFor(f.RHS)
+	if err != nil {
+		return err
+	}
+	n := ctx.Rel.NumRows()
+
+	// Group rows by LHS tuple and count RHS values per group.
+	groupCounts := make(map[string]map[string]int)
+	keys := make([]string, n)
+	var sb strings.Builder
+	for r := 0; r < n; r++ {
+		sb.Reset()
+		for i := range lhsCols {
+			if i > 0 {
+				sb.WriteByte('\x1f')
+			}
+			sb.WriteString(lhsCols[i][r])
+		}
+		k := sb.String()
+		keys[r] = k
+		m := groupCounts[k]
+		if m == nil {
+			m = make(map[string]int)
+			groupCounts[k] = m
+		}
+		m[rhsCol[r]]++
+	}
+
+	// Majority (min-cost) repair value per group, deterministic tie break.
+	repair := make(map[string]string, len(groupCounts))
+	for k, counts := range groupCounts {
+		best, bestCnt := "", -1
+		vals := make([]string, 0, len(counts))
+		for v := range counts {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			if counts[v] > bestCnt {
+				best, bestCnt = v, counts[v]
+			}
+		}
+		repair[k] = best
+	}
+
+	before := make([]string, n)
+	copy(before, rhsCol)
+	for r := 0; r < n; r++ {
+		rhsCol[r] = repair[keys[r]]
+	}
+
+	if g != nil {
+		if err := g.ApplyRowLevel(before, rhsCol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FDImpute fills *missing* values of the RHS attribute using a functional
+// dependency LHS -> RHS: within each group of rows agreeing on LHS, rows
+// whose RHS equals Missing receive the group's most frequent non-missing
+// value (ties broken lexicographically). Rows with a non-missing RHS are
+// untouched, matching the paper's Example 6 ("1, NULL" -> "1, John Doe").
+// Groups with no non-missing value keep Missing.
+//
+// Because the imputed value depends on the LHS attributes, the same dirty
+// value (Missing) maps to many clean values: the provenance edges on RHS are
+// weighted (Section 7).
+type FDImpute struct {
+	LHS     []string
+	RHS     string
+	Missing string // defaults to relation.Null
+}
+
+// Name implements Op.
+func (f FDImpute) Name() string {
+	return fmt.Sprintf("fd-impute(%s -> %s)", strings.Join(f.LHS, ","), f.RHS)
+}
+
+// Apply implements Op.
+func (f FDImpute) Apply(ctx *Context) error {
+	if len(f.LHS) == 0 {
+		return fmt.Errorf("empty FD left-hand side")
+	}
+	missing := f.Missing
+	if missing == "" {
+		missing = relationNull
+	}
+	lhsCols := make([][]string, len(f.LHS))
+	for i, a := range f.LHS {
+		col, err := ctx.Rel.Discrete(a)
+		if err != nil {
+			return err
+		}
+		lhsCols[i] = col
+	}
+	rhsCol, err := ctx.Rel.Discrete(f.RHS)
+	if err != nil {
+		return err
+	}
+	// Create the graph before mutating the relation (see FDRepair).
+	g, err := ctx.graphFor(f.RHS)
+	if err != nil {
+		return err
+	}
+	n := ctx.Rel.NumRows()
+
+	groupCounts := make(map[string]map[string]int)
+	keys := make([]string, n)
+	var sb strings.Builder
+	for r := 0; r < n; r++ {
+		sb.Reset()
+		for i := range lhsCols {
+			if i > 0 {
+				sb.WriteByte('\x1f')
+			}
+			sb.WriteString(lhsCols[i][r])
+		}
+		k := sb.String()
+		keys[r] = k
+		if rhsCol[r] == missing {
+			continue
+		}
+		m := groupCounts[k]
+		if m == nil {
+			m = make(map[string]int)
+			groupCounts[k] = m
+		}
+		m[rhsCol[r]]++
+	}
+
+	fill := make(map[string]string, len(groupCounts))
+	for k, counts := range groupCounts {
+		best, bestCnt := "", -1
+		vals := make([]string, 0, len(counts))
+		for v := range counts {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			if counts[v] > bestCnt {
+				best, bestCnt = v, counts[v]
+			}
+		}
+		fill[k] = best
+	}
+
+	before := make([]string, n)
+	copy(before, rhsCol)
+	for r := 0; r < n; r++ {
+		if rhsCol[r] != missing {
+			continue
+		}
+		if v, ok := fill[keys[r]]; ok {
+			rhsCol[r] = v
+		}
+	}
+
+	if g != nil {
+		if err := g.ApplyRowLevel(before, rhsCol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MDRepair resolves a matching dependency on a single attribute using an
+// edit-distance similarity metric (Section 8.3.4's ca_country repair):
+// distinct values whose pairwise Levenshtein distance is at most MaxDist are
+// clustered together, and every member of a cluster is rewritten to the
+// cluster's canonical value — its most frequent member (ties broken
+// lexicographically).
+//
+// The clustering is computed over distinct values only, so the repair is a
+// deterministic value mapping and the provenance edges are fork-free.
+type MDRepair struct {
+	Attr    string
+	MaxDist int
+	// Normalize optionally canonicalizes values before comparison
+	// (e.g. textutil.Normalize). The rewritten value is always an original
+	// (un-normalized) domain member.
+	Normalize func(string) string
+}
+
+// Name implements Op.
+func (m MDRepair) Name() string { return fmt.Sprintf("md-repair(%s, dist<=%d)", m.Attr, m.MaxDist) }
+
+// Apply implements Op.
+func (m MDRepair) Apply(ctx *Context) error {
+	if m.MaxDist < 0 {
+		return fmt.Errorf("negative distance threshold %d", m.MaxDist)
+	}
+	counts, err := ctx.Rel.ValueCounts(m.Attr)
+	if err != nil {
+		return err
+	}
+	values := make([]string, 0, len(counts))
+	for v := range counts {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+
+	norm := m.Normalize
+	if norm == nil {
+		norm = func(s string) string { return s }
+	}
+	normalized := make([]string, len(values))
+	for i, v := range values {
+		normalized[i] = norm(v)
+	}
+
+	// Union-find over distinct values; union pairs within MaxDist.
+	parent := make([]int, len(values))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i := 0; i < len(values); i++ {
+		for j := i + 1; j < len(values); j++ {
+			if textutil.Similar(normalized[i], normalized[j], m.MaxDist) {
+				union(i, j)
+			}
+		}
+	}
+
+	// Canonical per cluster: highest multiplicity, lexicographic tie break.
+	canonical := make(map[int]string)
+	for i, v := range values {
+		root := find(i)
+		cur, ok := canonical[root]
+		if !ok || counts[v] > counts[cur] || (counts[v] == counts[cur] && v < cur) {
+			canonical[root] = v
+		}
+	}
+	mapping := make(map[string]string, len(values))
+	for i, v := range values {
+		mapping[v] = canonical[find(i)]
+	}
+
+	return Transform{
+		Attr:  m.Attr,
+		Label: "md-repair",
+		F: func(v string) string {
+			if to, ok := mapping[v]; ok {
+				return to
+			}
+			return v
+		},
+	}.Apply(ctx)
+}

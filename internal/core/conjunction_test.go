@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"privateclean/internal/relation"
+)
+
+func TestAnalystConjunctionQueries(t *testing.T) {
+	// Two correlated discrete attributes: majors and sections.
+	schema := relation.MustSchema(
+		relation.Column{Name: "major", Kind: relation.Discrete},
+		relation.Column{Name: "section", Kind: relation.Discrete},
+		relation.Column{Name: "score", Kind: relation.Numeric},
+	)
+	n := 1200
+	majors := make([]string, n)
+	sections := make([]string, n)
+	scores := make([]float64, n)
+	for i := range majors {
+		majors[i] = []string{"ME", "EE", "CS"}[i%3]
+		sections[i] = []string{"1", "2"}[(i/3)%2]
+		scores[i] = float64(i%5) + 1
+	}
+	r, err := relation.FromColumns(schema,
+		map[string][]float64{"score": scores},
+		map[string][]string{"major": majors, "section": sections})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := release(t, r, 0.15, 0.5, 61)
+	analyst := NewAnalyst(view)
+
+	res, err := analyst.Query("SELECT count(1) FROM R WHERE major = 'ME' AND section = '1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 200.0 // n/6
+	if math.Abs(res.PrivateClean.Value-truth) > 80 {
+		t.Fatalf("conjunction count = %v, want ~%v", res.PrivateClean.Value, truth)
+	}
+	if res.PrivateClean.CI <= 0 {
+		t.Fatal("missing CI")
+	}
+
+	sum, err := analyst.Query("SELECT sum(score) FROM R WHERE major = 'EE' AND section = '2'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.PrivateClean.Value <= 0 {
+		t.Fatalf("conjunction sum = %v", sum.PrivateClean.Value)
+	}
+
+	avg, err := analyst.Query("SELECT avg(score) FROM R WHERE major = 'EE' AND section = '2'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.PrivateClean.Value < 1 || avg.PrivateClean.Value > 6 {
+		t.Fatalf("conjunction avg = %v", avg.PrivateClean.Value)
+	}
+
+	// Extension aggregates with AND are rejected.
+	if _, err := analyst.Query("SELECT median(score) FROM R WHERE major = 'ME' AND section = '1'"); err == nil {
+		t.Fatal("want error for median with AND")
+	}
+	// Unknown attribute in a conjunct.
+	if _, err := analyst.Query("SELECT count(1) FROM R WHERE major = 'ME' AND nope = '1'"); err == nil {
+		t.Fatal("want error for unknown attribute in conjunction")
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalystExtensionAggregates(t *testing.T) {
+	r := courseEvals(t, 1000)
+	view := release(t, r, 0.1, 0.4, 51)
+	analyst := NewAnalyst(view)
+
+	med, err := analyst.Query("SELECT median(score) FROM evals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scores cycle 0.5..4.5 uniformly; the true median is 2.5 and Laplace
+	// noise has median 0.
+	if math.Abs(med.PrivateClean.Value-2.5) > 0.4 {
+		t.Fatalf("median = %v, want ~2.5", med.PrivateClean.Value)
+	}
+
+	vr, err := analyst.Query("SELECT var(score) FROM evals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform over {0.5..4.5}: variance = 2. The corrected estimate should
+	// strip the 2b² = 0.32 noise term; the direct one keeps it.
+	if math.Abs(vr.PrivateClean.Value-2) > 0.5 {
+		t.Fatalf("var = %v, want ~2", vr.PrivateClean.Value)
+	}
+	if vr.Direct <= vr.PrivateClean.Value {
+		t.Fatalf("direct var %v should exceed corrected %v", vr.Direct, vr.PrivateClean.Value)
+	}
+
+	sd, err := analyst.Query("SELECT std(score) FROM evals WHERE major = 'Math'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.PrivateClean.Value < 0 || sd.PrivateClean.Value > 3 {
+		t.Fatalf("std = %v", sd.PrivateClean.Value)
+	}
+
+	medPred, err := analyst.Query("SELECT median(score) FROM evals WHERE major = 'Math'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Math majors (index 3 of 5) all scored 3.5 in the generator.
+	if math.Abs(medPred.PrivateClean.Value-3.5) > 1.2 {
+		t.Fatalf("predicate median = %v, want ~3.5", medPred.PrivateClean.Value)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"privateclean/internal/csvio"
+	"privateclean/internal/privacy"
+	"privateclean/internal/provenance"
+	"privateclean/internal/query"
+	"privateclean/internal/relation"
+)
+
+// Session persistence: an analyst's working state — the (cleaned) private
+// relation, the view metadata, and the cleaning provenance — saved to a
+// directory so analysis can resume in a later process. This is the library
+// form of what the CLI's clean/query commands do with separate files.
+//
+// Registered UDFs are code and are not serialized; re-register them after
+// Load.
+
+const (
+	sessionViewFile = "view.csv"
+	sessionMetaFile = "meta.json"
+	sessionProvFile = "prov.json"
+	sessionKindFile = "kinds.json"
+)
+
+// Save writes the analyst's state into dir (created if needed). Existing
+// session files in dir are overwritten.
+func (a *Analyst) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := csvio.WriteFile(filepath.Join(dir, sessionViewFile), a.rel); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	// Column kinds: CSV inference cannot distinguish a numeric-looking
+	// discrete column, so the schema's kinds are persisted explicitly.
+	kinds := make(map[string]relation.Kind)
+	for _, c := range a.rel.Schema().Columns() {
+		kinds[c.Name] = c.Kind
+	}
+	for name, v := range map[string]any{
+		sessionMetaFile: a.meta,
+		sessionProvFile: a.prov,
+		sessionKindFile: kinds,
+	} {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return fmt.Errorf("core: save %s: %w", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadSession restores an analyst saved with Save. Confidence resets to the
+// default; UDFs must be re-registered.
+func LoadSession(dir string) (*Analyst, error) {
+	kinds := make(map[string]relation.Kind)
+	if err := readSessionJSON(dir, sessionKindFile, &kinds); err != nil {
+		return nil, err
+	}
+	rel, err := csvio.ReadFile(filepath.Join(dir, sessionViewFile), csvio.Options{ForceKinds: kinds})
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	meta := &privacy.ViewMeta{}
+	if err := readSessionJSON(dir, sessionMetaFile, meta); err != nil {
+		return nil, err
+	}
+	prov := provenance.NewStore()
+	if err := readSessionJSON(dir, sessionProvFile, prov); err != nil {
+		return nil, err
+	}
+	return &Analyst{
+		rel:        rel,
+		meta:       meta,
+		prov:       prov,
+		udfs:       make(query.UDFs),
+		confidence: 0.95,
+	}, nil
+}
+
+func readSessionJSON(dir, name string, v any) error {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("core: load %s: %w", name, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("core: load %s: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privateclean/internal/cleaning"
+)
+
+func TestSessionSaveLoadRoundTrip(t *testing.T) {
+	r := courseEvals(t, 600)
+	view := release(t, r, 0.15, 0.5, 101)
+	a1 := NewAnalyst(view)
+	if err := a1.Clean(cleaning.FindReplace{Attr: "major", From: "Mech. Eng.", To: "Mechanical Engineering"}); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT count(1) FROM R WHERE major = 'Mechanical Engineering'"
+	before, err := a1.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := a1.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := LoadSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := a2.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before.PrivateClean.Value-after.PrivateClean.Value) > 1e-9 {
+		t.Fatalf("estimate changed across save/load: %v vs %v",
+			before.PrivateClean.Value, after.PrivateClean.Value)
+	}
+	if before.Direct != after.Direct {
+		t.Fatalf("direct changed: %v vs %v", before.Direct, after.Direct)
+	}
+
+	// Continued cleaning composes onto the restored provenance.
+	if err := a2.Clean(cleaning.FindReplace{Attr: "major", From: "Electrical Eng.", To: "EE"}); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := a2.Explain("SELECT count(1) FROM R WHERE major = 'EE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.L != 1 || ex.N != 5 {
+		t.Fatalf("restored provenance channel = %+v", ex)
+	}
+	// UDFs do not survive; re-registering works.
+	if _, err := a2.Query("SELECT count(1) FROM R WHERE isEng(major)"); err == nil {
+		t.Fatal("UDFs should not survive a reload")
+	}
+	a2.RegisterUDF("isEng", func(v string) bool { return v == "EE" || v == "Mechanical Engineering" })
+	if _, err := a2.Query("SELECT count(1) FROM R WHERE isEng(major)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadSession(dir); err == nil {
+		t.Fatal("want error for empty session dir")
+	}
+	// A directory with only a kinds file still fails on the view.
+	r := courseEvals(t, 50)
+	view := release(t, r, 0.1, 0.5, 103)
+	a := NewAnalyst(view)
+	if err := a.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the provenance file.
+	if err := writeFile(filepath.Join(dir, "prov.json"), "not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSession(dir); err == nil {
+		t.Fatal("want error for corrupt provenance")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

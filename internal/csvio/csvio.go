@@ -1,0 +1,164 @@
+// Package csvio loads and stores relations as CSV files with a header row.
+// It is the I/O substrate for the CLI and the examples.
+//
+// On load, column kinds are inferred: a column whose every non-empty cell
+// parses as a float becomes numeric, everything else discrete. Callers can
+// force kinds per column. Empty cells become NaN (numeric) or relation.Null
+// (discrete).
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"privateclean/internal/relation"
+)
+
+// Options controls CSV loading.
+type Options struct {
+	// ForceKinds overrides the inferred kind for the named columns.
+	ForceKinds map[string]relation.Kind
+}
+
+// Read loads a relation from CSV data with a header row.
+func Read(r io.Reader, opts Options) (*relation.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvio: missing header row")
+	}
+	header := records[0]
+	rows := records[1:]
+
+	// Infer kinds.
+	kinds := make([]relation.Kind, len(header))
+	for c, name := range header {
+		if k, ok := opts.ForceKinds[name]; ok {
+			kinds[c] = k
+			continue
+		}
+		kinds[c] = relation.Numeric
+		seen := false
+		for _, row := range rows {
+			if c >= len(row) || row[c] == "" {
+				continue
+			}
+			seen = true
+			if _, err := strconv.ParseFloat(row[c], 64); err != nil {
+				kinds[c] = relation.Discrete
+				break
+			}
+		}
+		if !seen {
+			kinds[c] = relation.Discrete
+		}
+	}
+
+	cols := make([]relation.Column, len(header))
+	for c, name := range header {
+		cols[c] = relation.Column{Name: name, Kind: kinds[c]}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+
+	numeric := make(map[string][]float64)
+	discrete := make(map[string][]string)
+	for c, name := range header {
+		switch kinds[c] {
+		case relation.Numeric:
+			vals := make([]float64, len(rows))
+			for i, row := range rows {
+				if c >= len(row) || row[c] == "" {
+					vals[i] = math.NaN()
+					continue
+				}
+				v, err := strconv.ParseFloat(row[c], 64)
+				if err != nil {
+					return nil, fmt.Errorf("csvio: row %d column %q: %w", i+2, name, err)
+				}
+				vals[i] = v
+			}
+			numeric[name] = vals
+		case relation.Discrete:
+			vals := make([]string, len(rows))
+			for i, row := range rows {
+				if c >= len(row) || row[c] == "" {
+					vals[i] = relation.Null
+					continue
+				}
+				vals[i] = row[c]
+			}
+			discrete[name] = vals
+		}
+	}
+	return relation.FromColumns(schema, numeric, discrete)
+}
+
+// ReadFile loads a relation from a CSV file.
+func ReadFile(path string, opts Options) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	defer f.Close()
+	return Read(f, opts)
+}
+
+// Write stores a relation as CSV with a header row. NaN numeric cells are
+// written as the literal "NaN" and Null discrete cells as relation.Null
+// ("NULL") — explicit sentinels rather than empty cells, because a
+// fully-empty row (possible for single-column relations) would be silently
+// skipped by CSV readers and break the round trip.
+func Write(w io.Writer, rel *relation.Relation) error {
+	cw := csv.NewWriter(w)
+	cols := rel.Schema().Columns()
+	header := make([]string, len(cols))
+	for i, c := range cols {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	record := make([]string, len(cols))
+	for i := 0; i < rel.NumRows(); i++ {
+		for c, col := range cols {
+			switch col.Kind {
+			case relation.Numeric:
+				record[c] = strconv.FormatFloat(rel.MustNumeric(col.Name)[i], 'g', -1, 64)
+			case relation.Discrete:
+				record[c] = rel.MustDiscrete(col.Name)[i]
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	return nil
+}
+
+// WriteFile stores a relation as a CSV file.
+func WriteFile(path string, rel *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	if err := Write(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,156 @@
+package csvio
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privateclean/internal/relation"
+)
+
+func TestReadInference(t *testing.T) {
+	csv := "major,score,section\nME,4.5,1\nEE,3,2\nCS,,3\n"
+	r, err := Read(strings.NewReader(csv), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := r.Schema()
+	if c, _ := sc.Lookup("major"); c.Kind != relation.Discrete {
+		t.Fatal("major should be discrete")
+	}
+	if c, _ := sc.Lookup("score"); c.Kind != relation.Numeric {
+		t.Fatal("score should be numeric")
+	}
+	if c, _ := sc.Lookup("section"); c.Kind != relation.Numeric {
+		t.Fatal("section should infer numeric")
+	}
+	scores := r.MustNumeric("score")
+	if scores[0] != 4.5 || !math.IsNaN(scores[2]) {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+func TestReadForceKinds(t *testing.T) {
+	csv := "id,score\n1,4\n2,3\n"
+	r, err := Read(strings.NewReader(csv), Options{ForceKinds: map[string]relation.Kind{"id": relation.Discrete}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := r.Schema().Lookup("id"); c.Kind != relation.Discrete {
+		t.Fatal("forced kind ignored")
+	}
+	if r.MustDiscrete("id")[1] != "2" {
+		t.Fatalf("id column = %v", r.MustDiscrete("id"))
+	}
+}
+
+func TestReadEmptyCellsBecomeNull(t *testing.T) {
+	// (A fully blank line would be skipped by encoding/csv, so the empty
+	// cell sits next to a populated one.)
+	csv := "major,idx\nME,1\n,2\nEE,3\n"
+	r, err := Read(strings.NewReader(csv), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MustDiscrete("major")[1] != relation.Null {
+		t.Fatalf("empty cell = %q", r.MustDiscrete("major")[1])
+	}
+}
+
+func TestReadAllEmptyColumnIsDiscrete(t *testing.T) {
+	csv := "a,b\n1,\n2,\n"
+	r, err := Read(strings.NewReader(csv), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := r.Schema().Lookup("b"); c.Kind != relation.Discrete {
+		t.Fatal("all-empty column should default to discrete")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader(""), Options{}); err == nil {
+		t.Fatal("want error for missing header")
+	}
+	if _, err := Read(strings.NewReader("a,b\n1\n"), Options{}); err == nil {
+		t.Fatal("want error for ragged rows (encoding/csv)")
+	}
+	// Forced numeric with a non-numeric cell.
+	_, err := Read(strings.NewReader("a\nxyz\n"), Options{ForceKinds: map[string]relation.Kind{"a": relation.Numeric}})
+	if err == nil {
+		t.Fatal("want parse error for forced numeric")
+	}
+	// Duplicate header.
+	if _, err := Read(strings.NewReader("a,a\n1,2\n"), Options{}); err == nil {
+		t.Fatal("want duplicate-column error")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "major", Kind: relation.Discrete},
+		relation.Column{Name: "score", Kind: relation.Numeric},
+	)
+	orig, err := relation.FromColumns(schema,
+		map[string][]float64{"score": {4.25, math.NaN(), 3}},
+		map[string][]string{"major": {"ME", relation.Null, "a,b \"quoted\""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, Options{ForceKinds: map[string]relation.Kind{"major": relation.Discrete}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(back) {
+		t.Fatalf("round trip mismatch:\norig %v\nback %v", orig, back)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rel.csv")
+	schema := relation.MustSchema(relation.Column{Name: "d", Kind: relation.Discrete})
+	orig, _ := relation.FromColumns(schema, nil, map[string][]string{"d": {"x", "y"}})
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(back) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.csv"), Options{}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	if err := WriteFile(filepath.Join(dir, "no", "such", "dir.csv"), orig); err == nil {
+		t.Fatal("want error for unwritable path")
+	}
+	_ = os.Remove(path)
+}
+
+func TestZeroRowRelation(t *testing.T) {
+	csv := "a,b\n"
+	r, err := Read(strings.NewReader(csv), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 0 {
+		t.Fatalf("rows = %d", r.NumRows())
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,b") {
+		t.Fatalf("header = %q", buf.String())
+	}
+}

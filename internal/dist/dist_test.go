@@ -1,0 +1,185 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("want error for n=0")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Fatal("want error for negative z")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Fatal("want error for NaN z")
+	}
+	if _, err := NewZipf(10, math.Inf(1)); err == nil {
+		t.Fatal("want error for Inf z")
+	}
+}
+
+func TestZipfAccessors(t *testing.T) {
+	z, err := NewZipf(10, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.N() != 10 || z.Exponent() != 1.5 {
+		t.Fatalf("accessors = %d, %v", z.N(), z.Exponent())
+	}
+}
+
+func TestZipfProbsSumToOne(t *testing.T) {
+	z, err := NewZipf(25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for k := 0; k < 25; k++ {
+		p := z.Prob(k)
+		if p < 0 {
+			t.Fatalf("Prob(%d) = %v < 0", k, p)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", total)
+	}
+	if z.Prob(-1) != 0 || z.Prob(25) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfZeroIsUniform(t *testing.T) {
+	z, err := NewZipf(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if math.Abs(z.Prob(k)-0.25) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want 0.25", k, z.Prob(k))
+		}
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z, err := NewZipf(50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < 50; k++ {
+		if z.Prob(k) > z.Prob(k-1)+1e-15 {
+			t.Fatalf("Prob(%d)=%v > Prob(%d)=%v", k, z.Prob(k), k-1, z.Prob(k-1))
+		}
+	}
+}
+
+func TestZipfSampleFrequencies(t *testing.T) {
+	z, err := NewZipf(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 200000
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		k := z.Sample(rng)
+		if k < 0 || k >= 10 {
+			t.Fatalf("sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	for k := 0; k < 10; k++ {
+		got := float64(counts[k]) / n
+		if math.Abs(got-z.Prob(k)) > 0.01 {
+			t.Fatalf("freq(%d) = %v, want ~%v", k, got, z.Prob(k))
+		}
+	}
+}
+
+func TestUniformChoice(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := []string{"a", "b", "c"}
+	counts := map[string]int{}
+	for i := 0; i < 30000; i++ {
+		counts[UniformChoice(rng, vals)]++
+	}
+	for _, v := range vals {
+		got := float64(counts[v]) / 30000
+		if math.Abs(got-1.0/3) > 0.02 {
+			t.Fatalf("freq(%s) = %v", v, got)
+		}
+	}
+}
+
+func TestNewWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted(nil); err == nil {
+		t.Fatal("want error for empty weights")
+	}
+	if _, err := NewWeighted([]float64{-1, 2}); err == nil {
+		t.Fatal("want error for negative weight")
+	}
+	if _, err := NewWeighted([]float64{0, 0}); err == nil {
+		t.Fatal("want error for zero-sum weights")
+	}
+	if _, err := NewWeighted([]float64{math.NaN()}); err == nil {
+		t.Fatal("want error for NaN weight")
+	}
+}
+
+func TestWeightedSampleFrequencies(t *testing.T) {
+	w, err := NewWeighted([]float64{1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Sample(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index sampled %d times", counts[1])
+	}
+	if math.Abs(float64(counts[0])/n-0.25) > 0.01 {
+		t.Fatalf("freq(0) = %v, want 0.25", float64(counts[0])/n)
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := Permutation(rng, 10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: for any valid (n, z), the CDF is non-decreasing and ends at 1.
+func TestZipfCDFProperty(t *testing.T) {
+	f := func(nRaw uint8, zRaw float64) bool {
+		n := int(nRaw%100) + 1
+		z := math.Mod(math.Abs(zRaw), 4)
+		if math.IsNaN(z) {
+			z = 0
+		}
+		zf, err := NewZipf(n, z)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for k := 0; k < n; k++ {
+			prev += zf.Prob(k)
+		}
+		return math.Abs(prev-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"privateclean/internal/relation"
+	"privateclean/internal/stats"
+)
+
+// This file implements the Section 10 "Aggregates over Select-Project-Join
+// Views" extension for conjunctive predicates over several discrete
+// attributes:
+//
+//	SELECT agg(a) FROM R WHERE cond(d_1) AND cond(d_2) AND ...
+//
+// GRR randomizes each attribute independently, so the response channel of
+// the conjunction is the tensor product of the per-attribute channels, and
+// the bias-correction constants multiply (the paper: "for each column in
+// the view, we essentially can calculate the constants and multiply them
+// together").
+//
+// Implementation: for each attribute i the inverse channel assigns a row
+// the weight
+//
+//	w_i = (1 − τ_n,i)/(1 − p_i)  if the private row satisfies cond_i
+//	w_i = −τ_n,i/(1 − p_i)       otherwise
+//
+// which has expectation 1 when the *true* row satisfies cond_i and 0
+// otherwise. The product of the per-attribute weights therefore has
+// expectation exactly 1 on rows truly satisfying the conjunction, making
+//
+//	ĉ = Σ_rows Π_i w_i       and      ĥ = Σ_rows (Π_i w_i)·a(row)
+//
+// unbiased estimators of the conjunction's count and sum. Confidence
+// intervals use the CLT over the iid per-row weight terms.
+
+// conjChannel resolves the per-attribute inverse-channel weights for one
+// predicate.
+type conjChannel struct {
+	pred   Predicate
+	col    []string
+	wTrue  float64 // weight when the private value satisfies the predicate
+	wFalse float64 // weight otherwise
+}
+
+func (e *Estimator) conjChannels(rel *relation.Relation, preds []Predicate) ([]conjChannel, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("estimator: conjunction needs at least one predicate")
+	}
+	seen := make(map[string]bool, len(preds))
+	chans := make([]conjChannel, len(preds))
+	for i, pred := range preds {
+		if seen[pred.Attr] {
+			return nil, fmt.Errorf("estimator: conjunction has two predicates on %q; combine them into one", pred.Attr)
+		}
+		seen[pred.Attr] = true
+		p, n, l, err := e.channel(pred)
+		if err != nil {
+			return nil, err
+		}
+		if p >= 1 {
+			return nil, fmt.Errorf("estimator: p = %v on %q leaves no signal to invert", p, pred.Attr)
+		}
+		col, err := rel.Discrete(pred.Attr)
+		if err != nil {
+			return nil, err
+		}
+		tauN := p * l / float64(n)
+		chans[i] = conjChannel{
+			pred:   pred,
+			col:    col,
+			wTrue:  (1 - tauN) / (1 - p),
+			wFalse: -tauN / (1 - p),
+		}
+	}
+	return chans, nil
+}
+
+// conjWeights computes the per-row weight product and accumulates the
+// count/sum statistics. vals may be nil for count-only queries.
+func conjStatistics(chans []conjChannel, vals []float64, rows int) (count, sum, countVar, sumVar float64) {
+	var cAcc, hAcc, c2Acc, h2Acc float64
+	for r := 0; r < rows; r++ {
+		w := 1.0
+		for i := range chans {
+			if chans[i].pred.Match(chans[i].col[r]) {
+				w *= chans[i].wTrue
+			} else {
+				w *= chans[i].wFalse
+			}
+		}
+		cAcc += w
+		c2Acc += w * w
+		if vals != nil {
+			x := vals[r]
+			if math.IsNaN(x) {
+				continue
+			}
+			hAcc += w * x
+			h2Acc += w * x * w * x
+		}
+	}
+	s := float64(rows)
+	countVar = c2Acc - cAcc*cAcc/s
+	sumVar = h2Acc - hAcc*hAcc/s
+	if countVar < 0 {
+		countVar = 0
+	}
+	if sumVar < 0 {
+		sumVar = 0
+	}
+	return cAcc, hAcc, countVar, sumVar
+}
+
+// CountConj estimates count(1) under the conjunction of the given
+// single-attribute predicates (each on a distinct discrete attribute).
+// With one predicate it coincides with Count up to the confidence-interval
+// formula.
+func (e *Estimator) CountConj(rel *relation.Relation, preds ...Predicate) (Estimate, error) {
+	chans, err := e.conjChannels(rel, preds)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if rel.NumRows() == 0 {
+		return Estimate{}, fmt.Errorf("estimator: empty relation")
+	}
+	count, _, countVar, _ := conjStatistics(chans, nil, rel.NumRows())
+	z, err := stats.ZScore(e.confidence())
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Value: count, CI: z * math.Sqrt(countVar)}, nil
+}
+
+// SumConj estimates sum(agg) under the conjunction of the given
+// predicates.
+func (e *Estimator) SumConj(rel *relation.Relation, agg string, preds ...Predicate) (Estimate, error) {
+	chans, err := e.conjChannels(rel, preds)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if rel.NumRows() == 0 {
+		return Estimate{}, fmt.Errorf("estimator: empty relation")
+	}
+	vals, err := rel.Numeric(agg)
+	if err != nil {
+		return Estimate{}, err
+	}
+	_, sum, _, sumVar := conjStatistics(chans, vals, rel.NumRows())
+	z, err := stats.ZScore(e.confidence())
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Value: sum, CI: z * math.Sqrt(sumVar)}, nil
+}
+
+// AvgConj estimates avg(agg) under the conjunction as the ratio of SumConj
+// and CountConj with a delta-method interval.
+func (e *Estimator) AvgConj(rel *relation.Relation, agg string, preds ...Predicate) (Estimate, error) {
+	h, err := e.SumConj(rel, agg, preds...)
+	if err != nil {
+		return Estimate{}, err
+	}
+	c, err := e.CountConj(rel, preds...)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if c.Value == 0 {
+		return Estimate{}, fmt.Errorf("estimator: estimated conjunction count is zero")
+	}
+	v := h.Value / c.Value
+	var rel2 float64
+	if h.Value != 0 {
+		rel2 += (h.CI / h.Value) * (h.CI / h.Value)
+	}
+	rel2 += (c.CI / c.Value) * (c.CI / c.Value)
+	return Estimate{Value: v, CI: math.Abs(v) * math.Sqrt(rel2)}, nil
+}
+
+// DirectCountConj is the nominal conjunction count.
+func DirectCountConj(rel *relation.Relation, preds ...Predicate) (float64, error) {
+	match, err := conjMatcher(rel, preds)
+	if err != nil {
+		return 0, err
+	}
+	c := 0.0
+	for r := 0; r < rel.NumRows(); r++ {
+		if match(r) {
+			c++
+		}
+	}
+	return c, nil
+}
+
+// DirectSumConj is the nominal conjunction sum.
+func DirectSumConj(rel *relation.Relation, agg string, preds ...Predicate) (float64, error) {
+	match, err := conjMatcher(rel, preds)
+	if err != nil {
+		return 0, err
+	}
+	vals, err := rel.Numeric(agg)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for r := 0; r < rel.NumRows(); r++ {
+		if match(r) && !math.IsNaN(vals[r]) {
+			s += vals[r]
+		}
+	}
+	return s, nil
+}
+
+// DirectAvgConj is the nominal conjunction average.
+func DirectAvgConj(rel *relation.Relation, agg string, preds ...Predicate) (float64, error) {
+	c, err := DirectCountConj(rel, preds...)
+	if err != nil {
+		return 0, err
+	}
+	if c == 0 {
+		return 0, fmt.Errorf("estimator: no rows satisfy the conjunction")
+	}
+	s, err := DirectSumConj(rel, agg, preds...)
+	if err != nil {
+		return 0, err
+	}
+	return s / c, nil
+}
+
+func conjMatcher(rel *relation.Relation, preds []Predicate) (func(int) bool, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("estimator: conjunction needs at least one predicate")
+	}
+	cols := make([][]string, len(preds))
+	for i, pred := range preds {
+		col, err := rel.Discrete(pred.Attr)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+	}
+	return func(r int) bool {
+		for i := range preds {
+			if !preds[i].Match(cols[i][r]) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}

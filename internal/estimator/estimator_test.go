@@ -1,0 +1,582 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privateclean/internal/cleaning"
+	"privateclean/internal/privacy"
+	"privateclean/internal/provenance"
+	"privateclean/internal/relation"
+)
+
+var testSchema = relation.MustSchema(
+	relation.Column{Name: "category", Kind: relation.Discrete},
+	relation.Column{Name: "value", Kind: relation.Numeric},
+)
+
+// skewedRel builds a deterministic skewed relation: value counts 500, 300,
+// 150, 40, 10 over five categories; numeric value correlated with category.
+func skewedRel(t *testing.T) *relation.Relation {
+	t.Helper()
+	counts := map[string]int{"a": 500, "b": 300, "c": 150, "d": 40, "e": 10}
+	base := map[string]float64{"a": 10, "b": 20, "c": 30, "d": 40, "e": 50}
+	var cats []string
+	var vals []float64
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		for i := 0; i < counts[k]; i++ {
+			cats = append(cats, k)
+			vals = append(vals, base[k])
+		}
+	}
+	r, err := relation.FromColumns(testSchema,
+		map[string][]float64{"value": vals},
+		map[string][]string{"category": cats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	p := Eq("d", "x")
+	if !p.Match("x") || p.Match("y") {
+		t.Fatal("Eq broken")
+	}
+	p = NotEq("d", "x")
+	if p.Match("x") || !p.Match("y") {
+		t.Fatal("NotEq broken")
+	}
+	p = In("d", "a", "b")
+	if !p.Match("a") || !p.Match("b") || p.Match("c") {
+		t.Fatal("In broken")
+	}
+	p = Fn("d", "isShort", func(v string) bool { return len(v) < 2 })
+	if !p.Match("x") || p.Match("xx") {
+		t.Fatal("Fn broken")
+	}
+	n := Not(p)
+	if n.Match("x") || !n.Match("xx") {
+		t.Fatal("Not broken")
+	}
+	for _, pr := range []Predicate{Eq("d", "x"), NotEq("d", "x"), In("d", "a"), Fn("d", "f", func(string) bool { return true }), Not(Eq("d", "x"))} {
+		if pr.String() == "" {
+			t.Fatal("empty predicate description")
+		}
+	}
+	if (Predicate{Attr: "d", Match: func(string) bool { return true }}).String() == "" {
+		t.Fatal("fallback description empty")
+	}
+}
+
+func TestDirectEstimators(t *testing.T) {
+	r := skewedRel(t)
+	c, err := DirectCount(r, Eq("category", "b"))
+	if err != nil || c != 300 {
+		t.Fatalf("DirectCount = %v, %v", c, err)
+	}
+	s, err := DirectSum(r, "value", Eq("category", "b"))
+	if err != nil || s != 6000 {
+		t.Fatalf("DirectSum = %v, %v", s, err)
+	}
+	a, err := DirectAvg(r, "value", Eq("category", "b"))
+	if err != nil || a != 20 {
+		t.Fatalf("DirectAvg = %v, %v", a, err)
+	}
+	if _, err := DirectAvg(r, "value", Eq("category", "zzz")); err == nil {
+		t.Fatal("want error for empty predicate")
+	}
+	if _, err := DirectCount(r, Eq("nope", "b")); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+	if _, err := DirectSum(r, "nope", Eq("category", "b")); err == nil {
+		t.Fatal("want error for unknown aggregate")
+	}
+}
+
+func TestDirectSumSkipsNaN(t *testing.T) {
+	r, err := relation.FromColumns(testSchema,
+		map[string][]float64{"value": {1, math.NaN(), 3}},
+		map[string][]string{"category": {"a", "a", "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DirectSum(r, "value", Eq("category", "a"))
+	if err != nil || s != 4 {
+		t.Fatalf("sum = %v, %v", s, err)
+	}
+}
+
+func privatized(t *testing.T, r *relation.Relation, seed int64, p, b float64) (*relation.Relation, *privacy.ViewMeta) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	v, meta, err := privacy.Privatize(rng, r, privacy.Uniform(r.Schema(), p, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, meta
+}
+
+func TestEstimateAccessors(t *testing.T) {
+	e := Estimate{Value: 10, CI: 2}
+	if e.Lo() != 8 || e.Hi() != 12 {
+		t.Fatalf("interval = [%v, %v]", e.Lo(), e.Hi())
+	}
+	if e.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// Monte Carlo: the corrected count estimator is unbiased — its mean over
+// many private instances approaches the true count, while the Direct
+// estimator stays biased.
+func TestCountUnbiased(t *testing.T) {
+	r := skewedRel(t)
+	pred := Eq("category", "e") // rare value: heavy skew bias for Direct
+	truth := 10.0
+	const trials = 400
+	var pcSum, directSum float64
+	for i := 0; i < trials; i++ {
+		v, meta := privatized(t, r, int64(i+1), 0.3, 0)
+		est := &Estimator{Meta: meta}
+		got, err := est.Count(v, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcSum += got.Value
+		d, err := DirectCount(v, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		directSum += d
+	}
+	pcMean := pcSum / trials
+	directMean := directSum / trials
+	// E[direct] = truth*(1-p) + S*p*l/N = 10*0.7 + 1000*0.3/5 = 67.
+	if math.Abs(directMean-67) > 5 {
+		t.Fatalf("direct mean = %v, want ~67 (biased)", directMean)
+	}
+	if math.Abs(pcMean-truth) > 5 {
+		t.Fatalf("corrected mean = %v, want ~%v", pcMean, truth)
+	}
+}
+
+// Monte Carlo: the corrected sum estimator is unbiased even when the
+// aggregate correlates with the predicate attribute.
+func TestSumUnbiased(t *testing.T) {
+	r := skewedRel(t)
+	pred := In("category", "d", "e")
+	truth := 40*40.0 + 10*50.0 // 2100
+	const trials = 400
+	var pcSum, directSum float64
+	for i := 0; i < trials; i++ {
+		v, meta := privatized(t, r, int64(1000+i), 0.3, 5)
+		est := &Estimator{Meta: meta}
+		got, err := est.Sum(v, "value", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcSum += got.Value
+		d, err := DirectSum(v, "value", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		directSum += d
+	}
+	pcMean := pcSum / trials
+	directMean := directSum / trials
+	if math.Abs(pcMean-truth)/truth > 0.06 {
+		t.Fatalf("corrected sum mean = %v, want ~%v", pcMean, truth)
+	}
+	// Direct is substantially biased upward (false positives from common
+	// low values paid in, rare high values paid out: net up here).
+	if math.Abs(directMean-truth)/truth < 0.2 {
+		t.Fatalf("direct sum mean = %v suspiciously close to truth %v", directMean, truth)
+	}
+}
+
+// The false-positive-blind ablation over-counts by the leaked mass, while
+// the full Eq. 5 estimator does not.
+func TestSumIgnoringFalsePositivesIsBiased(t *testing.T) {
+	r := skewedRel(t)
+	pred := Eq("category", "e") // rare, low-value... actually high value 50, few rows
+	truth := 10 * 50.0
+	const trials = 300
+	var fullAcc, naiveAcc float64
+	for i := 0; i < trials; i++ {
+		v, meta := privatized(t, r, int64(60000+i), 0.3, 0)
+		est := &Estimator{Meta: meta}
+		full, err := est.Sum(v, "value", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullAcc += full.Value
+		naive, err := est.SumIgnoringFalsePositives(v, "value", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if naive.CI <= 0 {
+			t.Fatal("naive CI should be positive")
+		}
+		naiveAcc += naive.Value
+	}
+	fullMean := fullAcc / trials
+	naiveMean := naiveAcc / trials
+	if math.Abs(fullMean-truth)/truth > 0.1 {
+		t.Fatalf("full sum mean = %v, want ~%v", fullMean, truth)
+	}
+	// The naive estimator keeps the false-positive mass p·S·(l/N)·mu_false,
+	// roughly 0.3*1000*0.2*16.7/tau_p — far above the truth of 500.
+	if naiveMean < truth*1.5 {
+		t.Fatalf("naive sum mean = %v should be biased far above %v", naiveMean, truth)
+	}
+	// Error paths.
+	v, meta := privatized(t, r, 1, 0.3, 0)
+	est := &Estimator{Meta: meta}
+	if _, err := est.SumIgnoringFalsePositives(v, "nope", pred); err == nil {
+		t.Fatal("want error for unknown aggregate")
+	}
+	if _, err := est.SumIgnoringFalsePositives(v, "value", Eq("nope", "x")); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+	empty := relation.New(testSchema)
+	if _, err := est.SumIgnoringFalsePositives(empty, "value", pred); err == nil {
+		t.Fatal("want error for empty relation")
+	}
+}
+
+// Monte Carlo: avg = sum/count is conditionally unbiased (small bias).
+func TestAvgNearlyUnbiased(t *testing.T) {
+	r := skewedRel(t)
+	pred := Eq("category", "c")
+	truth := 30.0
+	const trials = 300
+	var acc float64
+	for i := 0; i < trials; i++ {
+		v, meta := privatized(t, r, int64(5000+i), 0.2, 2)
+		est := &Estimator{Meta: meta}
+		got, err := est.Avg(v, "value", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc += got.Value
+	}
+	mean := acc / trials
+	if math.Abs(mean-truth)/truth > 0.05 {
+		t.Fatalf("avg mean = %v, want ~%v", mean, truth)
+	}
+}
+
+// CI coverage: the nominal 95% interval covers the truth at roughly the
+// nominal rate.
+func TestCountCICoverage(t *testing.T) {
+	r := skewedRel(t)
+	pred := In("category", "c", "d")
+	truth := 190.0
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		v, meta := privatized(t, r, int64(9000+i), 0.25, 0)
+		est := &Estimator{Meta: meta, Confidence: 0.95}
+		got, err := est.Count(v, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lo() <= truth && truth <= got.Hi() {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.9 {
+		t.Fatalf("coverage = %v, want >= 0.90 at nominal 0.95", rate)
+	}
+}
+
+func TestSumCICoverage(t *testing.T) {
+	r := skewedRel(t)
+	pred := In("category", "b", "c")
+	truth := 300*20.0 + 150*30.0
+	const trials = 300
+	covered := 0
+	for i := 0; i < trials; i++ {
+		v, meta := privatized(t, r, int64(40000+i), 0.25, 5)
+		est := &Estimator{Meta: meta, Confidence: 0.95}
+		got, err := est.Sum(v, "value", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lo() <= truth && truth <= got.Hi() {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.9 {
+		t.Fatalf("sum coverage = %v", rate)
+	}
+}
+
+func TestEstimatorErrorPaths(t *testing.T) {
+	r := skewedRel(t)
+	v, meta := privatized(t, r, 1, 0.2, 1)
+	est := &Estimator{Meta: meta}
+	if _, err := est.Count(v, Eq("nope", "x")); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+	if _, err := (&Estimator{}).Count(v, Eq("category", "a")); err == nil {
+		t.Fatal("want error for nil metadata")
+	}
+	badMeta := &privacy.ViewMeta{Discrete: map[string]privacy.DiscreteMeta{
+		"category": {Name: "category", P: 1, Domain: []string{"a"}},
+	}}
+	if _, err := (&Estimator{Meta: badMeta}).Count(v, Eq("category", "a")); err == nil {
+		t.Fatal("want error for p=1 (no signal)")
+	}
+	if _, err := (&Estimator{Meta: badMeta}).Sum(v, "value", Eq("category", "a")); err == nil {
+		t.Fatal("want error for p=1 in sum")
+	}
+	emptyMeta := &privacy.ViewMeta{Discrete: map[string]privacy.DiscreteMeta{
+		"category": {Name: "category", P: 0.1},
+	}}
+	if _, err := (&Estimator{Meta: emptyMeta}).Count(v, Eq("category", "a")); err == nil {
+		t.Fatal("want error for empty domain")
+	}
+	empty := relation.New(testSchema)
+	if _, err := est.Count(empty, Eq("category", "a")); err == nil {
+		t.Fatal("want error for empty relation")
+	}
+	if _, err := est.Sum(empty, "value", Eq("category", "a")); err == nil {
+		t.Fatal("want error for empty relation sum")
+	}
+	if _, err := est.Sum(v, "nope", Eq("category", "a")); err == nil {
+		t.Fatal("want error for unknown aggregate")
+	}
+}
+
+func TestAvgZeroCount(t *testing.T) {
+	// A predicate on a value outside the domain estimates count ~0; the
+	// ratio estimator must reject division by zero when it is exactly 0.
+	r := skewedRel(t)
+	meta := &privacy.ViewMeta{Discrete: map[string]privacy.DiscreteMeta{
+		"category": {Name: "category", P: 0.5, Domain: []string{"a", "b", "c", "d", "e"}},
+	}}
+	est := &Estimator{Meta: meta}
+	// Build a tiny relation where the corrected count is exactly zero.
+	tiny, err := relation.FromColumns(testSchema,
+		map[string][]float64{"value": {}},
+		map[string][]string{"category": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tiny
+	if _, err := est.Avg(r, "value", Eq("category", "zzz")); err == nil {
+		// The corrected estimate for an out-of-domain value can still be
+		// nonzero due to noise, so only assert no panic happened.
+		t.Log("avg on out-of-domain value produced an estimate (acceptable)")
+	}
+}
+
+// Cleaning + provenance: merging values and then estimating recovers the
+// pre-cleaning selectivity (Section 6 end to end).
+func TestCountAfterMergeUsesProvenance(t *testing.T) {
+	r := skewedRel(t)
+	merge := cleaning.DictionaryMerge{Attr: "category", Mapping: map[string]string{
+		"d": "e", // merge d into e; predicate on e now has 2 parents
+	}}
+	rClean := r.Clone()
+	if err := cleaning.Apply(&cleaning.Context{Rel: rClean}, merge); err != nil {
+		t.Fatal(err)
+	}
+	truth, err := DirectCount(rClean, Eq("category", "e"))
+	if err != nil || truth != 50 {
+		t.Fatalf("truth = %v, %v", truth, err)
+	}
+
+	const trials = 400
+	var pcAcc, npAcc float64
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(int64(7000 + i)))
+		v, meta, err := privacy.Privatize(rng, r, privacy.Uniform(r.Schema(), 0.3, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prov := provenance.NewStore()
+		if err := cleaning.Apply(&cleaning.Context{Rel: v, Prov: prov, Meta: meta}, merge); err != nil {
+			t.Fatal(err)
+		}
+		withProv := &Estimator{Meta: meta, Prov: prov}
+		got, err := withProv.Count(v, Eq("category", "e"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcAcc += got.Value
+		noProv := &Estimator{Meta: meta}
+		np, err := noProv.Count(v, Eq("category", "e"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		npAcc += np.Value
+	}
+	pcMean := pcAcc / trials
+	npMean := npAcc / trials
+	if math.Abs(pcMean-truth) > 8 {
+		t.Fatalf("provenance-corrected mean = %v, want ~%v", pcMean, truth)
+	}
+	// Without provenance, l=1 is assumed instead of 2: the correction
+	// under-subtracts and the estimate is biased up by S*p/N/(1-p) ~= 86.
+	if npMean-truth < 40 {
+		t.Fatalf("no-provenance mean = %v should be biased above %v", npMean, truth)
+	}
+}
+
+func TestUnweightedCutDiffersOnForkedGraph(t *testing.T) {
+	r := skewedRel(t)
+	meta := &privacy.ViewMeta{Discrete: map[string]privacy.DiscreteMeta{
+		"category": {Name: "category", P: 0.2, Domain: []string{"a", "b", "c", "d", "e"}},
+	}}
+	prov := provenance.NewStore()
+	g := prov.Ensure("category", []string{"a", "b", "c", "d", "e"})
+	// Fork: "e" splits between clean values a and b.
+	if err := g.ApplyRowLevel(
+		[]string{"a", "b", "e", "e"},
+		[]string{"a", "b", "a", "b"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	weighted := &Estimator{Meta: meta, Prov: prov}
+	unweighted := &Estimator{Meta: meta, Prov: prov, UnweightedCut: true}
+	wc, err := weighted.Count(r, Eq("category", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, err := unweighted.Count(r, Eq("category", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Value == uc.Value {
+		t.Fatal("weighted and unweighted cuts should differ on a forked graph")
+	}
+}
+
+func TestExtractedAttributeUsesBaseParams(t *testing.T) {
+	r := skewedRel(t)
+	rng := rand.New(rand.NewSource(77))
+	v, meta, err := privacy.Privatize(rng, r, privacy.Uniform(r.Schema(), 0.2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := provenance.NewStore()
+	ex := cleaning.Extract{SrcAttr: "category", NewAttr: "group", F: func(val string) string {
+		if val == "a" || val == "b" {
+			return "common"
+		}
+		return "rare"
+	}}
+	if err := cleaning.Apply(&cleaning.Context{Rel: v, Prov: prov, Meta: meta}, ex); err != nil {
+		t.Fatal(err)
+	}
+	est := &Estimator{Meta: meta, Prov: prov}
+	got, err := est.Count(v, Eq("group", "rare"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// truth: c+d+e = 200 rows; sanity: the estimate is in a plausible range.
+	if got.Value < 100 || got.Value > 320 {
+		t.Fatalf("extracted-attribute estimate = %v, want near 200", got.Value)
+	}
+}
+
+func TestTotalAggregates(t *testing.T) {
+	r := skewedRel(t)
+	v, meta := privatized(t, r, 21, 0.2, 5)
+	est := &Estimator{Meta: meta}
+	if got := est.TotalCount(v); got.Value != 1000 || got.CI != 0 {
+		t.Fatalf("TotalCount = %+v", got)
+	}
+	truthSum := 500*10.0 + 300*20 + 150*30 + 40*40 + 10*50
+	ts, err := est.TotalSum(v, "value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ts.Value-truthSum)/truthSum > 0.05 {
+		t.Fatalf("TotalSum = %v, want ~%v", ts.Value, truthSum)
+	}
+	if ts.CI <= 0 {
+		t.Fatal("TotalSum CI should be positive")
+	}
+	ta, err := est.TotalAvg(v, "value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ta.Value-truthSum/1000) > 2 {
+		t.Fatalf("TotalAvg = %v", ta.Value)
+	}
+	if _, err := est.TotalSum(v, "nope"); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+	if _, err := est.TotalAvg(v, "nope"); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+}
+
+func TestGroupCounts(t *testing.T) {
+	r := skewedRel(t)
+	v, meta := privatized(t, r, 23, 0.2, 0)
+	est := &Estimator{Meta: meta}
+	groups, err := est.GroupCounts(v, "category")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	total := 0.0
+	for _, e := range groups {
+		total += e.Value
+	}
+	// Corrected group counts should roughly partition the relation.
+	if math.Abs(total-1000) > 100 {
+		t.Fatalf("group counts total = %v, want ~1000", total)
+	}
+	direct, err := DirectGroupCounts(v, "category")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTotal := 0.0
+	for _, c := range direct {
+		dTotal += c
+	}
+	if dTotal != 1000 {
+		t.Fatalf("direct group counts total = %v", dTotal)
+	}
+	if _, err := est.GroupCounts(v, "nope"); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+	if _, err := DirectGroupCounts(v, "nope"); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+}
+
+func TestDefaultConfidence(t *testing.T) {
+	r := skewedRel(t)
+	v, meta := privatized(t, r, 31, 0.2, 0)
+	def := &Estimator{Meta: meta}
+	narrow := &Estimator{Meta: meta, Confidence: 0.5}
+	wide := &Estimator{Meta: meta, Confidence: 0.999}
+	pred := Eq("category", "b")
+	d, err := def.Count(v, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := narrow.Count(v, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wide.Count(v, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(n.CI < d.CI && d.CI < w.CI) {
+		t.Fatalf("CI ordering wrong: %v, %v, %v", n.CI, d.CI, w.CI)
+	}
+}

@@ -1,0 +1,209 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privateclean/internal/privacy"
+	"privateclean/internal/relation"
+)
+
+// TestCountEstimatorExactExpectation verifies Eq. 3 algebraically: over the
+// *complete* enumeration of randomized-response outcomes of a tiny
+// relation, the expected value of the corrected count equals the true count
+// exactly — no Monte Carlo tolerance involved.
+func TestCountEstimatorExactExpectation(t *testing.T) {
+	check := func(pRaw float64, pattern uint8) bool {
+		p := math.Mod(math.Abs(pRaw), 0.9) + 0.05
+		// A 4-row relation over the domain {a, b}; the pattern bits pick
+		// each row's true value.
+		domain := []string{"a", "b"}
+		rows := 4
+		orig := make([]string, rows)
+		truth := 0.0
+		for i := 0; i < rows; i++ {
+			orig[i] = domain[(pattern>>i)&1]
+			if orig[i] == "a" {
+				truth++
+			}
+		}
+		if truth == 0 {
+			return true // predicate value absent: domain would be {b} only
+		}
+
+		meta := &privacy.ViewMeta{Discrete: map[string]privacy.DiscreteMeta{
+			"d": {Name: "d", P: p, Domain: domain},
+		}}
+		est := &Estimator{Meta: meta}
+		pred := Eq("d", "a")
+		schema := relation.MustSchema(relation.Column{Name: "d", Kind: relation.Discrete})
+
+		// Per-row channel: P(out == orig) = 1-p+p/2, P(out == other) = p/2.
+		keep := 1 - p + p/2
+		flip := p / 2
+
+		expected := 0.0
+		// Enumerate all 2^rows private outcomes (each row is a or b).
+		for mask := 0; mask < 1<<rows; mask++ {
+			prob := 1.0
+			out := make([]string, rows)
+			for i := 0; i < rows; i++ {
+				out[i] = domain[(mask>>i)&1]
+				if out[i] == orig[i] {
+					prob *= keep
+				} else {
+					prob *= flip
+				}
+			}
+			rel, err := relation.FromColumns(schema, nil, map[string][]string{"d": out})
+			if err != nil {
+				return false
+			}
+			got, err := est.Count(rel, pred)
+			if err != nil {
+				return false
+			}
+			expected += prob * got.Value
+		}
+		return math.Abs(expected-truth) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSumEstimatorExactExpectation does the same for Eq. 5 with a numeric
+// column correlated with the predicate (the hard case the complement
+// identity handles), at b = 0 so the enumeration stays exact.
+func TestSumEstimatorExactExpectation(t *testing.T) {
+	p := 0.3
+	domain := []string{"a", "b"}
+	orig := []string{"a", "a", "b", "b"}
+	vals := []float64{10, 20, 1, 2}
+	truth := 30.0 // sum over the two "a" rows
+
+	schema := relation.MustSchema(
+		relation.Column{Name: "d", Kind: relation.Discrete},
+		relation.Column{Name: "x", Kind: relation.Numeric},
+	)
+	meta := &privacy.ViewMeta{
+		Discrete: map[string]privacy.DiscreteMeta{"d": {Name: "d", P: p, Domain: domain}},
+		Numeric:  map[string]privacy.NumericMeta{"x": {Name: "x", B: 0}},
+	}
+	est := &Estimator{Meta: meta}
+	pred := Eq("d", "a")
+
+	keep := 1 - p + p/2
+	flip := p / 2
+	rows := len(orig)
+	expected := 0.0
+	for mask := 0; mask < 1<<rows; mask++ {
+		prob := 1.0
+		out := make([]string, rows)
+		for i := 0; i < rows; i++ {
+			out[i] = domain[(mask>>i)&1]
+			if out[i] == orig[i] {
+				prob *= keep
+			} else {
+				prob *= flip
+			}
+		}
+		rel, err := relation.FromColumns(schema,
+			map[string][]float64{"x": vals},
+			map[string][]string{"d": out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := est.Sum(rel, "x", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected += prob * got.Value
+	}
+	if math.Abs(expected-truth) > 1e-9 {
+		t.Fatalf("E[sum estimator] = %v, want exactly %v", expected, truth)
+	}
+}
+
+// TestAppendixCFormEquivalence checks that the implemented Eq. 5 form
+// ((1-τn)·h_p − τn·h_p^c)/(1−p) equals the paper's Appendix C form
+// ((N−lp)·h_p − lp·h_p^c)/((1−p)·N) for arbitrary inputs.
+func TestAppendixCFormEquivalence(t *testing.T) {
+	f := func(hpRaw, hpcRaw, pRaw float64, lRaw, nRaw uint8) bool {
+		hp := math.Mod(hpRaw, 1e6)
+		hpc := math.Mod(hpcRaw, 1e6)
+		if math.IsNaN(hp) || math.IsNaN(hpc) {
+			return true
+		}
+		p := math.Mod(math.Abs(pRaw), 0.95)
+		n := float64(int(nRaw%50) + 2)
+		l := float64(int(lRaw) % int(n))
+		tauN := p * l / n
+
+		implemented := ((1-tauN)*hp - tauN*hpc) / (1 - p)
+		appendixC := ((n-l*p)*hp - l*p*hpc) / ((1 - p) * n)
+		if implemented == 0 && appendixC == 0 {
+			return true
+		}
+		return math.Abs(implemented-appendixC) <= 1e-9*math.Max(math.Abs(implemented), 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConjunctionExactExpectation enumerates both attributes' outcome
+// spaces and checks the tensor-product inversion is exactly unbiased.
+func TestConjunctionExactExpectation(t *testing.T) {
+	p1, p2 := 0.3, 0.2
+	dom := []string{"a", "b"}
+	orig1 := []string{"a", "a", "b"}
+	orig2 := []string{"a", "b", "a"}
+	truth := 1.0 // only row 0 satisfies d1 = a AND d2 = a
+
+	schema := relation.MustSchema(
+		relation.Column{Name: "d1", Kind: relation.Discrete},
+		relation.Column{Name: "d2", Kind: relation.Discrete},
+	)
+	meta := &privacy.ViewMeta{Discrete: map[string]privacy.DiscreteMeta{
+		"d1": {Name: "d1", P: p1, Domain: dom},
+		"d2": {Name: "d2", P: p2, Domain: dom},
+	}}
+	est := &Estimator{Meta: meta}
+
+	channel := func(p float64, same bool) float64 {
+		if same {
+			return 1 - p + p/2
+		}
+		return p / 2
+	}
+	rows := len(orig1)
+	expected := 0.0
+	for m1 := 0; m1 < 1<<rows; m1++ {
+		for m2 := 0; m2 < 1<<rows; m2++ {
+			prob := 1.0
+			out1 := make([]string, rows)
+			out2 := make([]string, rows)
+			for i := 0; i < rows; i++ {
+				out1[i] = dom[(m1>>i)&1]
+				out2[i] = dom[(m2>>i)&1]
+				prob *= channel(p1, out1[i] == orig1[i])
+				prob *= channel(p2, out2[i] == orig2[i])
+			}
+			rel, err := relation.FromColumns(schema, nil,
+				map[string][]string{"d1": out1, "d2": out2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := est.CountConj(rel, Eq("d1", "a"), Eq("d2", "a"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			expected += prob * got.Value
+		}
+	}
+	if math.Abs(expected-truth) > 1e-9 {
+		t.Fatalf("E[conjunction estimator] = %v, want exactly %v", expected, truth)
+	}
+}

@@ -1,0 +1,79 @@
+package estimator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Predicate is a deterministic condition over a single discrete attribute —
+// the cond(d) of the paper's query class (Section 3.2.2). Every predicate is
+// equivalent to selecting a subset of the attribute's distinct values.
+type Predicate struct {
+	// Attr is the discrete attribute the predicate conditions on.
+	Attr string
+	// Match reports whether a distinct value satisfies the predicate.
+	Match func(string) bool
+	// desc is a human-readable rendering for errors and logs.
+	desc string
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	if p.desc != "" {
+		return p.desc
+	}
+	return p.Attr + " matches <func>"
+}
+
+// Eq builds the predicate attr = value.
+func Eq(attr, value string) Predicate {
+	return Predicate{
+		Attr:  attr,
+		Match: func(v string) bool { return v == value },
+		desc:  fmt.Sprintf("%s = %q", attr, value),
+	}
+}
+
+// NotEq builds the predicate attr != value.
+func NotEq(attr, value string) Predicate {
+	return Predicate{
+		Attr:  attr,
+		Match: func(v string) bool { return v != value },
+		desc:  fmt.Sprintf("%s != %q", attr, value),
+	}
+}
+
+// In builds the predicate attr IN (values...).
+func In(attr string, values ...string) Predicate {
+	set := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		set[v] = struct{}{}
+	}
+	sorted := append([]string(nil), values...)
+	sort.Strings(sorted)
+	return Predicate{
+		Attr: attr,
+		Match: func(v string) bool {
+			_, ok := set[v]
+			return ok
+		},
+		desc: fmt.Sprintf("%s IN (%s)", attr, strings.Join(sorted, ", ")),
+	}
+}
+
+// Fn builds a predicate from an arbitrary deterministic value function, e.g.
+// the paper's isEurope(country) (Section 8.5).
+func Fn(attr, name string, f func(string) bool) Predicate {
+	return Predicate{Attr: attr, Match: f, desc: fmt.Sprintf("%s(%s)", name, attr)}
+}
+
+// Not negates a predicate (used internally for the sum estimator's
+// complement-query trick, Section 5.5).
+func Not(p Predicate) Predicate {
+	return Predicate{
+		Attr:  p.Attr,
+		Match: func(v string) bool { return !p.Match(v) },
+		desc:  "NOT (" + p.String() + ")",
+	}
+}

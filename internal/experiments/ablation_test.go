@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+func TestAblationSumComplement(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Trials = 10
+	tb, err := AblationSumComplement(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "abl-sum" || len(tb.Points) == 0 {
+		t.Fatalf("table = %+v", tb)
+	}
+	// The full estimator beats the false-positive-blind variant at every
+	// correlation level.
+	for _, p := range tb.Points {
+		full := p.Values[SeriesSumComplement]
+		naive := p.Values[SeriesSumNaive]
+		if full >= naive {
+			t.Fatalf("at corr=%v: full %v should beat naive %v", p.X, full, naive)
+		}
+	}
+}
+
+func TestAblationProvenanceCost(t *testing.T) {
+	cfg := fastConfig()
+	tb, err := AblationProvenanceCost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "abl-prov" || len(tb.Points) == 0 {
+		t.Fatalf("table = %+v", tb)
+	}
+	for _, p := range tb.Points {
+		ff := p.Values["fork-free edges/value"]
+		w := p.Values["weighted edges/value"]
+		// Proposition 3: a fork-free graph stores at most one edge per
+		// dirty value.
+		if ff > 1.0001 {
+			t.Fatalf("fork-free density %v > 1 at rate %v", ff, p.X)
+		}
+		// The weighted graph fans out beyond one edge per value.
+		if w <= 1 {
+			t.Fatalf("weighted density %v should exceed 1 at rate %v", w, p.X)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoverageValidation(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Trials = 25
+	tb, err := CoverageValidation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "coverage" || len(tb.Points) == 0 {
+		t.Fatalf("table = %+v", tb)
+	}
+	for _, p := range tb.Points {
+		// With conservative intervals, coverage should comfortably exceed
+		// 85% even at 25 trials.
+		for _, s := range []string{SeriesCountCoverage, SeriesSumCoverage} {
+			if p.Values[s] < 85 {
+				t.Fatalf("%s = %v at p=%v", s, p.Values[s], p.X)
+			}
+		}
+	}
+}
+
+func TestTableFormatCSVAndJSON(t *testing.T) {
+	tb := &Table{
+		ID: "x", Title: "T", XLabel: "x",
+		Series: []string{"a", "b"},
+		Points: []Point{
+			{X: 0.5, Values: map[string]float64{"a": 1.5}},
+			{Label: "row", Values: map[string]float64{"a": 2, "b": 3}},
+		},
+	}
+	csvOut := tb.FormatCSV()
+	if csvOut != "x,a,b\n0.5,1.5,\nrow,2,3\n" {
+		t.Fatalf("csv = %q", csvOut)
+	}
+	data, err := tb.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"x"`, `"label":"row"`, `"values"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("json %s missing %q", data, want)
+		}
+	}
+}
+
+func TestPerfProfile(t *testing.T) {
+	cfg := fastConfig()
+	tb, err := PerfProfile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "perf" || len(tb.Points) != 3 {
+		t.Fatalf("table = %+v", tb)
+	}
+	for _, p := range tb.Points {
+		for _, s := range tb.Series {
+			if p.Values[s] < 0 {
+				t.Fatalf("negative latency %v for %s", p.Values[s], s)
+			}
+		}
+	}
+}
+
+func TestTableChart(t *testing.T) {
+	tb := &Table{
+		ID: "c", Title: "C", XLabel: "x",
+		Series: []string{"a"},
+		Points: []Point{
+			{X: 1, Values: map[string]float64{"a": 10}},
+			{X: 2, Values: map[string]float64{"a": 5}},
+		},
+	}
+	out := tb.Chart()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "-- a (max 10) --") {
+		t.Fatalf("chart = %q", out)
+	}
+	empty := &Table{ID: "e", Title: "E", XLabel: "x", Series: []string{"a"}}
+	if !strings.Contains(empty.Chart(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestPrivacyUtilityTradeoff(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Trials = 15
+	tb, err := PrivacyUtilityTradeoff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "tradeoff" || len(tb.Points) == 0 {
+		t.Fatalf("table = %+v", tb)
+	}
+	// Attacker advantage strictly decreases with p; epsilon too.
+	for i := 1; i < len(tb.Points); i++ {
+		prev, cur := tb.Points[i-1], tb.Points[i]
+		if cur.Values["attacker advantage %"] >= prev.Values["attacker advantage %"] {
+			t.Fatalf("advantage not decreasing at p=%v", cur.X)
+		}
+		if cur.Values["epsilon"] >= prev.Values["epsilon"] {
+			t.Fatalf("epsilon not decreasing at p=%v", cur.X)
+		}
+	}
+	// Query error at the most private point exceeds the least private.
+	first, last := tb.Points[0], tb.Points[len(tb.Points)-1]
+	if last.Values["count error % (PrivateClean)"] <= first.Values["count error % (PrivateClean)"] {
+		t.Fatalf("error should grow with p: %v -> %v",
+			first.Values["count error % (PrivateClean)"], last.Values["count error % (PrivateClean)"])
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"time"
+
+	"privateclean/internal/cleaning"
+	"privateclean/internal/estimator"
+	"privateclean/internal/privacy"
+	"privateclean/internal/provenance"
+	"privateclean/internal/workload"
+)
+
+// PerfProfile measures the wall-clock cost of each pipeline stage —
+// privatize (provider), clean with provenance (analyst), and one corrected
+// count query — across dataset sizes. The paper's complexity claims
+// (Propositions 3/4: provenance space O(N̂), query O(l') plus the relation
+// scan) imply all three stages should scale linearly in S; this table makes
+// that visible.
+func PerfProfile(cfg Config) (*Table, error) {
+	sizes := []int{1000, 10000, 100000}
+	t := &Table{
+		ID:     "perf",
+		Title:  "Pipeline stage latency (ms) vs dataset size",
+		XLabel: "rows",
+		Series: []string{"privatize ms", "clean ms", "query ms"},
+	}
+	reps := 5
+	for _, size := range sizes {
+		rng := trialRNG(cfg.Seed+17000, 0, size)
+		r, err := workload.Synthetic(rng, workload.SyntheticConfig{S: size, N: cfg.N, Z: cfg.Z})
+		if err != nil {
+			return nil, err
+		}
+		domain, err := r.Domain("category")
+		if err != nil {
+			return nil, err
+		}
+		mapping, err := workload.RandomValueMap(rng, domain, 0.2, 0)
+		if err != nil {
+			return nil, err
+		}
+		merge := cleaning.DictionaryMerge{Attr: "category", Mapping: mapping}
+		params := privacy.Uniform(r.Schema(), cfg.P, cfg.B)
+
+		var privTotal, cleanTotal, queryTotal time.Duration
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			v, meta, err := privacy.Privatize(rng, r, params)
+			if err != nil {
+				return nil, err
+			}
+			privTotal += time.Since(start)
+
+			prov := provenance.NewStore()
+			start = time.Now()
+			if err := cleaning.Apply(&cleaning.Context{Rel: v, Prov: prov, Meta: meta}, merge); err != nil {
+				return nil, err
+			}
+			cleanTotal += time.Since(start)
+
+			est := &estimator.Estimator{Meta: meta, Prov: prov}
+			pred := estimator.In("category", pickValues(rng, domain, cfg.L)...)
+			start = time.Now()
+			if _, err := est.Count(v, pred); err != nil {
+				return nil, err
+			}
+			queryTotal += time.Since(start)
+		}
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / float64(reps) / 1000 }
+		t.Points = append(t.Points, Point{X: float64(size), Values: map[string]float64{
+			"privatize ms": ms(privTotal),
+			"clean ms":     ms(cleanTotal),
+			"query ms":     ms(queryTotal),
+		}})
+	}
+	return t, nil
+}

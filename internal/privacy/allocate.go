@@ -1,0 +1,119 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"privateclean/internal/relation"
+	"privateclean/internal/stats"
+)
+
+// AllocateEpsilon implements the Section 4.2.3 "Setting epsilon" procedure:
+// given a total privacy budget eps for the relation, it divides the budget
+// uniformly over all attributes (numerical and discrete) and derives the
+// per-attribute mechanism parameters:
+//
+//   - each discrete attribute d_i gets p_i = PForEpsilon(eps_i), and
+//   - each numerical attribute a_j gets b_j = Delta_j / eps_j, with
+//     Delta_j the attribute's observed max-min range.
+//
+// By Theorem 1 the released view's TotalEpsilon is then at most eps (equal,
+// up to constant columns whose epsilon is 0 regardless of b).
+func AllocateEpsilon(r *relation.Relation, eps float64) (Params, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return Params{}, fmt.Errorf("privacy: total epsilon must be positive and finite, got %v", eps)
+	}
+	discrete := r.Schema().DiscreteNames()
+	numeric := r.Schema().NumericNames()
+	attrs := len(discrete) + len(numeric)
+	if attrs == 0 {
+		return Params{}, fmt.Errorf("privacy: relation has no attributes")
+	}
+	per := eps / float64(attrs)
+
+	params := Params{P: make(map[string]float64, len(discrete)), B: make(map[string]float64, len(numeric))}
+	for _, name := range discrete {
+		p, err := PForEpsilon(per)
+		if err != nil {
+			return Params{}, err
+		}
+		params.P[name] = p
+	}
+	for _, name := range numeric {
+		col, err := r.Numeric(name)
+		if err != nil {
+			return Params{}, err
+		}
+		delta := 0.0
+		if lo, hi, err := stats.MinMax(col); err == nil {
+			delta = hi - lo
+		}
+		b, err := BForEpsilon(delta, per)
+		if err != nil {
+			return Params{}, err
+		}
+		params.B[name] = b
+	}
+	return params, nil
+}
+
+// AllocateEpsilonWeighted is AllocateEpsilon with caller-chosen weights:
+// attribute a receives eps * weights[a] / sum(weights). Attributes missing
+// from weights get weight 1. Zero or negative weights are rejected — a
+// zero-budget attribute would be released unrandomized and de-privatize
+// the relation (Theorem 1's interpretation).
+func AllocateEpsilonWeighted(r *relation.Relation, eps float64, weights map[string]float64) (Params, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return Params{}, fmt.Errorf("privacy: total epsilon must be positive and finite, got %v", eps)
+	}
+	discrete := r.Schema().DiscreteNames()
+	numeric := r.Schema().NumericNames()
+	if len(discrete)+len(numeric) == 0 {
+		return Params{}, fmt.Errorf("privacy: relation has no attributes")
+	}
+	weightOf := func(name string) (float64, error) {
+		w, ok := weights[name]
+		if !ok {
+			return 1, nil
+		}
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0, fmt.Errorf("privacy: weight for %q must be positive and finite, got %v", name, w)
+		}
+		return w, nil
+	}
+	total := 0.0
+	for _, name := range append(append([]string(nil), discrete...), numeric...) {
+		w, err := weightOf(name)
+		if err != nil {
+			return Params{}, err
+		}
+		total += w
+	}
+
+	params := Params{P: make(map[string]float64, len(discrete)), B: make(map[string]float64, len(numeric))}
+	for _, name := range discrete {
+		w, _ := weightOf(name)
+		p, err := PForEpsilon(eps * w / total)
+		if err != nil {
+			return Params{}, err
+		}
+		params.P[name] = p
+	}
+	for _, name := range numeric {
+		w, _ := weightOf(name)
+		col, err := r.Numeric(name)
+		if err != nil {
+			return Params{}, err
+		}
+		delta := 0.0
+		if lo, hi, err := stats.MinMax(col); err == nil {
+			delta = hi - lo
+		}
+		b, err := BForEpsilon(delta, eps*w/total)
+		if err != nil {
+			return Params{}, err
+		}
+		params.B[name] = b
+	}
+	return params, nil
+}

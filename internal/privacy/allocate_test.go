@@ -1,0 +1,98 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateEpsilonUniform(t *testing.T) {
+	r := testRel(t) // 1 discrete + 1 numeric
+	params, err := AllocateEpsilon(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each attribute receives eps/2 = 2.
+	p := params.P["major"]
+	if got := EpsilonDiscrete(p); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("discrete epsilon = %v, want 2", got)
+	}
+	b := params.B["score"]
+	// score range is 4 (0..4): b = 4/2 = 2.
+	if math.Abs(b-2) > 1e-9 {
+		t.Fatalf("b = %v, want 2", b)
+	}
+	// Releasing with these params yields the requested total epsilon.
+	rng := rand.New(rand.NewSource(1))
+	_, meta, err := Privatize(rng, r, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := meta.TotalEpsilon(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("TotalEpsilon = %v, want 4", got)
+	}
+}
+
+func TestAllocateEpsilonValidation(t *testing.T) {
+	r := testRel(t)
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := AllocateEpsilon(r, bad); err == nil {
+			t.Errorf("AllocateEpsilon(%v) should fail", bad)
+		}
+	}
+}
+
+func TestAllocateEpsilonWeighted(t *testing.T) {
+	r := testRel(t)
+	// major gets 3x the budget of score.
+	params, err := AllocateEpsilonWeighted(r, 4, map[string]float64{"major": 3, "score": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EpsilonDiscrete(params.P["major"]); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("major epsilon = %v, want 3", got)
+	}
+	// score gets eps 1 with range 4: b = 4.
+	if math.Abs(params.B["score"]-4) > 1e-9 {
+		t.Fatalf("score b = %v, want 4", params.B["score"])
+	}
+	// Missing weights default to 1.
+	params, err = AllocateEpsilonWeighted(r, 4, map[string]float64{"major": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EpsilonDiscrete(params.P["major"]); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("default-weight epsilon = %v, want 2", got)
+	}
+	// Invalid weights.
+	if _, err := AllocateEpsilonWeighted(r, 4, map[string]float64{"major": 0}); err == nil {
+		t.Fatal("want error for zero weight")
+	}
+	if _, err := AllocateEpsilonWeighted(r, -1, nil); err == nil {
+		t.Fatal("want error for negative epsilon")
+	}
+}
+
+// Property: for any positive budget, releasing with the allocated params
+// composes back to (at most) the requested epsilon.
+func TestAllocateEpsilonComposesProperty(t *testing.T) {
+	r := testRel(t)
+	rng := rand.New(rand.NewSource(2))
+	f := func(raw float64) bool {
+		eps := math.Mod(math.Abs(raw), 20) + 0.1
+		params, err := AllocateEpsilon(r, eps)
+		if err != nil {
+			return false
+		}
+		_, meta, err := Privatize(rng, r, params)
+		if err != nil {
+			return false
+		}
+		got := meta.TotalEpsilon()
+		return got <= eps+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file quantifies the privacy side of the privacy/utility tradeoff:
+// what a Bayesian attacker can infer about a row's true value from its
+// released value. It makes Figure 1's "plausible deniability" measurable
+// and gives the ε of Lemma 1 an operational meaning.
+
+// LikelihoodRatio returns the randomized-response likelihood ratio of the
+// observed value being the true value versus any particular other value:
+//
+//	P[obs = v | true = v] / P[obs = v | true = w]  =  (1 − p + p/N)/(p/N)
+//
+// This is the quantity local differential privacy bounds by exp(ε); for a
+// two-value domain it equals 2/p − 1 (cf. Lemma 1's conservative
+// ln(3/p − 2)).
+func LikelihoodRatio(p float64, n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("privacy: likelihood ratio needs a domain of >= 2 values, got %d", n)
+	}
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("privacy: p %v out of (0,1]", p)
+	}
+	keep := 1 - p + p/float64(n)
+	flip := p / float64(n)
+	return keep / flip, nil
+}
+
+// PosteriorTrue returns a Bayesian attacker's posterior probability that a
+// row's true value equals its observed private value, given a prior over
+// the true value. prior is the attacker's prior probability that the row
+// truly holds the observed value (e.g. the value's population frequency).
+//
+//	posterior = prior·τ / (prior·τ + (1−prior)·f)
+//
+// with τ = 1−p+p/N the keep probability and f = p/N the flip-in
+// probability. A posterior near the prior means the release leaked little.
+func PosteriorTrue(prior, p float64, n int) (float64, error) {
+	if prior < 0 || prior > 1 || math.IsNaN(prior) {
+		return 0, fmt.Errorf("privacy: prior %v out of [0,1]", prior)
+	}
+	lr, err := LikelihoodRatio(p, n)
+	if err != nil {
+		return 0, err
+	}
+	if prior == 0 {
+		return 0, nil
+	}
+	odds := prior / (1 - prior) * lr
+	if math.IsInf(odds, 1) {
+		return 1, nil
+	}
+	return odds / (1 + odds), nil
+}
+
+// AttackerAdvantage returns how much better the maximum-a-posteriori
+// "believe the released value" attack performs than the prior guess, for a
+// uniform prior 1/N (the paper's worst-case rare-value setting):
+//
+//	advantage = P[attack correct] − 1/N = (1 − p + p/N) − 1/N
+//
+// At p = 1 the advantage is 0 (full deniability); at p = 0 it is 1 − 1/N
+// (the release is the truth).
+func AttackerAdvantage(p float64, n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("privacy: attacker advantage needs a domain of >= 2 values, got %d", n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("privacy: p %v out of [0,1]", p)
+	}
+	keep := 1 - p + p/float64(n)
+	return keep - 1/float64(n), nil
+}

@@ -1,0 +1,140 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLikelihoodRatio(t *testing.T) {
+	// Two-value domain at p = 0.25: exact ratio is 2/p - 1 = 7.
+	lr, err := LikelihoodRatio(0.25, 2)
+	if err != nil || math.Abs(lr-7) > 1e-12 {
+		t.Fatalf("lr = %v, %v", lr, err)
+	}
+	// The ratio equals exp of the *exact* k-RR epsilon for every domain
+	// size, and exceeds exp of the paper's Lemma 1 constant once n > 3
+	// (the Lemma 1 value is the n = 3 point, not a worst case).
+	for _, p := range []float64{0.05, 0.2, 0.5, 0.9} {
+		for _, n := range []int{2, 3, 5, 50} {
+			lr, err := LikelihoodRatio(p, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(lr-math.Exp(EpsilonDiscreteExact(p, n))) > 1e-6*lr {
+				t.Fatalf("p=%v n=%d: ratio %v != exp(exact eps) %v", p, n, lr, math.Exp(EpsilonDiscreteExact(p, n)))
+			}
+			paperBound := math.Exp(EpsilonDiscrete(p))
+			if n <= 3 && lr > paperBound+1e-9 {
+				t.Fatalf("p=%v n=%d: ratio %v should be within the Lemma 1 bound %v", p, n, lr, paperBound)
+			}
+			if n > 3 && lr <= paperBound {
+				t.Fatalf("p=%v n=%d: ratio %v should exceed the Lemma 1 constant %v", p, n, lr, paperBound)
+			}
+		}
+	}
+	if _, err := LikelihoodRatio(0.5, 1); err == nil {
+		t.Fatal("want error for domain of 1")
+	}
+	if _, err := LikelihoodRatio(0, 2); err == nil {
+		t.Fatal("want error for p=0")
+	}
+}
+
+func TestPosteriorTrue(t *testing.T) {
+	// Full randomization leaks nothing: posterior == prior.
+	post, err := PosteriorTrue(0.3, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post-0.3) > 1e-12 {
+		t.Fatalf("p=1 posterior = %v, want prior 0.3", post)
+	}
+	// A rare value (prior 1/100) at moderate privacy is still deniable.
+	post, err = PosteriorTrue(0.01, 0.5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post > 0.35 {
+		t.Fatalf("rare-value posterior = %v, deniability lost", post)
+	}
+	if got, err := PosteriorTrue(0, 0.5, 25); err != nil || got != 0 {
+		t.Fatalf("zero prior = %v, %v", got, err)
+	}
+	if _, err := PosteriorTrue(2, 0.5, 25); err == nil {
+		t.Fatal("want error for bad prior")
+	}
+}
+
+// Posterior is monotone decreasing in p: more randomization, less leakage.
+func TestPosteriorMonotoneInP(t *testing.T) {
+	f := func(a, b float64) bool {
+		p1 := math.Mod(math.Abs(a), 0.98) + 0.01
+		p2 := math.Mod(math.Abs(b), 0.98) + 0.01
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		post1, err1 := PosteriorTrue(0.05, p1, 10)
+		post2, err2 := PosteriorTrue(0.05, p2, 10)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return post1 >= post2-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttackerAdvantageEndpoints(t *testing.T) {
+	adv, err := AttackerAdvantage(0, 10)
+	if err != nil || math.Abs(adv-0.9) > 1e-12 {
+		t.Fatalf("p=0 advantage = %v, want 0.9", adv)
+	}
+	adv, err = AttackerAdvantage(1, 10)
+	if err != nil || math.Abs(adv) > 1e-12 {
+		t.Fatalf("p=1 advantage = %v, want 0", adv)
+	}
+	if _, err := AttackerAdvantage(0.5, 1); err == nil {
+		t.Fatal("want error for tiny domain")
+	}
+	if _, err := AttackerAdvantage(-0.1, 10); err == nil {
+		t.Fatal("want error for bad p")
+	}
+}
+
+// The analytic attacker advantage matches the empirical accuracy of the
+// believe-the-release attack under a uniform prior.
+func TestAttackerAdvantageEmpirical(t *testing.T) {
+	const n = 10
+	const p = 0.4
+	const rows = 200000
+	rng := rand.New(rand.NewSource(31))
+	domain := make([]string, n)
+	for i := range domain {
+		domain[i] = string(rune('a' + i))
+	}
+	col := make([]string, rows)
+	for i := range col {
+		col[i] = domain[rng.Intn(n)]
+	}
+	out, err := RandomizedResponse(rng, col, domain, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range col {
+		if out[i] == col[i] {
+			correct++
+		}
+	}
+	empirical := float64(correct)/rows - 1.0/n
+	want, err := AttackerAdvantage(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(empirical-want) > 0.01 {
+		t.Fatalf("empirical advantage %v vs analytic %v", empirical, want)
+	}
+}

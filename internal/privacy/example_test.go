@@ -1,0 +1,28 @@
+package privacy_test
+
+import (
+	"fmt"
+
+	"privateclean/internal/privacy"
+)
+
+// ExampleEpsilonDiscrete shows Lemma 1's privacy accounting for randomized
+// response.
+func ExampleEpsilonDiscrete() {
+	// p = 0.25: each value is replaced with a uniform domain draw with
+	// probability 1/4.
+	eps := privacy.EpsilonDiscrete(0.25)
+	fmt.Printf("eps = ln(3/p - 2) = %.4f\n", eps)
+	// Output:
+	// eps = ln(3/p - 2) = 2.3026
+}
+
+// ExampleMinDatasetSize reproduces the paper's Example 3: how much data is
+// needed before randomizing 25 distinct majors at p = 0.25 is safe.
+func ExampleMinDatasetSize() {
+	s95, _ := privacy.MinDatasetSize(25, 0.25, 0.05)
+	s99, _ := privacy.MinDatasetSize(25, 0.25, 0.01)
+	fmt.Printf("95%%: %.0f rows, 99%%: %.0f rows\n", s95, s99)
+	// Output:
+	// 95%: 483 rows, 99%: 644 rows
+}

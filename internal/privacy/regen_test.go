@@ -1,0 +1,85 @@
+package privacy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"privateclean/internal/relation"
+)
+
+// rareValueRel builds a relation where one value appears exactly once, so a
+// single randomization pass frequently masks it at high p.
+func rareValueRel(t *testing.T, rows int) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(relation.Column{Name: "d", Kind: relation.Discrete})
+	col := make([]string, rows)
+	col[0] = "rare"
+	for i := 1; i < rows; i++ {
+		col[i] = []string{"a", "b"}[i%2]
+	}
+	r, err := relation.FromColumns(schema, nil, map[string][]string{"d": col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPrivatizePreservingDomainSucceeds(t *testing.T) {
+	r := rareValueRel(t, 200)
+	rng := rand.New(rand.NewSource(1))
+	params := Params{P: map[string]float64{"d": 0.5}, B: map[string]float64{}}
+	v, meta, err := PrivatizePreservingDomain(rng, r, params, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := v.Domain("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dom) != meta.Discrete["d"].N() {
+		t.Fatalf("domain = %v, want all %d values", dom, meta.Discrete["d"].N())
+	}
+}
+
+func TestPrivatizePreservingDomainGivesUp(t *testing.T) {
+	// 3 rows, p = 1: the rare value is almost always masked; with one
+	// attempt the call should frequently return ErrDomainMasked but still
+	// hand back a usable private view.
+	r := rareValueRel(t, 3)
+	rng := rand.New(rand.NewSource(2))
+	params := Params{P: map[string]float64{"d": 0.95}, B: map[string]float64{}}
+	sawMasked := false
+	for i := 0; i < 50; i++ {
+		v, meta, err := PrivatizePreservingDomain(rng, r, params, 1)
+		if err != nil {
+			if !errors.Is(err, ErrDomainMasked) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if v == nil || meta == nil {
+				t.Fatal("masked result should still return the last view")
+			}
+			sawMasked = true
+		}
+	}
+	if !sawMasked {
+		t.Fatal("expected at least one masked outcome at these odds")
+	}
+}
+
+func TestPrivatizePreservingDomainDefaultsAttempts(t *testing.T) {
+	r := rareValueRel(t, 500)
+	rng := rand.New(rand.NewSource(3))
+	params := Params{P: map[string]float64{"d": 0.3}, B: map[string]float64{}}
+	if _, _, err := PrivatizePreservingDomain(rng, r, params, 0); err != nil {
+		t.Fatalf("default attempts should succeed at this size: %v", err)
+	}
+}
+
+func TestPrivatizePreservingDomainPropagatesErrors(t *testing.T) {
+	r := rareValueRel(t, 10)
+	rng := rand.New(rand.NewSource(4))
+	if _, _, err := PrivatizePreservingDomain(rng, r, Params{}, 3); err == nil {
+		t.Fatal("want error for missing parameters")
+	}
+}

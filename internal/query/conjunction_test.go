@@ -1,0 +1,124 @@
+package query
+
+import (
+	"testing"
+
+	"privateclean/internal/relation"
+)
+
+func conjTestRel(t *testing.T) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "major", Kind: relation.Discrete},
+		relation.Column{Name: "section", Kind: relation.Discrete},
+		relation.Column{Name: "score", Kind: relation.Numeric},
+	)
+	r, err := relation.FromColumns(schema,
+		map[string][]float64{"score": {4, 3, 1, 5, 2}},
+		map[string][]string{
+			"major":   {"ME", "ME", "EE", "EE", "CS"},
+			"section": {"1", "2", "1", "2", "1"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseConjunction(t *testing.T) {
+	q, err := Parse("SELECT count(1) FROM R WHERE major = 'ME' AND section = '1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where == nil || len(q.AndWhere) != 1 {
+		t.Fatalf("conjunction = %+v", q)
+	}
+	conds := q.Conds()
+	if len(conds) != 2 || conds[0].Attr != "major" || conds[1].Attr != "section" {
+		t.Fatalf("conds = %+v", conds)
+	}
+	// Three conjuncts.
+	q, err = Parse("SELECT count(1) FROM R WHERE a = '1' AND b = '2' AND NOT c = '3'")
+	if err != nil || len(q.AndWhere) != 2 {
+		t.Fatalf("triple conjunction: %+v, %v", q, err)
+	}
+	if !q.AndWhere[1].Negate {
+		t.Fatal("NOT in conjunct lost")
+	}
+	// Round trip.
+	q2, err := Parse(q.String())
+	if err != nil || q2.String() != q.String() {
+		t.Fatalf("round trip: %q vs %q (%v)", q.String(), q2.String(), err)
+	}
+	// Dangling AND.
+	if _, err := Parse("SELECT count(1) FROM R WHERE a = '1' AND"); err == nil {
+		t.Fatal("want error for dangling AND")
+	}
+}
+
+func TestExecConjunction(t *testing.T) {
+	r := conjTestRel(t)
+	q, _ := Parse("SELECT count(1) FROM R WHERE major = 'ME' AND section = '1'")
+	res, err := Exec(r, q, nil)
+	if err != nil || res.Scalar != 1 {
+		t.Fatalf("count = %v, %v", res, err)
+	}
+	q, _ = Parse("SELECT sum(score) FROM R WHERE major = 'EE' AND section = '2'")
+	res, err = Exec(r, q, nil)
+	if err != nil || res.Scalar != 5 {
+		t.Fatalf("sum = %v, %v", res, err)
+	}
+	q, _ = Parse("SELECT avg(score) FROM R WHERE major = 'EE' AND section = '1'")
+	res, err = Exec(r, q, nil)
+	if err != nil || res.Scalar != 1 {
+		t.Fatalf("avg = %v, %v", res, err)
+	}
+	// Extension aggregates reject conjunctions.
+	q, _ = Parse("SELECT median(score) FROM R WHERE major = 'EE' AND section = '1'")
+	if _, err := Exec(r, q, nil); err == nil {
+		t.Fatal("want error for median with AND")
+	}
+}
+
+func TestCompileConjunctionMergesSameAttr(t *testing.T) {
+	q, err := Parse("SELECT count(1) FROM R WHERE major IN ('ME','EE') AND major != 'EE' AND section = '1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := CompileConjunction(q.Conds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("want 2 merged predicates, got %d", len(preds))
+	}
+	// The merged major predicate accepts ME only.
+	var majorPred, sectionPred bool
+	for _, p := range preds {
+		switch p.Attr {
+		case "major":
+			majorPred = p.Match("ME") && !p.Match("EE") && !p.Match("CS")
+		case "section":
+			sectionPred = p.Match("1") && !p.Match("2")
+		}
+	}
+	if !majorPred || !sectionPred {
+		t.Fatalf("merged predicates wrong: %+v", preds)
+	}
+	// Exec agrees with the row-level truth: ME in section 1 -> 1 row.
+	r := conjTestRel(t)
+	res, err := Exec(r, q, nil)
+	if err != nil || res.Scalar != 1 {
+		t.Fatalf("merged exec = %v, %v", res, err)
+	}
+}
+
+func TestCompileConjunctionBadUDF(t *testing.T) {
+	q, err := Parse("SELECT count(1) FROM R WHERE isX(major) AND section = '1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileConjunction(q.Conds(), nil); err == nil {
+		t.Fatal("want error for unknown UDF in conjunction")
+	}
+}

@@ -1,0 +1,33 @@
+package query_test
+
+import (
+	"fmt"
+	"log"
+
+	"privateclean/internal/query"
+)
+
+// ExampleParse shows the supported dialect: the paper's query class plus
+// the Section 10 extensions.
+func ExampleParse() {
+	for _, sql := range []string{
+		"SELECT count(1) FROM R WHERE major = 'Mech. Eng.'",
+		"select AVG(score) from R where isEurope(country)",
+		"SELECT median(temp) FROM log WHERE sensor_id != NULL",
+		"SELECT count(1) FROM R WHERE major = 'ME' AND section IN ('1', '2')",
+		"SELECT count(1) FROM addresses GROUP BY ca_state",
+	} {
+		q, err := query.Parse(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(q)
+	}
+	// Output:
+	// SELECT count(1) FROM R WHERE major = 'Mech. Eng.'
+	// SELECT avg(score) FROM R WHERE isEurope(country)
+	// SELECT median(temp) FROM log WHERE sensor_id != 'NULL'
+	// SELECT count(1) FROM R WHERE major = 'ME' AND section IN ('1', '2')
+	// SELECT count(1) FROM addresses GROUP BY ca_state
+	//
+}

@@ -1,0 +1,39 @@
+package query
+
+import "testing"
+
+// FuzzParse checks the parser never panics, and that any query it accepts
+// round-trips through String() to an equivalent parse.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT count(1) FROM R WHERE major = 'Mech. Eng.'",
+		"SELECT sum(score) FROM R WHERE major IN ('a', 'b')",
+		"SELECT avg(score) FROM R WHERE isEurope(country)",
+		"SELECT count(*) FROM R GROUP BY state",
+		"SELECT median(x) FROM t WHERE a != NULL",
+		"SELECT count(1) FROM R WHERE a = '1' AND b = '2'",
+		"SELECT var(x) FROM t",
+		"select COUNT ( 1 ) from r where NOT NOT d <> \"x\"",
+		"SELECT count(1) FROM R WHERE major = 'O''Brien'",
+		"",
+		"SELECT",
+		"🙂 SELECT count(1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("rendering not a fixed point: %q -> %q", rendered, q2.String())
+		}
+	})
+}

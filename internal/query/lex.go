@@ -1,0 +1,116 @@
+// Package query implements a small SQL dialect covering PrivateClean's
+// query class (Section 3.2.2 of the paper):
+//
+//	SELECT agg FROM table [WHERE cond] [GROUP BY attr]
+//
+// where agg is COUNT(1|*), SUM(a), or AVG(a) over a numerical attribute a,
+// and cond is a condition over a single discrete attribute d:
+//
+//	d = 'v' | d != 'v' | d <> 'v' | d IN ('v1', 'v2', ...)
+//	| udf(d) | NOT cond
+//
+// UDF predicates (e.g. the paper's isEurope(country)) are resolved against a
+// registry supplied at execution/compilation time.
+//
+// The package provides exact execution against a relation (used for ground
+// truth) and compilation of the WHERE clause into an estimator.Predicate
+// (used for private-relation estimation).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokPunct // single punctuation: ( ) , = and the multi-rune != <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex splits a query string into tokens.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	runes := []rune(src)
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '\'' || r == '"':
+			quote := r
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < len(runes) {
+				if runes[j] == quote {
+					// doubled quote is an escaped quote
+					if j+1 < len(runes) && runes[j+1] == quote {
+						sb.WriteRune(quote)
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteRune(runes[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("query: unterminated string starting at position %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case r == '!' && i+1 < len(runes) && runes[i+1] == '=':
+			toks = append(toks, token{kind: tokPunct, text: "!=", pos: i})
+			i += 2
+		case r == '<' && i+1 < len(runes) && runes[i+1] == '>':
+			toks = append(toks, token{kind: tokPunct, text: "!=", pos: i})
+			i += 2
+		case r == '(' || r == ')' || r == ',' || r == '=' || r == '*':
+			toks = append(toks, token{kind: tokPunct, text: string(r), pos: i})
+			i++
+		case unicode.IsDigit(r) || (r == '-' && i+1 < len(runes) && unicode.IsDigit(runes[i+1])):
+			j := i + 1
+			for j < len(runes) && (unicode.IsDigit(runes[j]) || runes[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: string(runes[i:j]), pos: i})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i + 1
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_' || runes[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: string(runes[i:j]), pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at position %d", r, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(runes)})
+	return toks, nil
+}

@@ -1,0 +1,404 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"privateclean/internal/relation"
+)
+
+func TestParseCount(t *testing.T) {
+	q, err := Parse("SELECT count(1) FROM R WHERE major = 'Mech. Eng.'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != AggCount || q.Table != "R" {
+		t.Fatalf("q = %+v", q)
+	}
+	w := q.Where
+	if w == nil || w.Kind != CondEq || w.Attr != "major" || w.Values[0] != "Mech. Eng." || w.Negate {
+		t.Fatalf("where = %+v", w)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q, err := Parse("select COUNT(*) from evals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != AggCount || q.Table != "evals" || q.Where != nil {
+		t.Fatalf("q = %+v", q)
+	}
+}
+
+func TestParseSumAvg(t *testing.T) {
+	q, err := Parse("SELECT sum(score) FROM R")
+	if err != nil || q.Agg != AggSum || q.AggAttr != "score" {
+		t.Fatalf("sum: %+v, %v", q, err)
+	}
+	q, err = Parse("SELECT avg(score) FROM R WHERE major != 'Math'")
+	if err != nil || q.Agg != AggAvg || !q.Where.Negate {
+		t.Fatalf("avg: %+v, %v", q, err)
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	q, err := Parse("SELECT count(1) FROM R WHERE major IN ('ME', 'EE', 'CS')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Where
+	if w.Kind != CondIn || len(w.Values) != 3 || w.Values[2] != "CS" {
+		t.Fatalf("where = %+v", w)
+	}
+	q, err = Parse("SELECT count(1) FROM R WHERE major NOT IN ('ME')")
+	if err != nil || !q.Where.Negate {
+		t.Fatalf("not in: %+v, %v", q, err)
+	}
+}
+
+func TestParseUDF(t *testing.T) {
+	q, err := Parse("SELECT avg(score) FROM R WHERE isEurope(country)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Where
+	if w.Kind != CondUDF || w.UDF != "isEurope" || w.Attr != "country" {
+		t.Fatalf("where = %+v", w)
+	}
+	q, err = Parse("SELECT count(1) FROM R WHERE NOT isEurope(country)")
+	if err != nil || !q.Where.Negate {
+		t.Fatalf("not udf: %+v, %v", q, err)
+	}
+}
+
+func TestParseDoubleNegation(t *testing.T) {
+	q, err := Parse("SELECT count(1) FROM R WHERE NOT NOT major = 'x'")
+	if err != nil || q.Where.Negate {
+		t.Fatalf("double negation: %+v, %v", q, err)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	q, err := Parse("SELECT count(1) FROM R GROUP BY ca_state")
+	if err != nil || q.GroupBy != "ca_state" {
+		t.Fatalf("group by: %+v, %v", q, err)
+	}
+}
+
+func TestParseNullLiteral(t *testing.T) {
+	q, err := Parse("SELECT count(1) FROM R WHERE sensor_id != NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where.Values[0] != relation.Null || !q.Where.Negate {
+		t.Fatalf("where = %+v", q.Where)
+	}
+}
+
+func TestParseNumberAndBarewordValues(t *testing.T) {
+	q, err := Parse("SELECT count(1) FROM R WHERE section = 3")
+	if err != nil || q.Where.Values[0] != "3" {
+		t.Fatalf("number literal: %+v, %v", q, err)
+	}
+	q, err = Parse("SELECT count(1) FROM R WHERE major = EECS")
+	if err != nil || q.Where.Values[0] != "EECS" {
+		t.Fatalf("bareword: %+v, %v", q, err)
+	}
+}
+
+func TestParseQuoteEscapes(t *testing.T) {
+	q, err := Parse(`SELECT count(1) FROM R WHERE major = 'O''Brien Hall'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where.Values[0] != "O'Brien Hall" {
+		t.Fatalf("escaped value = %q", q.Where.Values[0])
+	}
+	q, err = Parse(`SELECT count(1) FROM R WHERE major = "EE and CS"`)
+	if err != nil || q.Where.Values[0] != "EE and CS" {
+		t.Fatalf("double-quoted value: %+v, %v", q, err)
+	}
+}
+
+func TestParseNotEqualSpellings(t *testing.T) {
+	for _, src := range []string{
+		"SELECT count(1) FROM R WHERE a != 'x'",
+		"SELECT count(1) FROM R WHERE a <> 'x'",
+	} {
+		q, err := Parse(src)
+		if err != nil || !q.Where.Negate {
+			t.Fatalf("%q: %+v, %v", src, q, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"INSERT INTO R",
+		"SELECT max(x) FROM R",
+		"SELECT count(2) FROM R",
+		"SELECT count(1) R",
+		"SELECT count(1) FROM",
+		"SELECT count(1) FROM R WHERE",
+		"SELECT count(1) FROM R WHERE major =",
+		"SELECT count(1) FROM R WHERE major IN ()",
+		"SELECT count(1) FROM R WHERE major IN ('a' 'b')",
+		"SELECT count(1) FROM R WHERE major ~ 'x'",
+		"SELECT count(1) FROM R trailing junk",
+		"SELECT count(1) FROM R GROUP ca_state",
+		"SELECT count(1) FROM R GROUP BY",
+		"SELECT sum() FROM R",
+		"SELECT sum(1) FROM R",
+		"SELECT count(1) FROM R WHERE f(1)",
+		"SELECT count(1) FROM R WHERE 'lit' = 'x'",
+		"SELECT count(1) FROM R WHERE major = 'unterminated",
+		"SELECT count(1) FROM R WHERE a = 'x' GROUP BY a",
+		"SELECT @bad FROM R",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// Parse(q.String()) is a fixed point: rendering and reparsing yields the
+// same query.
+func TestParseStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT count(1) FROM R WHERE major = 'ME'",
+		"SELECT sum(score) FROM R WHERE major != 'ME'",
+		"SELECT avg(score) FROM R WHERE major IN ('a', 'b')",
+		"SELECT count(1) FROM R WHERE major NOT IN ('a')",
+		"SELECT avg(score) FROM R WHERE isEurope(country)",
+		"SELECT count(1) FROM R WHERE NOT isEurope(country)",
+		"SELECT count(1) FROM R GROUP BY state",
+		"SELECT sum(score) FROM R",
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Fatalf("round trip: %q -> %q", q1.String(), q2.String())
+		}
+	}
+}
+
+// Property: random IN-lists of simple values round-trip.
+func TestParseInRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		vals := make([]string, len(raw))
+		for i, v := range raw {
+			vals[i] = "v" + string(rune('a'+v%26))
+		}
+		src := "SELECT count(1) FROM R WHERE d IN ('" + strings.Join(vals, "', '") + "')"
+		q, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		if len(q.Where.Values) != len(vals) {
+			return false
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		return q.String() == q2.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "major", Kind: relation.Discrete},
+		relation.Column{Name: "score", Kind: relation.Numeric},
+	)
+	r, err := relation.FromColumns(schema,
+		map[string][]float64{"score": {4, 3, 1, 5, 2, math.NaN()}},
+		map[string][]string{"major": {"ME", "ME", "EE", "CS", "EE", "ME"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestExecCount(t *testing.T) {
+	r := testRelation(t)
+	q, _ := Parse("SELECT count(1) FROM R WHERE major = 'ME'")
+	res, err := Exec(r, q, nil)
+	if err != nil || res.Scalar != 3 {
+		t.Fatalf("count = %v, %v", res, err)
+	}
+	q, _ = Parse("SELECT count(1) FROM R")
+	res, err = Exec(r, q, nil)
+	if err != nil || res.Scalar != 6 {
+		t.Fatalf("total count = %v, %v", res, err)
+	}
+}
+
+func TestExecSumAvg(t *testing.T) {
+	r := testRelation(t)
+	q, _ := Parse("SELECT sum(score) FROM R WHERE major = 'EE'")
+	res, err := Exec(r, q, nil)
+	if err != nil || res.Scalar != 3 {
+		t.Fatalf("sum = %v, %v", res, err)
+	}
+	q, _ = Parse("SELECT avg(score) FROM R WHERE major = 'EE'")
+	res, err = Exec(r, q, nil)
+	if err != nil || res.Scalar != 1.5 {
+		t.Fatalf("avg = %v, %v", res, err)
+	}
+	// Predicate-free sum and avg skip the NaN cell.
+	q, _ = Parse("SELECT sum(score) FROM R")
+	res, err = Exec(r, q, nil)
+	if err != nil || res.Scalar != 15 {
+		t.Fatalf("total sum = %v, %v", res, err)
+	}
+	q, _ = Parse("SELECT avg(score) FROM R")
+	res, err = Exec(r, q, nil)
+	if err != nil || res.Scalar != 3 {
+		t.Fatalf("total avg = %v, %v", res, err)
+	}
+}
+
+func TestExecUDF(t *testing.T) {
+	r := testRelation(t)
+	udfs := UDFs{"iseng": func(v string) bool { return v == "ME" || v == "EE" }}
+	q, err := Parse("SELECT count(1) FROM R WHERE isEng(major)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UDF lookup is case-insensitive against the lower-case registry.
+	res, err := Exec(r, q, udfs)
+	if err != nil || res.Scalar != 5 {
+		t.Fatalf("udf count = %v, %v", res, err)
+	}
+	q.Where.UDF = "missing"
+	if _, err := Exec(r, q, udfs); err == nil {
+		t.Fatal("want error for unknown UDF")
+	}
+}
+
+func TestExecGroupBy(t *testing.T) {
+	r := testRelation(t)
+	q, _ := Parse("SELECT count(1) FROM R GROUP BY major")
+	res, err := Exec(r, q, nil)
+	if err != nil || !res.IsGroupBy {
+		t.Fatalf("res = %+v, %v", res, err)
+	}
+	if res.Groups["ME"] != 3 || res.Groups["EE"] != 2 || res.Groups["CS"] != 1 {
+		t.Fatalf("groups = %v", res.Groups)
+	}
+	keys := res.GroupKeys()
+	if len(keys) != 3 || keys[0] != "CS" {
+		t.Fatalf("keys = %v", keys)
+	}
+	q, _ = Parse("SELECT sum(score) FROM R GROUP BY major")
+	res, err = Exec(r, q, nil)
+	if err != nil || res.Groups["ME"] != 7 {
+		t.Fatalf("sum groups = %v, %v", res.Groups, err)
+	}
+	q, _ = Parse("SELECT avg(score) FROM R GROUP BY major")
+	res, err = Exec(r, q, nil)
+	if err != nil || res.Groups["EE"] != 1.5 {
+		t.Fatalf("avg groups = %v, %v", res.Groups, err)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	r := testRelation(t)
+	q, _ := Parse("SELECT sum(nope) FROM R WHERE major = 'ME'")
+	if _, err := Exec(r, q, nil); err == nil {
+		t.Fatal("want error for unknown aggregate column")
+	}
+	q, _ = Parse("SELECT sum(nope) FROM R")
+	if _, err := Exec(r, q, nil); err == nil {
+		t.Fatal("want error for unknown aggregate column (no predicate)")
+	}
+	q, _ = Parse("SELECT count(1) FROM R GROUP BY nope")
+	if _, err := Exec(r, q, nil); err == nil {
+		t.Fatal("want error for unknown group attribute")
+	}
+	q, _ = Parse("SELECT avg(score) FROM R WHERE major = 'nothere'")
+	if _, err := Exec(r, q, nil); err == nil {
+		t.Fatal("want error for avg over empty selection")
+	}
+}
+
+func TestCompilePredicate(t *testing.T) {
+	cases := []struct {
+		src   string
+		value string
+		want  bool
+	}{
+		{"SELECT count(1) FROM R WHERE a = 'x'", "x", true},
+		{"SELECT count(1) FROM R WHERE a = 'x'", "y", false},
+		{"SELECT count(1) FROM R WHERE a != 'x'", "x", false},
+		{"SELECT count(1) FROM R WHERE a IN ('x','y')", "y", true},
+		{"SELECT count(1) FROM R WHERE a NOT IN ('x','y')", "y", false},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := CompilePredicate(q.Where, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pred.Match(c.value); got != c.want {
+			t.Errorf("%q match %q = %v, want %v", c.src, c.value, got, c.want)
+		}
+	}
+	if _, err := CompilePredicate(&Cond{Kind: CondKind(99)}, nil); err == nil {
+		t.Fatal("want error for invalid cond kind")
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	if AggCount.String() != "count" || AggSum.String() != "sum" || AggAvg.String() != "avg" {
+		t.Fatal("agg names wrong")
+	}
+	if AggKind(9).String() != "AggKind(9)" {
+		t.Fatal("unknown agg name wrong")
+	}
+}
+
+func TestCondString(t *testing.T) {
+	for _, src := range []string{
+		"SELECT count(1) FROM R WHERE a = 'x'",
+		"SELECT count(1) FROM R WHERE a NOT IN ('x')",
+		"SELECT count(1) FROM R WHERE NOT f(a)",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Where.String() == "" {
+			t.Fatalf("empty cond string for %q", src)
+		}
+	}
+	if (&Cond{Kind: CondKind(42)}).String() != "<invalid cond>" {
+		t.Fatal("invalid cond rendering")
+	}
+}

@@ -1,0 +1,68 @@
+// Package textutil provides string-similarity utilities used by the
+// matching-dependency repair cleaner (Section 8.3.4 of the paper resolves a
+// matching dependency on ca_country with an edit-distance similarity metric).
+package textutil
+
+import "strings"
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-rune insertions, deletions, and substitutions required to turn a
+// into b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Similar reports whether the edit distance between a and b is at most d.
+// It short-circuits on the length difference, which already lower-bounds the
+// distance.
+func Similar(a, b string, d int) bool {
+	la, lb := len([]rune(a)), len([]rune(b))
+	diff := la - lb
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > d {
+		return false
+	}
+	return Levenshtein(a, b) <= d
+}
+
+// Normalize lowercases and trims a string; a cheap canonicalization step
+// applied before similarity comparison so that case/whitespace variants of
+// the same logical value cluster together.
+func Normalize(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}

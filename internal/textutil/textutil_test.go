@@ -1,0 +1,101 @@
+package textutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinTable(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"Canada", "Canadax", 1},
+		{"café", "cafe", 1}, // unicode-aware
+		{"ab", "ba", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSimilar(t *testing.T) {
+	if !Similar("Canada", "Canadax", 1) {
+		t.Fatal("one-char append should be similar at d=1")
+	}
+	if Similar("Canada", "Mexico", 1) {
+		t.Fatal("Canada/Mexico not similar at d=1")
+	}
+	// Length-difference short circuit.
+	if Similar("ab", "abcdef", 2) {
+		t.Fatal("length gap 4 > 2 must be dissimilar")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize("  Hello World ") != "hello world" {
+		t.Fatalf("Normalize = %q", Normalize("  Hello World "))
+	}
+}
+
+// Metric axioms: identity, symmetry, triangle inequality.
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	clamp := func(s string) string {
+		if len(s) > 12 {
+			return s[:12]
+		}
+		return s
+	}
+	identity := func(a string) bool {
+		a = clamp(a)
+		return Levenshtein(a, a) == 0
+	}
+	symmetry := func(a, b string) bool {
+		a, b = clamp(a), clamp(b)
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	triangle := func(a, b, c string) bool {
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	for name, f := range map[string]any{"identity": identity, "symmetry": symmetry, "triangle": triangle} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Distance is bounded below by the rune-length difference and above by the
+// longer length.
+func TestLevenshteinBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		d := Levenshtein(a, b)
+		diff := la - lb
+		if diff < 0 {
+			diff = -diff
+		}
+		maxLen := la
+		if lb > maxLen {
+			maxLen = lb
+		}
+		return d >= diff && d <= maxLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

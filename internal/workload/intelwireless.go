@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privateclean/internal/relation"
+)
+
+// IntelWirelessConfig parameterizes the sensor-log simulator standing in for
+// the Intel Lab wireless dataset (Section 8.4): environmental time series
+// from 68 sensors where occasional sensor failures produce missing or
+// spurious sensor ids with untrustworthy readings. The cleaning task merges
+// all spurious ids to NULL; queries then filter sensor_id != NULL.
+type IntelWirelessConfig struct {
+	// Rows is the number of log entries (paper: 2.3M; default 20000 so
+	// tests stay fast — benches scale it up).
+	Rows int
+	// Sensors is the number of real sensors (paper: 68).
+	Sensors int
+	// FailureRate is the fraction of log entries produced during failures.
+	FailureRate float64
+	// SpuriousIDs is the number of distinct garbage id strings failures
+	// emit; a failure entry draws one of these or the missing value.
+	SpuriousIDs int
+}
+
+// WithDefaults fills zero fields.
+func (c IntelWirelessConfig) WithDefaults() IntelWirelessConfig {
+	if c.Rows == 0 {
+		c.Rows = 20000
+	}
+	if c.Sensors == 0 {
+		c.Sensors = 68
+	}
+	if c.FailureRate == 0 {
+		c.FailureRate = 0.08
+	}
+	if c.SpuriousIDs == 0 {
+		c.SpuriousIDs = 6
+	}
+	return c
+}
+
+// IntelWirelessSchema is the sensor-log schema: the Intel Lab trace's
+// environmental statistics (temperature, humidity, light) keyed by sensor.
+var IntelWirelessSchema = relation.MustSchema(
+	relation.Column{Name: "sensor_id", Kind: relation.Discrete},
+	relation.Column{Name: "temp", Kind: relation.Numeric},
+	relation.Column{Name: "humidity", Kind: relation.Numeric},
+	relation.Column{Name: "light", Kind: relation.Numeric},
+)
+
+// SensorID renders the id of real sensor k (0-based).
+func SensorID(k int) string { return fmt.Sprintf("s%02d", k+1) }
+
+// SpuriousID renders the k-th spurious id string.
+func SpuriousID(k int) string { return fmt.Sprintf("ERR-%d", k) }
+
+// ValidSensorIDs returns the set of real sensor ids.
+func ValidSensorIDs(sensors int) map[string]bool {
+	out := make(map[string]bool, sensors)
+	for k := 0; k < sensors; k++ {
+		out[SensorID(k)] = true
+	}
+	return out
+}
+
+// IntelWireless generates the sensor log. Healthy entries carry a valid
+// sensor id and a temperature around the sensor's baseline (15-25 C with
+// Gaussian jitter); failure entries carry a spurious id (or the missing
+// value) and an untrustworthy extreme reading.
+func IntelWireless(rng *rand.Rand, cfg IntelWirelessConfig) (*relation.Relation, error) {
+	cfg = cfg.WithDefaults()
+	ids := make([]string, cfg.Rows)
+	temps := make([]float64, cfg.Rows)
+	humidity := make([]float64, cfg.Rows)
+	light := make([]float64, cfg.Rows)
+	for i := 0; i < cfg.Rows; i++ {
+		if rng.Float64() < cfg.FailureRate {
+			// Failure entry: spurious or missing id, extreme readings.
+			choice := rng.Intn(cfg.SpuriousIDs + 1)
+			if choice == cfg.SpuriousIDs {
+				ids[i] = relation.Null
+			} else {
+				ids[i] = SpuriousID(choice)
+			}
+			if rng.Float64() < 0.5 {
+				temps[i] = 120 + rng.NormFloat64()*5
+			} else {
+				temps[i] = -40 + rng.NormFloat64()*5
+			}
+			humidity[i] = -10 + rng.NormFloat64()*2
+			light[i] = 0
+			continue
+		}
+		s := rng.Intn(cfg.Sensors)
+		ids[i] = SensorID(s)
+		base := 15 + 10*float64(s%cfg.Sensors)/float64(cfg.Sensors)
+		temps[i] = base + rng.NormFloat64()*1.5
+		humidity[i] = 40 + 15*float64(s%7)/7 + rng.NormFloat64()*3
+		light[i] = 200 + 400*float64(s%5)/5 + rng.NormFloat64()*40
+	}
+	return relation.FromColumns(IntelWirelessSchema,
+		map[string][]float64{"temp": temps, "humidity": humidity, "light": light},
+		map[string][]string{"sensor_id": ids})
+}

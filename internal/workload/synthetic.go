@@ -1,0 +1,259 @@
+// Package workload generates the four datasets of the paper's evaluation
+// (Section 8.2): the Zipfian synthetic dataset, a TPC-DS-style
+// customer_address table with constraint-based corruptions, an
+// IntelWireless-style sensor log, and an MCAFE-style course-evaluation
+// table. The paper's real datasets are proprietary or unavailable offline;
+// the simulators reproduce the structural properties each experiment
+// depends on (see DESIGN.md's substitution table).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"privateclean/internal/dist"
+	"privateclean/internal/relation"
+)
+
+// SyntheticConfig parameterizes the synthetic dataset of Section 8.2: a
+// single categorical attribute with N distinct values and a single numerical
+// attribute on [0, ValueLevels-1], both drawn from Zipfian distributions
+// with scale parameter Z (Table 1 defaults: S=1000, N=50, z=2).
+type SyntheticConfig struct {
+	// S is the number of rows.
+	S int
+	// N is the number of distinct categorical values.
+	N int
+	// Z is the Zipfian scale parameter for the categorical attribute.
+	Z float64
+	// ValueLevels is the size of the numerical attribute's support
+	// {0, ..., ValueLevels-1}; 101 gives the paper's [0, 100].
+	ValueLevels int
+	// ValueZ is the Zipfian scale for the numerical attribute; if 0, Z is
+	// used.
+	ValueZ float64
+	// Correlation in [0, 1] linearly mixes the categorical rank into the
+	// numerical value, producing the category/value correlation that makes
+	// sum estimation hard (Section 5.5). 0 (the default) keeps them
+	// independent.
+	Correlation float64
+}
+
+// WithDefaults fills zero fields with the Table 1 defaults.
+func (c SyntheticConfig) WithDefaults() SyntheticConfig {
+	if c.S == 0 {
+		c.S = 1000
+	}
+	if c.N == 0 {
+		c.N = 50
+	}
+	if c.Z == 0 {
+		c.Z = 2
+	}
+	if c.ValueLevels == 0 {
+		c.ValueLevels = 101
+	}
+	if c.ValueZ == 0 {
+		c.ValueZ = c.Z
+	}
+	return c
+}
+
+// CategoryValue renders the categorical value for rank k, e.g. "v007".
+func CategoryValue(k int) string { return fmt.Sprintf("v%03d", k) }
+
+// SyntheticSchema is the schema of the synthetic dataset.
+var SyntheticSchema = relation.MustSchema(
+	relation.Column{Name: "category", Kind: relation.Discrete},
+	relation.Column{Name: "value", Kind: relation.Numeric},
+)
+
+// Synthetic generates the synthetic dataset.
+func Synthetic(rng *rand.Rand, cfg SyntheticConfig) (*relation.Relation, error) {
+	cfg = cfg.WithDefaults()
+	catZipf, err := dist.NewZipf(cfg.N, cfg.Z)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	valZipf, err := dist.NewZipf(cfg.ValueLevels, cfg.ValueZ)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	cats := make([]string, cfg.S)
+	vals := make([]float64, cfg.S)
+	for i := 0; i < cfg.S; i++ {
+		// The first N rows take each domain value once so the relation
+		// realizes exactly N distinct values (Table 1's N is the true
+		// domain size, and the Figure 9 distinct-fraction sweep needs N/S
+		// to actually reach its nominal value); remaining rows are Zipfian.
+		k := i
+		if k >= cfg.N {
+			k = catZipf.Sample(rng)
+		}
+		cats[i] = CategoryValue(k)
+		// Zipf rank r maps to value ValueLevels-1-r, so the distribution's
+		// mode sits at the top of the [0, ValueLevels-1] range. This keeps
+		// predicate sums well-scaled relative to the Laplace noise b, which
+		// is what makes the paper's sum-error regimes (Figure 2b/2d)
+		// observable.
+		v := float64(cfg.ValueLevels - 1 - valZipf.Sample(rng))
+		if cfg.Correlation > 0 && cfg.N > 1 {
+			catPart := float64(k) / float64(cfg.N-1) * float64(cfg.ValueLevels-1)
+			v = cfg.Correlation*catPart + (1-cfg.Correlation)*v
+		}
+		vals[i] = v
+	}
+	return relation.FromColumns(SyntheticSchema,
+		map[string][]float64{"value": vals},
+		map[string][]string{"category": cats})
+}
+
+// RandomValueMap builds the error model of the synthetic data-error
+// experiments (Sections 8.3.2): a deterministic value mapping over the
+// categorical domain in which
+//
+//   - a mergeFrac fraction of distinct values are mapped onto *other
+//     existing* distinct values (merge errors — these change the
+//     predicate's effective selectivity and are where provenance pays off,
+//     Figure 6), and
+//   - a renameFrac fraction are mapped to *fresh* values not previously in
+//     the domain (pure renames — one-to-one transformations).
+//
+// The mapping is what the analyst's cleaner applies (the paper treats the
+// user's cleaning as ground truth, Section 3.2.2). Merge targets are drawn
+// only from values that are not themselves remapped, so the mapping is
+// single-step deterministic. Returns the mapping; values absent from it are
+// unchanged.
+func RandomValueMap(rng *rand.Rand, domain []string, mergeFrac, renameFrac float64) (map[string]string, error) {
+	if mergeFrac < 0 || renameFrac < 0 || mergeFrac+renameFrac > 1 {
+		return nil, fmt.Errorf("workload: merge fraction %v + rename fraction %v out of [0,1]", mergeFrac, renameFrac)
+	}
+	n := len(domain)
+	nMerge := int(mergeFrac * float64(n))
+	nRename := int(renameFrac * float64(n))
+	if nMerge+nRename == 0 {
+		return map[string]string{}, nil
+	}
+	sorted := append([]string(nil), domain...)
+	sort.Strings(sorted)
+	perm := rng.Perm(n)
+	remapped := perm[:nMerge+nRename]
+	kept := perm[nMerge+nRename:]
+	// Merge targets concentrate on a small subset of the kept values
+	// (roughly one target per three merged sources), mirroring real
+	// cleaning where many alternative representations collapse onto few
+	// canonical values. Clustered merges shift the predicate's dirty-domain
+	// selectivity l the most, which is the effect Figure 6 isolates.
+	var targets []int
+	if nMerge > 0 && len(kept) > 0 {
+		nTargets := (nMerge + 2) / 3
+		if nTargets > len(kept) {
+			nTargets = len(kept)
+		}
+		targets = kept[:nTargets]
+	}
+	mapping := make(map[string]string, len(remapped))
+	for i, idx := range remapped {
+		src := sorted[idx]
+		if i < nMerge && len(targets) > 0 {
+			mapping[src] = sorted[targets[rng.Intn(len(targets))]]
+		} else {
+			mapping[src] = src + "~renamed"
+		}
+	}
+	return mapping, nil
+}
+
+// MultiAttrConfig parameterizes the two-attribute synthetic dataset of the
+// Figure 7 experiment: a section attribute functionally determines an
+// instructor attribute, a fraction of rows lose the instructor value
+// (set to relation.Null), and an FD repair restores it. Because the single
+// dirty value Null forks across many instructors, the provenance graph is
+// weighted (Example 6 in the paper).
+type MultiAttrConfig struct {
+	// S is the number of rows.
+	S int
+	// Sections is the number of distinct sections.
+	Sections int
+	// Instructors is the number of distinct instructors (each section is
+	// assigned one, round-robin).
+	Instructors int
+	// Z is the Zipfian skew of the section distribution.
+	Z float64
+	// ErrorRate is the fraction of rows whose instructor is nulled out.
+	ErrorRate float64
+	// ValueLevels sizes the numerical attribute's support (default 101).
+	ValueLevels int
+}
+
+// WithDefaults fills zero fields.
+func (c MultiAttrConfig) WithDefaults() MultiAttrConfig {
+	if c.S == 0 {
+		c.S = 1000
+	}
+	if c.Sections == 0 {
+		c.Sections = 50
+	}
+	if c.Instructors == 0 {
+		c.Instructors = 10
+	}
+	if c.Z == 0 {
+		c.Z = 2
+	}
+	if c.ValueLevels == 0 {
+		c.ValueLevels = 101
+	}
+	return c
+}
+
+// MultiAttrSchema is the schema of the multi-attribute dataset.
+var MultiAttrSchema = relation.MustSchema(
+	relation.Column{Name: "section", Kind: relation.Discrete},
+	relation.Column{Name: "instructor", Kind: relation.Discrete},
+	relation.Column{Name: "value", Kind: relation.Numeric},
+)
+
+// SectionValue renders the section value for index k.
+func SectionValue(k int) string { return fmt.Sprintf("sec%03d", k) }
+
+// InstructorValue renders the instructor value for index k.
+func InstructorValue(k int) string { return fmt.Sprintf("inst%02d", k) }
+
+// InstructorFor returns the instructor assigned to a section under the
+// round-robin ground-truth FD.
+func InstructorFor(section, instructors int) string {
+	return InstructorValue(section % instructors)
+}
+
+// MultiAttr generates the two-attribute dataset with nulled-out instructor
+// errors already injected (the errors are part of the dirty relation R).
+func MultiAttr(rng *rand.Rand, cfg MultiAttrConfig) (*relation.Relation, error) {
+	cfg = cfg.WithDefaults()
+	secZipf, err := dist.NewZipf(cfg.Sections, cfg.Z)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	valZipf, err := dist.NewZipf(cfg.ValueLevels, cfg.Z)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	secs := make([]string, cfg.S)
+	insts := make([]string, cfg.S)
+	vals := make([]float64, cfg.S)
+	for i := 0; i < cfg.S; i++ {
+		s := secZipf.Sample(rng)
+		secs[i] = SectionValue(s)
+		if rng.Float64() < cfg.ErrorRate {
+			insts[i] = relation.Null
+		} else {
+			insts[i] = InstructorFor(s, cfg.Instructors)
+		}
+		// Descending rank-to-value mapping, as in Synthetic: keeps sums
+		// well-scaled relative to the Laplace noise.
+		vals[i] = float64(cfg.ValueLevels - 1 - valZipf.Sample(rng))
+	}
+	return relation.FromColumns(MultiAttrSchema,
+		map[string][]float64{"value": vals},
+		map[string][]string{"section": secs, "instructor": insts})
+}
