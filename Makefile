@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build vet test race faults check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The full suite under the race detector; includes the fault-injection
+# suite (internal/faults, internal/atomicio, internal/csvio robustness
+# tests, internal/core pipeline tests, CLI exit-code tests).
+race:
+	$(GO) test -race ./...
+
+# Just the fault-injection and robustness suite, race-enabled.
+faults:
+	$(GO) test -race \
+		./internal/faults/ ./internal/atomicio/ ./internal/csvio/ ./internal/core/ ./cmd/privateclean/
+
+# What CI runs.
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -15,16 +15,17 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
+	"privateclean/internal/atomicio"
 	"privateclean/internal/cleaning"
 	"privateclean/internal/core"
 	"privateclean/internal/csvio"
 	"privateclean/internal/estimator"
+	"privateclean/internal/faults"
 	"privateclean/internal/privacy"
 	"privateclean/internal/provenance"
 	"privateclean/internal/query"
@@ -33,16 +34,26 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "privateclean:", err)
-		os.Exit(1)
 	}
+	// The error taxonomy maps to distinct exit codes (see docs/ROBUSTNESS.md)
+	// so scripts can distinguish "bad flags" from "corrupt checkpoint".
+	os.Exit(faults.ExitCode(err))
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
+	// A panic anywhere in a subcommand becomes a classified internal error
+	// instead of a bare stack trace and exit code 2 from the runtime.
+	defer func() {
+		if r := recover(); r != nil {
+			err = faults.Recover(r)
+		}
+	}()
 	if len(args) == 0 {
 		usage()
-		return fmt.Errorf("missing subcommand")
+		return faults.Errorf(faults.ErrUsage, "missing subcommand")
 	}
 	switch args[0] {
 	case "privatize":
@@ -66,7 +77,7 @@ func run(args []string) error {
 		return nil
 	default:
 		usage()
-		return fmt.Errorf("unknown subcommand %q", args[0])
+		return faults.Errorf(faults.ErrUsage, "unknown subcommand %q", args[0])
 	}
 }
 
@@ -86,23 +97,91 @@ subcommands:
 run 'privateclean <subcommand> -h' for flags`)
 }
 
-// loadRelation reads a CSV, optionally forcing some columns discrete.
-func loadRelation(path, forceDiscrete string) (*relation.Relation, error) {
-	opts := csvio.Options{ForceKinds: map[string]relation.Kind{}}
-	if forceDiscrete != "" {
-		for _, name := range strings.Split(forceDiscrete, ",") {
-			opts.ForceKinds[strings.TrimSpace(name)] = relation.Discrete
-		}
-	}
-	return csvio.ReadFile(path, opts)
+// csvFlags bundles the flags every CSV-reading subcommand shares: forced
+// column kinds and the malformed-row policy.
+type csvFlags struct {
+	forceDiscrete *string
+	onRowError    *string
+	quarantine    *string
 }
 
-func writeJSON(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		return err
+func addCSVFlags(fs *flag.FlagSet) *csvFlags {
+	return &csvFlags{
+		forceDiscrete: fs.String("discrete", "", "comma-separated columns to force discrete"),
+		onRowError:    fs.String("on-row-error", "fail", "malformed-row policy: fail | skip | quarantine"),
+		quarantine:    fs.String("quarantine", "", "sidecar CSV for quarantined rows (default <in>"+csvio.QuarantineFileSuffix+")"),
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func (cf *csvFlags) forceKinds() map[string]relation.Kind {
+	kinds := map[string]relation.Kind{}
+	if *cf.forceDiscrete != "" {
+		for _, name := range strings.Split(*cf.forceDiscrete, ",") {
+			kinds[strings.TrimSpace(name)] = relation.Discrete
+		}
+	}
+	return kinds
+}
+
+func (cf *csvFlags) policy() (csvio.RowErrorPolicy, error) {
+	return csvio.ParseRowErrorPolicy(*cf.onRowError)
+}
+
+func (cf *csvFlags) quarantinePath(in string) string {
+	if *cf.quarantine != "" {
+		return *cf.quarantine
+	}
+	return in + csvio.QuarantineFileSuffix
+}
+
+// load reads a CSV under the selected row policy, reporting dropped rows on
+// stderr so a lossy load is never silent.
+func (cf *csvFlags) load(path string) (*relation.Relation, error) {
+	policy, err := cf.policy()
+	if err != nil {
+		return nil, err
+	}
+	opts := csvio.Options{ForceKinds: cf.forceKinds(), OnRowError: policy}
+	if policy == csvio.RowErrorQuarantine {
+		q, err := os.Create(cf.quarantinePath(path))
+		if err != nil {
+			return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("quarantine sidecar: %w", err))
+		}
+		defer q.Close()
+		opts.Quarantine = q
+	}
+	r, rep, err := csvio.ReadFileWithReport(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "privateclean: %s: %d malformed row(s) handled by policy %q\n",
+			path, rep.Skipped+rep.Quarantined, policy)
+	}
+	return r, nil
+}
+
+// readMeta loads and validates released view metadata; anything wrong with
+// it — unreadable, undecodable, or inconsistent — is a metadata fault.
+func readMeta(path string) (*privacy.ViewMeta, error) {
+	meta := &privacy.ViewMeta{}
+	if err := readJSON(path, meta); err != nil {
+		return nil, faults.Wrap(faults.ErrBadMeta, err)
+	}
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+// readProv loads a provenance store; decode-time validation lives in the
+// store's UnmarshalJSON.
+func readProv(path string) (*provenance.Store, error) {
+	prov := provenance.NewStore()
+	if err := readJSON(path, prov); err != nil {
+		return nil, faults.Wrap(faults.ErrBadMeta, err)
+	}
+	return prov, nil
 }
 
 func readJSON(path string, v any) error {
@@ -123,14 +202,20 @@ func cmdPrivatize(args []string) error {
 	targetErr := fs.Float64("error", 0, "if > 0, tune p and b from this count-error target instead")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for tuning")
 	seed := fs.Int64("seed", 1, "RNG seed")
-	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	chunk := fs.Int("chunk", core.DefaultChunkSize, "rows privatized per checkpointed chunk")
+	checkpoint := fs.String("checkpoint", "", "checkpoint path (default <out>.ckpt)")
+	resume := fs.Bool("resume", false, "resume an interrupted run from its checkpoint")
+	cf := addCSVFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *in == "" || *out == "" || *metaPath == "" {
-		return fmt.Errorf("privatize: -in, -out, and -meta are required")
+		return faults.Errorf(faults.ErrUsage, "privatize: -in, -out, and -meta are required")
 	}
-	r, err := loadRelation(*in, *forceDiscrete)
+	// The parameters need the schema, so the input is read once up front;
+	// the job re-reads it when privatizing (and again on every resume, which
+	// is what makes the checkpoint's input fingerprint meaningful).
+	r, err := cf.load(*in)
 	if err != nil {
 		return err
 	}
@@ -141,18 +226,32 @@ func cmdPrivatize(args []string) error {
 			return err
 		}
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	view, meta, err := privacy.Privatize(rng, r, params)
+	policy, err := cf.policy()
 	if err != nil {
 		return err
 	}
-	if err := csvio.WriteFile(*out, view); err != nil {
+	job := &core.PrivatizeJob{
+		In:             *in,
+		Out:            *out,
+		MetaPath:       *metaPath,
+		CheckpointPath: *checkpoint,
+		Params:         params,
+		Seed:           *seed,
+		ChunkSize:      *chunk,
+		ForceKinds:     cf.forceKinds(),
+		OnRowError:     policy,
+		QuarantinePath: *cf.quarantine,
+		Resume:         *resume,
+	}
+	res, err := job.Run()
+	if err != nil {
 		return err
 	}
-	if err := writeJSON(*metaPath, meta); err != nil {
-		return err
+	meta := res.Meta
+	if res.ResumedFrom > 0 {
+		fmt.Printf("resumed from chunk %d of %d\n", res.ResumedFrom, res.Chunks)
 	}
-	fmt.Printf("released %d rows; total epsilon = %.4f\n", view.NumRows(), meta.TotalEpsilon())
+	fmt.Printf("released %d rows; total epsilon = %.4f\n", res.Rows, meta.TotalEpsilon())
 	for _, name := range sortedKeys(meta.Discrete) {
 		m := meta.Discrete[name]
 		fmt.Printf("  discrete %-16s p=%.4f N=%d eps=%.4f\n", m.Name, m.P, m.N(), m.Epsilon())
@@ -178,14 +277,14 @@ func cmdTune(args []string) error {
 	in := fs.String("in", "", "input CSV (required)")
 	targetErr := fs.Float64("error", 0.05, "target maximum count-query fraction error")
 	confidence := fs.Float64("confidence", 0.95, "confidence level")
-	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	cf := addCSVFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *in == "" {
-		return fmt.Errorf("tune: -in is required")
+		return faults.Errorf(faults.ErrUsage, "tune: -in is required")
 	}
-	r, err := loadRelation(*in, *forceDiscrete)
+	r, err := cf.load(*in)
 	if err != nil {
 		return err
 	}
@@ -208,10 +307,10 @@ func cmdMinSize(args []string) error {
 	p := fs.Float64("p", 0.1, "randomization probability")
 	alpha := fs.Float64("alpha", 0.05, "failure probability (domain preserved w.p. 1-alpha)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *n <= 0 {
-		return fmt.Errorf("minsize: -n is required")
+		return faults.Errorf(faults.ErrUsage, "minsize: -n is required")
 	}
 	s, err := privacy.MinDatasetSize(*n, *p, *alpha)
 	if err != nil {
@@ -226,14 +325,14 @@ func cmdEpsilon(args []string) error {
 	fs := flag.NewFlagSet("epsilon", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV (required)")
 	eps := fs.Float64("eps", 1, "total privacy budget to allocate")
-	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	cf := addCSVFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *in == "" {
-		return fmt.Errorf("epsilon: -in is required")
+		return faults.Errorf(faults.ErrUsage, "epsilon: -in is required")
 	}
-	r, err := loadRelation(*in, *forceDiscrete)
+	r, err := cf.load(*in)
 	if err != nil {
 		return err
 	}
@@ -253,14 +352,14 @@ func cmdEpsilon(args []string) error {
 func cmdDescribe(args []string) error {
 	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV (required)")
-	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	cf := addCSVFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *in == "" {
-		return fmt.Errorf("describe: -in is required")
+		return faults.Errorf(faults.ErrUsage, "describe: -in is required")
 	}
-	r, err := loadRelation(*in, *forceDiscrete)
+	r, err := cf.load(*in)
 	if err != nil {
 		return err
 	}
@@ -302,21 +401,20 @@ func cmdExplain(args []string) error {
 	metaPath := fs.String("meta", "", "view metadata JSON (required)")
 	provPath := fs.String("prov", "", "provenance JSON (optional)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return faults.Wrap(faults.ErrUsage, err)
 	}
 	sql := strings.Join(fs.Args(), " ")
 	if *metaPath == "" || sql == "" {
-		return fmt.Errorf("explain: -meta and a SQL string are required")
+		return faults.Errorf(faults.ErrUsage, "explain: -meta and a SQL string are required")
 	}
-	meta := &privacy.ViewMeta{}
-	if err := readJSON(*metaPath, meta); err != nil {
-		return fmt.Errorf("explain: reading metadata: %w", err)
+	meta, err := readMeta(*metaPath)
+	if err != nil {
+		return err
 	}
 	var prov *provenance.Store
 	if *provPath != "" {
-		prov = provenance.NewStore()
-		if err := readJSON(*provPath, prov); err != nil {
-			return fmt.Errorf("explain: reading provenance: %w", err)
+		if prov, err = readProv(*provPath); err != nil {
+			return err
 		}
 	}
 	ex, err := core.ExplainQuery(sql, meta, prov, nil)
@@ -397,30 +495,30 @@ func cmdClean(args []string) error {
 	out := fs.String("out", "", "output cleaned CSV (required)")
 	metaPath := fs.String("meta", "", "view metadata JSON from privatize (required)")
 	provPath := fs.String("prov", "", "provenance JSON (read if present, always written) (required)")
-	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
 	var ops opList
 	fs.Var(&ops, "op", "cleaning op spec (repeatable): replace:a:f:t | md:a:d | fd:l1,l2:r | fdimpute:l:r | nullify:a:v1,v2")
+	cf := addCSVFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *in == "" || *out == "" || *metaPath == "" || *provPath == "" {
-		return fmt.Errorf("clean: -in, -out, -meta, and -prov are required")
+		return faults.Errorf(faults.ErrUsage, "clean: -in, -out, -meta, and -prov are required")
 	}
 	if len(ops) == 0 {
-		return fmt.Errorf("clean: at least one -op is required")
+		return faults.Errorf(faults.ErrUsage, "clean: at least one -op is required")
 	}
-	r, err := loadRelation(*in, *forceDiscrete)
+	r, err := cf.load(*in)
 	if err != nil {
 		return err
 	}
-	meta := &privacy.ViewMeta{}
-	if err := readJSON(*metaPath, meta); err != nil {
-		return fmt.Errorf("clean: reading metadata: %w", err)
+	meta, err := readMeta(*metaPath)
+	if err != nil {
+		return err
 	}
 	prov := provenance.NewStore()
 	if _, statErr := os.Stat(*provPath); statErr == nil {
-		if err := readJSON(*provPath, prov); err != nil {
-			return fmt.Errorf("clean: reading provenance: %w", err)
+		if prov, err = readProv(*provPath); err != nil {
+			return err
 		}
 	}
 	ctx := &cleaning.Context{Rel: r, Prov: prov, Meta: meta}
@@ -430,7 +528,7 @@ func cmdClean(args []string) error {
 	if err := csvio.WriteFile(*out, r); err != nil {
 		return err
 	}
-	if err := writeJSON(*provPath, prov); err != nil {
+	if err := atomicio.WriteJSON(*provPath, prov); err != nil {
 		return err
 	}
 	fmt.Printf("applied %d ops; provenance tracks %d attribute(s)\n", len(ops), len(prov.Attrs()))
@@ -443,27 +541,26 @@ func cmdQuery(args []string) error {
 	metaPath := fs.String("meta", "", "view metadata JSON (required)")
 	provPath := fs.String("prov", "", "provenance JSON (optional)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for intervals")
-	forceDiscrete := fs.String("discrete", "", "comma-separated columns to force discrete")
+	cf := addCSVFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return faults.Wrap(faults.ErrUsage, err)
 	}
 	sql := strings.Join(fs.Args(), " ")
 	if *in == "" || *metaPath == "" || sql == "" {
-		return fmt.Errorf("query: -in, -meta, and a SQL string are required")
+		return faults.Errorf(faults.ErrUsage, "query: -in, -meta, and a SQL string are required")
 	}
-	r, err := loadRelation(*in, *forceDiscrete)
+	r, err := cf.load(*in)
 	if err != nil {
 		return err
 	}
-	meta := &privacy.ViewMeta{}
-	if err := readJSON(*metaPath, meta); err != nil {
-		return fmt.Errorf("query: reading metadata: %w", err)
+	meta, err := readMeta(*metaPath)
+	if err != nil {
+		return err
 	}
 	var prov *provenance.Store
 	if *provPath != "" {
-		prov = provenance.NewStore()
-		if err := readJSON(*provPath, prov); err != nil {
-			return fmt.Errorf("query: reading provenance: %w", err)
+		if prov, err = readProv(*provPath); err != nil {
+			return err
 		}
 	}
 

@@ -1,12 +1,18 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"privateclean/internal/cleaning"
+	"privateclean/internal/core"
+	"privateclean/internal/csvio"
+	"privateclean/internal/faults"
+	"privateclean/internal/privacy"
+	"privateclean/internal/relation"
 )
 
 // writeTempCSV writes a small dirty evaluations CSV and returns its path.
@@ -211,5 +217,168 @@ func TestDescribeSubcommand(t *testing.T) {
 	}
 	if err := run([]string{"describe", "-in", filepath.Join(dir, "missing.csv")}); err == nil {
 		t.Fatal("want error for missing file")
+	}
+}
+
+// TestExitCodes pins the error-taxonomy-to-exit-code mapping the CLI
+// promises in docs/ROBUSTNESS.md.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTempCSV(t, dir)
+	out := filepath.Join(dir, "out.csv")
+	metaPath := filepath.Join(dir, "meta.json")
+	badMeta := filepath.Join(dir, "bad-meta.json")
+	if err := os.WriteFile(badMeta, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A valid release so query/explain have real metadata to work with.
+	if err := run([]string{"privatize", "-in", data, "-out", out, "-meta", metaPath,
+		"-p", "0.15", "-b", "0.5", "-discrete", "score"}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no_subcommand", []string{}, faults.ExitUsage},
+		{"unknown_subcommand", []string{"bogus"}, faults.ExitUsage},
+		{"missing_flags", []string{"privatize"}, faults.ExitUsage},
+		{"bad_flag", []string{"privatize", "-in", data, "-out", out, "-meta", metaPath, "-nope"}, faults.ExitUsage},
+		{"bad_row_policy", []string{"describe", "-in", data, "-on-row-error", "explode"}, faults.ExitUsage},
+		{"resume_without_checkpoint", []string{"privatize", "-in", data, "-out",
+			filepath.Join(dir, "r.csv"), "-meta", filepath.Join(dir, "r.json"), "-resume"}, faults.ExitUsage},
+		{"missing_input", []string{"privatize", "-in", filepath.Join(dir, "missing.csv"),
+			"-out", out, "-meta", metaPath}, faults.ExitBadInput},
+		{"corrupt_meta", []string{"query", "-in", out, "-meta", badMeta, "-discrete", "score",
+			"SELECT count(1) FROM R"}, faults.ExitBadMeta},
+		{"bad_params", []string{"privatize", "-in", data, "-out", out, "-meta", metaPath,
+			"-p", "2"}, faults.ExitBadParams},
+		{"bad_query", []string{"query", "-in", out, "-meta", metaPath, "-discrete", "score",
+			"SELECT nonsense"}, faults.ExitBadQuery},
+		{"ok", []string{"minsize", "-n", "25", "-p", "0.25"}, faults.ExitOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if got := faults.ExitCode(err); got != tc.want {
+				t.Errorf("run(%v) exit code = %d (err %v), want %d", tc.args, got, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestExitCodeCorruptCheckpoint needs an on-disk checkpoint to corrupt, so
+// it drives an interruption through the core job first.
+func TestExitCodeCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTempCSV(t, dir)
+	out := filepath.Join(dir, "view.csv")
+	metaPath := filepath.Join(dir, "meta.json")
+	if err := os.WriteFile(out+".ckpt", []byte("{definitely not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"privatize", "-in", data, "-out", out, "-meta", metaPath,
+		"-p", "0.15", "-b", "0.5", "-discrete", "score", "-resume"})
+	if got := faults.ExitCode(err); got != faults.ExitCheckpoint {
+		t.Errorf("exit code = %d (err %v), want %d", got, err, faults.ExitCheckpoint)
+	}
+}
+
+// TestPrivatizeResumeCLI is the CLI half of the resume acceptance check: an
+// interrupted release finished with `privatize -resume` must be
+// byte-identical to an uninterrupted run with the same seed and chunking.
+func TestPrivatizeResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTempCSV(t, dir)
+	flags := []string{"-p", "0.15", "-b", "0.5", "-seed", "3", "-chunk", "128", "-discrete", "score"}
+
+	outA := filepath.Join(dir, "a.csv")
+	metaA := filepath.Join(dir, "a.json")
+	if err := run(append([]string{"privatize", "-in", data, "-out", outA, "-meta", metaA}, flags...)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt a second run after 2 of its 5 chunks, using the same
+	// parameters the CLI would derive.
+	kinds := map[string]relation.Kind{"score": relation.Discrete}
+	r, err := csvio.ReadFile(data, csvio.Options{ForceKinds: kinds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB := filepath.Join(dir, "b.csv")
+	metaB := filepath.Join(dir, "b.json")
+	boom := errors.New("kill")
+	job := &core.PrivatizeJob{
+		In: data, Out: outB, MetaPath: metaB,
+		Params:     privacy.Uniform(r.Schema(), 0.15, 0.5),
+		Seed:       3,
+		ChunkSize:  128,
+		ForceKinds: kinds,
+		OnChunk: func(done, total int) error {
+			if done == 2 {
+				return boom
+			}
+			return nil
+		},
+	}
+	if _, err := job.Run(); !errors.Is(err, boom) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+
+	if err := run(append([]string{"privatize", "-in", data, "-out", outB, "-meta", metaB, "-resume"}, flags...)); err != nil {
+		t.Fatalf("CLI resume: %v", err)
+	}
+	wantView, _ := os.ReadFile(outA)
+	gotView, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotView) != string(wantView) {
+		t.Error("resumed CLI view differs from uninterrupted run")
+	}
+	wantMeta, _ := os.ReadFile(metaA)
+	gotMeta, _ := os.ReadFile(metaB)
+	if string(gotMeta) != string(wantMeta) {
+		t.Error("resumed CLI metadata differs from uninterrupted run")
+	}
+}
+
+// TestRowPolicyFlagsCLI exercises -on-row-error and -quarantine end to end.
+func TestRowPolicyFlagsCLI(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTempCSV(t, dir)
+	raw, err := os.ReadFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte(faults.InjectRaggedRow(string(raw), 10)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.csv")
+	metaPath := filepath.Join(dir, "meta.json")
+
+	err = run([]string{"privatize", "-in", bad, "-out", out, "-meta", metaPath, "-p", "0.15", "-b", "0.5", "-discrete", "score"})
+	if got := faults.ExitCode(err); got != faults.ExitBadInput {
+		t.Fatalf("default policy: exit %d (err %v), want %d", got, err, faults.ExitBadInput)
+	}
+
+	if err := run([]string{"privatize", "-in", bad, "-out", out, "-meta", metaPath,
+		"-p", "0.15", "-b", "0.5", "-discrete", "score", "-on-row-error", "skip"}); err != nil {
+		t.Fatalf("skip policy: %v", err)
+	}
+
+	sidecar := filepath.Join(dir, "rejects.csv")
+	if err := run([]string{"describe", "-in", bad, "-on-row-error", "quarantine", "-quarantine", sidecar}); err != nil {
+		t.Fatalf("quarantine policy: %v", err)
+	}
+	side, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatalf("quarantine sidecar missing: %v", err)
+	}
+	if !strings.Contains(string(side), "Mechanical Engineering") {
+		t.Errorf("sidecar content = %q, want the malformed row", side)
 	}
 }

@@ -1,0 +1,83 @@
+// Package atomicio writes files atomically: content goes to a temporary
+// file in the destination's directory, is flushed and fsynced, and is then
+// renamed over the destination. A crash at any point leaves either the old
+// file or the new file — never a half-written artifact.
+//
+// That guarantee is load-bearing for PrivateClean: a truncated private view
+// or metadata file silently changes the effective epsilon of a release, and
+// a re-run from scratch double-spends the privacy budget. Every artifact the
+// CLI and the core pipeline emit (CSV views, meta.json, provenance JSON,
+// checkpoints) goes through this package.
+package atomicio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"privateclean/internal/faults"
+)
+
+// WriteFile writes the destination atomically with the content produced by
+// write. The temp file lives in path's directory so the final rename cannot
+// cross filesystems. On any failure the temp file is removed and the
+// destination is untouched; write-side failures are classified as
+// faults.ErrPartialWrite.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("atomicio: writing %s: %w", path, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("atomicio: sync %s: %w", path, err))
+	}
+	if err := tmp.Close(); err != nil {
+		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("atomicio: close %s: %w", path, err))
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}
+
+// WriteFileBytes atomically writes a byte slice.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		n, err := w.Write(data)
+		if err != nil {
+			return err
+		}
+		if n != len(data) {
+			return fmt.Errorf("short write: %d of %d bytes", n, len(data))
+		}
+		return nil
+	})
+}
+
+// WriteJSON atomically writes v as indented JSON with a trailing newline —
+// the sidecar format shared by meta.json, provenance, and checkpoints.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("atomicio: marshal %s: %w", path, err)
+	}
+	return WriteFileBytes(path, append(data, '\n'))
+}

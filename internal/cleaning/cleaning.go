@@ -22,6 +22,7 @@ package cleaning
 import (
 	"fmt"
 
+	"privateclean/internal/faults"
 	"privateclean/internal/privacy"
 	"privateclean/internal/provenance"
 	"privateclean/internal/relation"
@@ -49,7 +50,9 @@ type Op interface {
 func Apply(ctx *Context, ops ...Op) error {
 	for _, op := range ops {
 		if err := op.Apply(ctx); err != nil {
-			return fmt.Errorf("cleaning: %s: %w", op.Name(), err)
+			// Op failures stem from the op spec or the data it targets;
+			// classify them so the CLI can exit with the bad-input code.
+			return faults.Wrap(faults.ErrBadInput, fmt.Errorf("cleaning: %s: %w", op.Name(), err))
 		}
 	}
 	return nil

@@ -1,0 +1,561 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"privateclean/internal/atomicio"
+	"privateclean/internal/csvio"
+	"privateclean/internal/faults"
+	"privateclean/internal/privacy"
+	"privateclean/internal/relation"
+	"privateclean/internal/stats"
+)
+
+// The hardened provider-side pipeline: privatization runs in row chunks with
+// a resumable checkpoint, so a crash mid-release neither leaves a
+// half-written private view on disk nor forces a re-randomization of rows
+// that already escaped the provider — re-running GRR over the same records
+// would double-spend the privacy budget (each release composes under
+// Theorem 1).
+//
+// Layout on disk while a job is in flight:
+//
+//	<out>.partial  — the private view rows emitted so far (header + chunks)
+//	<out>.ckpt     — JSON checkpoint: next chunk, RNG stream position,
+//	                 partial byte offset, running epsilon accounting, and
+//	                 fingerprints of the input and parameters
+//
+// On completion the partial file is atomically renamed to <out>, the
+// metadata is atomically written, and the checkpoint is removed. Every
+// crash window in between is covered: re-running with Resume either picks
+// up after the last durable chunk or just finishes the rename/metadata
+// steps. Chunk randomness comes from per-chunk derived RNG streams, so a
+// resumed run produces byte-identical output to an uninterrupted one.
+
+// checkpointVersion guards the checkpoint schema; a reader refuses any
+// other version rather than guessing.
+const checkpointVersion = 1
+
+// DefaultChunkSize is the number of rows privatized per chunk when the job
+// does not choose one.
+const DefaultChunkSize = 512
+
+// PrivatizeJob configures one chunked, checkpointed privatization run.
+type PrivatizeJob struct {
+	// In is the input CSV path; Out receives the private view. Metadata
+	// goes to MetaPath. All three are required.
+	In, Out, MetaPath string
+	// CheckpointPath overrides the default Out + ".ckpt".
+	CheckpointPath string
+	// Params are the GRR parameters, validated strictly before any
+	// randomness is spent (p in (0,1], finite b > 0 — see Params.Validate).
+	Params privacy.Params
+	// Seed feeds the per-chunk RNG stream derivation.
+	Seed int64
+	// ChunkSize is the number of rows per chunk (DefaultChunkSize if <= 0).
+	ChunkSize int
+	// ForceKinds forces column kinds on load, as in csvio.Options.
+	ForceKinds map[string]relation.Kind
+	// OnRowError selects the per-row policy for malformed input rows.
+	OnRowError csvio.RowErrorPolicy
+	// QuarantinePath receives malformed rows under the quarantine policy;
+	// defaults to In + csvio.QuarantineFileSuffix.
+	QuarantinePath string
+	// Resume continues from an existing checkpoint instead of starting
+	// over. Without a checkpoint on disk, Resume is a usage error.
+	Resume bool
+	// OnChunk, if set, runs after each chunk is durable (rows flushed,
+	// checkpoint written). Returning an error aborts the run at a clean
+	// chunk boundary; the checkpoint stays behind for a later Resume.
+	OnChunk func(done, total int) error
+
+	// tapOutput wraps the partial-file writer; the fault-injection tests
+	// use it to land short writes exactly where the kernel could.
+	tapOutput func(io.Writer) io.Writer
+}
+
+// PrivatizeResult reports a completed run.
+type PrivatizeResult struct {
+	// View is the released private relation; Meta its mechanism metadata.
+	View *relation.Relation
+	Meta *privacy.ViewMeta
+	// Report is the input-side row accounting (skipped/quarantined rows).
+	Report *csvio.Report
+	// Rows is the number of released rows, Chunks the number of chunks the
+	// run was split into, and ResumedFrom the chunk the run restarted at
+	// (0 for a fresh run).
+	Rows, Chunks, ResumedFrom int
+}
+
+// checkpoint is the on-disk resume state. Fingerprints pin the checkpoint
+// to one (input, parameters, seed, chunking) tuple so a resume can never
+// silently mix two different releases.
+type checkpoint struct {
+	Version   int    `json:"version"`
+	InputSHA  string `json:"input_sha256"`
+	ParamsSHA string `json:"params_sha256"`
+	Seed      int64  `json:"seed"`
+	ChunkSize int    `json:"chunk_size"`
+	Rows      int    `json:"rows"`
+
+	// NextChunk is the first chunk not yet durable; RNGStream is the
+	// derived stream seed that chunk will consume.
+	NextChunk int    `json:"next_chunk"`
+	RNGStream uint64 `json:"rng_stream"`
+	// PartialBytes is the byte length of the partial output covering the
+	// durable chunks; anything beyond it is a torn chunk write and is
+	// truncated away on resume.
+	PartialBytes int64 `json:"partial_bytes"`
+
+	// Running epsilon accounting: every released row spends the full
+	// per-record epsilon (Theorem 1 composes across attributes, and local
+	// DP composes across releases of the same record — which is exactly
+	// why resume must not re-randomize emitted rows).
+	EpsilonPerRecord float64 `json:"epsilon_per_record"`
+	RowsEmitted      int     `json:"rows_emitted"`
+}
+
+// partialPath and checkpointPath name the in-flight artifacts.
+func (job *PrivatizeJob) partialPath() string { return job.Out + ".partial" }
+
+func (job *PrivatizeJob) checkpointPath() string {
+	if job.CheckpointPath != "" {
+		return job.CheckpointPath
+	}
+	return job.Out + ".ckpt"
+}
+
+func (job *PrivatizeJob) quarantinePath() string {
+	if job.QuarantinePath != "" {
+		return job.QuarantinePath
+	}
+	return job.In + csvio.QuarantineFileSuffix
+}
+
+// streamSeed derives the RNG stream for one chunk from the job seed via a
+// splitmix64 round. Chunks are independent streams, so a resumed run
+// regenerates chunk k identically without replaying chunks 0..k-1.
+func streamSeed(seed int64, chunk int) uint64 {
+	x := uint64(seed) + 0x9E3779B97F4A7C15*uint64(chunk+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// chunkRand builds the rand source for one chunk.
+func chunkRand(seed int64, chunk int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(streamSeed(seed, chunk))))
+}
+
+// fingerprintFile hashes a file's bytes.
+func fingerprintFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", faults.Wrap(faults.ErrBadInput, fmt.Errorf("core: %w", err))
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", faults.Wrap(faults.ErrBadInput, fmt.Errorf("core: %w", err))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// fingerprintParams hashes the GRR parameters in a stable order.
+func fingerprintParams(params privacy.Params) string {
+	h := sha256.New()
+	for _, m := range []map[string]float64{params.P, params.B} {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(h, "%s=%v;", k, m[k])
+		}
+		io.WriteString(h, "|")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Run executes the job. See the package comment on pipeline layout; every
+// failure is classified under the faults taxonomy, and no failure mode
+// leaves a half-written final artifact (view, metadata) on disk.
+func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, faults.Recover(r)
+		}
+	}()
+	if job.In == "" || job.Out == "" || job.MetaPath == "" {
+		return nil, faults.Errorf(faults.ErrUsage, "core: privatize job needs In, Out, and MetaPath")
+	}
+	if job.ChunkSize <= 0 {
+		job.ChunkSize = DefaultChunkSize
+	}
+
+	inputSHA, err := fingerprintFile(job.In)
+	if err != nil {
+		return nil, err
+	}
+	r, report, err := job.loadInput()
+	if err != nil {
+		return nil, err
+	}
+	if err := job.Params.Validate(r.Schema(), true); err != nil {
+		return nil, err
+	}
+
+	// The view starts as a clone; chunks randomize it range by range. The
+	// metadata (domains, sensitivities) is deterministic — no randomness is
+	// consumed before the first chunk.
+	view := r.Clone()
+	meta, err := viewMetaFor(r, job.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := r.NumRows()
+	chunks := (rows + job.ChunkSize - 1) / job.ChunkSize
+	ck := &checkpoint{
+		Version:          checkpointVersion,
+		InputSHA:         inputSHA,
+		ParamsSHA:        fingerprintParams(job.Params),
+		Seed:             job.Seed,
+		ChunkSize:        job.ChunkSize,
+		Rows:             rows,
+		RNGStream:        streamSeed(job.Seed, 0),
+		EpsilonPerRecord: meta.TotalEpsilon(),
+	}
+	resumedFrom := 0
+	if job.Resume {
+		prev, err := job.readCheckpoint(ck)
+		if err != nil {
+			return nil, err
+		}
+		ck = prev
+		resumedFrom = ck.NextChunk
+	}
+
+	// A resume that already has every chunk durable skips straight to
+	// finalize — the partial file may even be gone if the crash hit between
+	// the rename and the checkpoint removal.
+	needPartial := ck.NextChunk < chunks || (ck.NextChunk == 0 && !job.Resume)
+	if needPartial {
+		if err := job.writeChunks(ck, r, view, meta, rows, chunks); err != nil {
+			return nil, err
+		}
+	}
+
+	// The privatized view is rebuilt for the caller even for chunks that
+	// were durable before this run started: each chunk is a pure function
+	// of (data, params, chunk stream), so this re-derivation matches the
+	// bytes on disk without spending fresh randomness.
+	for chunk := 0; chunk < resumedFrom; chunk++ {
+		lo, hi := chunkRange(chunk, job.ChunkSize, rows)
+		if err := privatizeRange(chunkRand(job.Seed, chunk), r, view, meta, lo, hi); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := job.finalize(meta); err != nil {
+		return nil, err
+	}
+	return &PrivatizeResult{
+		View:        view,
+		Meta:        meta,
+		Report:      report,
+		Rows:        rows,
+		Chunks:      chunks,
+		ResumedFrom: resumedFrom,
+	}, nil
+}
+
+// chunkRange returns the row interval [lo, hi) covered by one chunk.
+func chunkRange(chunk, chunkSize, rows int) (int, int) {
+	lo := chunk * chunkSize
+	hi := lo + chunkSize
+	if hi > rows {
+		hi = rows
+	}
+	return lo, hi
+}
+
+// writeChunks privatizes and durably appends every remaining chunk,
+// advancing the checkpoint after each one. The header of an empty relation
+// is emitted as a degenerate zeroth chunk so the released view is never a
+// zero-byte file.
+func (job *PrivatizeJob) writeChunks(ck *checkpoint, r, view *relation.Relation, meta *privacy.ViewMeta, rows, chunks int) error {
+	partial, err := job.openPartial(ck)
+	if err != nil {
+		return err
+	}
+	defer partial.Close()
+
+	if rows == 0 && ck.PartialBytes == 0 {
+		if _, err := job.appendRows(partial, view, 0, 0); err != nil {
+			return err
+		}
+	}
+	for chunk := ck.NextChunk; chunk < chunks; chunk++ {
+		lo, hi := chunkRange(chunk, job.ChunkSize, rows)
+		if err := privatizeRange(chunkRand(job.Seed, chunk), r, view, meta, lo, hi); err != nil {
+			return err
+		}
+		n, err := job.appendRows(partial, view, lo, hi)
+		if err != nil {
+			return err
+		}
+		ck.NextChunk = chunk + 1
+		ck.RNGStream = streamSeed(job.Seed, chunk+1)
+		ck.PartialBytes += n
+		ck.RowsEmitted += hi - lo
+		if err := atomicio.WriteJSON(job.checkpointPath(), ck); err != nil {
+			return err
+		}
+		if job.OnChunk != nil {
+			if err := job.OnChunk(chunk+1, chunks); err != nil {
+				return err
+			}
+		}
+	}
+	if err := partial.Close(); err != nil {
+		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: closing partial view: %w", err))
+	}
+	return nil
+}
+
+// loadInput reads the input CSV under the job's row policy.
+func (job *PrivatizeJob) loadInput() (*relation.Relation, *csvio.Report, error) {
+	opts := csvio.Options{ForceKinds: job.ForceKinds, OnRowError: job.OnRowError}
+	if job.OnRowError == csvio.RowErrorQuarantine {
+		q, err := os.Create(job.quarantinePath())
+		if err != nil {
+			return nil, nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: quarantine sidecar: %w", err))
+		}
+		defer q.Close()
+		opts.Quarantine = q
+	}
+	return csvio.ReadFileWithReport(job.In, opts)
+}
+
+// viewMetaFor computes the release metadata without consuming randomness:
+// domains for discrete attributes, observed sensitivities for numeric ones.
+func viewMetaFor(r *relation.Relation, params privacy.Params) (*privacy.ViewMeta, error) {
+	meta := &privacy.ViewMeta{
+		Discrete: make(map[string]privacy.DiscreteMeta),
+		Numeric:  make(map[string]privacy.NumericMeta),
+		Rows:     r.NumRows(),
+	}
+	for _, name := range r.Schema().DiscreteNames() {
+		domain, err := r.Domain(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(domain) == 0 && r.NumRows() > 0 {
+			return nil, faults.Errorf(faults.ErrBadInput, "core: attribute %q has an empty domain", name)
+		}
+		meta.Discrete[name] = privacy.DiscreteMeta{Name: name, P: params.P[name], Domain: domain}
+	}
+	for _, name := range r.Schema().NumericNames() {
+		col, err := r.Numeric(name)
+		if err != nil {
+			return nil, err
+		}
+		delta := 0.0
+		if lo, hi, err := stats.MinMax(col); err == nil {
+			delta = hi - lo
+		}
+		meta.Numeric[name] = privacy.NumericMeta{Name: name, B: params.B[name], Delta: delta}
+	}
+	return meta, nil
+}
+
+// privatizeRange randomizes rows [lo, hi) of every attribute, writing into
+// view. Column order is the schema's, so the draw sequence for a chunk is a
+// pure function of (data, params, chunk stream).
+func privatizeRange(rng privacy.Rand, r, view *relation.Relation, meta *privacy.ViewMeta, lo, hi int) error {
+	for _, name := range r.Schema().DiscreteNames() {
+		src, err := r.Discrete(name)
+		if err != nil {
+			return err
+		}
+		dm := meta.Discrete[name]
+		priv, err := privacy.RandomizedResponse(rng, src[lo:hi], dm.Domain, dm.P)
+		if err != nil {
+			return err
+		}
+		dst, err := view.Discrete(name)
+		if err != nil {
+			return err
+		}
+		copy(dst[lo:hi], priv)
+	}
+	for _, name := range r.Schema().NumericNames() {
+		src, err := r.Numeric(name)
+		if err != nil {
+			return err
+		}
+		nm := meta.Numeric[name]
+		priv, err := privacy.LaplacePerturb(rng, src[lo:hi], nm.B)
+		if err != nil {
+			return err
+		}
+		dst, err := view.Numeric(name)
+		if err != nil {
+			return err
+		}
+		copy(dst[lo:hi], priv)
+	}
+	return nil
+}
+
+// openPartial opens (or creates) the partial output file positioned at the
+// checkpoint's durable byte offset. A fresh run writes the CSV header and
+// checkpoints it as chunk-zero state.
+func (job *PrivatizeJob) openPartial(ck *checkpoint) (*os.File, error) {
+	path := job.partialPath()
+	if ck.NextChunk == 0 && ck.PartialBytes == 0 {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: partial view: %w", err))
+		}
+		return f, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrCorruptCheckpoint, fmt.Errorf("core: partial view missing for checkpoint: %w", err))
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, faults.Wrap(faults.ErrCorruptCheckpoint, fmt.Errorf("core: partial view: %w", err))
+	}
+	if info.Size() < ck.PartialBytes {
+		f.Close()
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint,
+			"core: partial view is %d bytes, checkpoint covers %d", info.Size(), ck.PartialBytes)
+	}
+	// Bytes beyond the checkpoint are a torn chunk write: discard them.
+	if err := f.Truncate(ck.PartialBytes); err != nil {
+		f.Close()
+		return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: truncating torn chunk: %w", err))
+	}
+	if _, err := f.Seek(ck.PartialBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: %w", err))
+	}
+	return f, nil
+}
+
+// appendRows renders rows [lo, hi) of the view (plus the header before row
+// zero) and appends them durably to the partial file, returning the byte
+// count. The chunk is staged in memory first so a short write never
+// interleaves a torn record into the accounting.
+func (job *PrivatizeJob) appendRows(f *os.File, view *relation.Relation, lo, hi int) (int64, error) {
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	cols := view.Schema().Columns()
+	if lo == 0 {
+		if err := cw.Write(csvio.Header(view)); err != nil {
+			return 0, faults.Wrap(faults.ErrPartialWrite, err)
+		}
+	}
+	record := make([]string, len(cols))
+	for i := lo; i < hi; i++ {
+		if err := csvio.FormatRow(view, cols, i, record); err != nil {
+			return 0, err
+		}
+		if err := cw.Write(record); err != nil {
+			return 0, faults.Wrap(faults.ErrPartialWrite, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return 0, faults.Wrap(faults.ErrPartialWrite, err)
+	}
+	var w io.Writer = f
+	if job.tapOutput != nil {
+		w = job.tapOutput(f)
+	}
+	n, err := w.Write(buf.Bytes())
+	if err != nil {
+		return 0, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: chunk write: %w", err))
+	}
+	if n != buf.Len() {
+		return 0, faults.Errorf(faults.ErrPartialWrite, "core: chunk write: %d of %d bytes", n, buf.Len())
+	}
+	if err := f.Sync(); err != nil {
+		return 0, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: chunk sync: %w", err))
+	}
+	return int64(buf.Len()), nil
+}
+
+// readCheckpoint loads and validates the on-disk checkpoint against the
+// fresh state computed for this run (fingerprints, chunking, row count).
+func (job *PrivatizeJob) readCheckpoint(fresh *checkpoint) (*checkpoint, error) {
+	data, err := os.ReadFile(job.checkpointPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, faults.Errorf(faults.ErrUsage, "core: resume requested but no checkpoint at %s", job.checkpointPath())
+		}
+		return nil, faults.Wrap(faults.ErrCorruptCheckpoint, fmt.Errorf("core: %w", err))
+	}
+	ck := &checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, faults.Wrap(faults.ErrCorruptCheckpoint, fmt.Errorf("core: decoding checkpoint: %w", err))
+	}
+	switch {
+	case ck.Version != checkpointVersion:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	case ck.InputSHA != fresh.InputSHA:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint was taken against a different input file")
+	case ck.ParamsSHA != fresh.ParamsSHA:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint was taken with different GRR parameters")
+	case ck.Seed != fresh.Seed:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint seed %d does not match job seed %d", ck.Seed, fresh.Seed)
+	case ck.ChunkSize != fresh.ChunkSize:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint chunk size %d does not match job chunk size %d", ck.ChunkSize, fresh.ChunkSize)
+	case ck.Rows != fresh.Rows:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint covers %d rows, input has %d", ck.Rows, fresh.Rows)
+	case ck.NextChunk < 0 || ck.NextChunk > (ck.Rows+ck.ChunkSize-1)/ck.ChunkSize:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint chunk index %d out of range", ck.NextChunk)
+	case ck.PartialBytes < 0 || ck.RowsEmitted < 0 || ck.RowsEmitted > ck.Rows:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint accounting out of range")
+	case ck.RNGStream != streamSeed(ck.Seed, ck.NextChunk):
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint RNG stream position does not match its chunk index")
+	}
+	return ck, nil
+}
+
+// finalize promotes the partial view to the final output, writes the
+// metadata, and removes the checkpoint — each step idempotent, so a crash
+// between any two of them is repaired by re-running finalize on resume.
+func (job *PrivatizeJob) finalize(meta *privacy.ViewMeta) error {
+	if _, err := os.Stat(job.partialPath()); err == nil {
+		if err := os.Rename(job.partialPath(), job.Out); err != nil {
+			return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: publishing view: %w", err))
+		}
+	} else if _, statErr := os.Stat(job.Out); statErr != nil {
+		return faults.Errorf(faults.ErrCorruptCheckpoint, "core: neither partial nor final view exists")
+	}
+	if err := atomicio.WriteJSON(job.MetaPath, meta); err != nil {
+		return err
+	}
+	if err := os.Remove(job.checkpointPath()); err != nil && !os.IsNotExist(err) {
+		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: removing checkpoint: %w", err))
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"privateclean/internal/atomicio"
 	"privateclean/internal/csvio"
 	"privateclean/internal/privacy"
 	"privateclean/internal/provenance"
@@ -48,12 +49,10 @@ func (a *Analyst) Save(dir string) error {
 		sessionProvFile: a.prov,
 		sessionKindFile: kinds,
 	} {
-		data, err := json.MarshalIndent(v, "", "  ")
-		if err != nil {
+		// Atomic per file: a crash mid-save can leave the session with stale
+		// files but never with a torn JSON document.
+		if err := atomicio.WriteJSON(filepath.Join(dir, name), v); err != nil {
 			return fmt.Errorf("core: save %s: %w", name, err)
-		}
-		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
-			return fmt.Errorf("core: save: %w", err)
 		}
 	}
 	return nil

@@ -2,9 +2,12 @@ package csvio
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"privateclean/internal/privacy"
+	"privateclean/internal/provenance"
 	"privateclean/internal/relation"
 )
 
@@ -47,6 +50,114 @@ func FuzzRead(f *testing.F) {
 		}
 		if back.NumRows() != r.NumRows() {
 			t.Fatalf("row count changed: %d -> %d", r.NumRows(), back.NumRows())
+		}
+	})
+}
+
+// FuzzReadPolicies runs the loader under every row-error policy, checking
+// that no input panics and that the policies agree: whatever the skip policy
+// loads, the quarantine policy loads identically, and a clean report under
+// skip implies the fail policy accepts the input too.
+func FuzzReadPolicies(f *testing.F) {
+	seeds := []string{
+		"a,b\n1,x\n2\n3,y\n",
+		"\xEF\xBB\xBFa\n1\n",
+		"a\n+Inf\n",
+		"a,b\n\"broken\n",
+		"a,a\n1,2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		skipRel, skipRep, skipErr := ReadWithReport(strings.NewReader(src), Options{OnRowError: RowErrorSkip})
+		var sidecar bytes.Buffer
+		qRel, qRep, qErr := ReadWithReport(strings.NewReader(src), Options{
+			OnRowError: RowErrorQuarantine, Quarantine: &sidecar,
+		})
+		if (skipErr == nil) != (qErr == nil) {
+			t.Fatalf("skip and quarantine disagree on acceptance: %v vs %v", skipErr, qErr)
+		}
+		if skipErr != nil {
+			return
+		}
+		if skipRel.NumRows() != qRel.NumRows() || skipRep.Skipped != qRep.Quarantined {
+			t.Fatalf("policies diverge: skip %d rows/%d dropped, quarantine %d rows/%d dropped",
+				skipRel.NumRows(), skipRep.Skipped, qRel.NumRows(), qRep.Quarantined)
+		}
+		if _, failErr := Read(strings.NewReader(src), Options{}); skipRep.Clean() != (failErr == nil) {
+			t.Fatalf("clean report %v but fail policy says %v", skipRep.Clean(), failErr)
+		}
+	})
+}
+
+// FuzzMetaJSON checks that arbitrary bytes never panic the view-metadata
+// decoder, and that anything accepted and validated survives a marshal
+// round trip. The metadata file crosses the provider/analyst trust boundary,
+// so the decoder is fuzzed like any other untrusted input.
+func FuzzMetaJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"Discrete":{"major":{"Name":"major","P":0.2,"Domain":["a","b"]}},"Numeric":{},"Rows":10}`,
+		`{"Discrete":{"major":{"Name":"major","P":1.5,"Domain":[]}},"Rows":-3}`,
+		`{"Numeric":{"score":{"Name":"score","B":-1,"Delta":4}}}`,
+		`{"Discrete":null,"Numeric":null,"Rows":0}`,
+		`[1,2,3]`,
+		`null`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta := &privacy.ViewMeta{}
+		if err := json.Unmarshal(data, meta); err != nil {
+			return // rejection is fine
+		}
+		if err := meta.Validate(); err != nil {
+			return // decoded but out of range: typed rejection is fine
+		}
+		out, err := json.Marshal(meta)
+		if err != nil {
+			t.Fatalf("validated metadata failed to marshal: %v", err)
+		}
+		back := &privacy.ViewMeta{}
+		if err := json.Unmarshal(out, back); err != nil {
+			t.Fatalf("marshaled metadata failed to re-read: %v", err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped metadata no longer validates: %v", err)
+		}
+	})
+}
+
+// FuzzProvenanceJSON checks that arbitrary bytes never panic the provenance
+// decoder and that accepted stores survive a marshal round trip.
+func FuzzProvenanceJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"graphs":{}}`,
+		`{"graphs":{"major":{"attr":"major","n":2,"forked":false,"parents":{"a":{"a":1}}}}}`,
+		`{"graphs":{"major":null}}`,
+		`{"graphs":{"major":{"attr":"major","n":2,"parents":{"a":{"a":0.5,"b":0.6}}}}}`,
+		`null`,
+		`42`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := provenance.NewStore()
+		if err := json.Unmarshal(data, store); err != nil {
+			return // rejection is fine
+		}
+		out, err := json.Marshal(store)
+		if err != nil {
+			t.Fatalf("accepted provenance failed to marshal: %v", err)
+		}
+		back := provenance.NewStore()
+		if err := json.Unmarshal(out, back); err != nil {
+			t.Fatalf("marshaled provenance failed to re-read: %v", err)
 		}
 	})
 }

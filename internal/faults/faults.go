@@ -1,0 +1,180 @@
+// Package faults is the error taxonomy for the PrivateClean pipeline.
+//
+// Every failure the privatize→clean→query flow can hit is classified into a
+// small set of sentinel kinds (bad input, bad metadata, bad parameters, bad
+// query, corrupt checkpoint, partial write, usage, internal). Packages wrap
+// their errors with a kind via Wrap or Errorf; callers branch with
+// errors.Is(err, faults.ErrBadInput) and the CLI maps kinds to distinct
+// process exit codes via ExitCode.
+//
+// The classification matters for a privacy mechanism: a silently truncated
+// output or a double-applied mechanism changes the effective epsilon
+// (Theorem 1 composition), so "retryable after resume" (ErrPartialWrite,
+// ErrCorruptCheckpoint) must be distinguishable from "the input itself is
+// unusable" (ErrBadInput, ErrBadParams).
+//
+// The package also ships a fault-injection harness (inject.go): failing and
+// short-write io wrappers with deterministic "fail at byte N" triggers, and
+// CSV corrupters, used by the cross-package fault-injection test suite.
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel kinds. Wrapped errors satisfy errors.Is(err, kind).
+var (
+	// ErrUsage reports a malformed command line: unknown subcommand,
+	// missing required flag, unparsable flag value.
+	ErrUsage = errors.New("usage error")
+	// ErrBadInput reports unusable input data: unreadable or malformed CSV,
+	// ragged rows under the fail policy, duplicate or empty headers.
+	ErrBadInput = errors.New("bad input")
+	// ErrBadMeta reports unusable sidecar state: view metadata or
+	// provenance JSON that does not decode or does not validate.
+	ErrBadMeta = errors.New("bad metadata")
+	// ErrBadParams reports out-of-range mechanism parameters: p outside
+	// [0,1], non-finite or negative Laplace scale, non-positive epsilon.
+	ErrBadParams = errors.New("bad parameters")
+	// ErrBadQuery reports a query that does not parse or references
+	// attributes the estimator cannot serve.
+	ErrBadQuery = errors.New("bad query")
+	// ErrCorruptCheckpoint reports a resume checkpoint that is unreadable,
+	// fails validation, or does not match the current input/parameters.
+	ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+	// ErrPartialWrite reports an interrupted or short write of an output
+	// artifact. Atomic-rename discipline means the final artifact is never
+	// left half-written; this kind signals the attempt must be retried.
+	ErrPartialWrite = errors.New("partial write")
+	// ErrInternal reports a bug: a recovered panic or an invariant
+	// violation that no input should be able to trigger.
+	ErrInternal = errors.New("internal error")
+)
+
+// Fault attaches a taxonomy kind to an underlying cause. errors.Is matches
+// both the kind and the cause chain; errors.As reaches the cause.
+type Fault struct {
+	Kind  error // one of the package sentinels
+	Cause error
+}
+
+// Error renders "kind: cause".
+func (f *Fault) Error() string {
+	if f.Cause == nil {
+		return f.Kind.Error()
+	}
+	return f.Kind.Error() + ": " + f.Cause.Error()
+}
+
+// Unwrap exposes both the kind and the cause to errors.Is / errors.As.
+func (f *Fault) Unwrap() []error {
+	if f.Cause == nil {
+		return []error{f.Kind}
+	}
+	return []error{f.Kind, f.Cause}
+}
+
+// Wrap classifies err under kind. A nil err returns nil. If err already
+// carries kind the error is returned unchanged, so layered wrapping does not
+// stutter.
+func Wrap(kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, kind) {
+		return err
+	}
+	return &Fault{Kind: kind, Cause: err}
+}
+
+// Errorf builds a classified error from a format string.
+func Errorf(kind error, format string, args ...any) error {
+	return &Fault{Kind: kind, Cause: fmt.Errorf(format, args...)}
+}
+
+// Kind returns the taxonomy sentinel err is classified under, or nil for an
+// unclassified (or nil) error. When an error carries several kinds the most
+// specific — first wrapped — one wins.
+func Kind(err error) error {
+	for _, k := range kinds {
+		if errors.Is(err, k) {
+			return k
+		}
+	}
+	return nil
+}
+
+// kinds is the classification order used by Kind and ExitCode. Checkpoint
+// and partial-write faults are listed before the broad input kinds so a
+// doubly-classified error reports the recoverable kind.
+var kinds = []error{
+	ErrUsage,
+	ErrCorruptCheckpoint,
+	ErrPartialWrite,
+	ErrBadParams,
+	ErrBadMeta,
+	ErrBadQuery,
+	ErrBadInput,
+	ErrInternal,
+}
+
+// Process exit codes. 0 is success and 1 an unclassified failure; the
+// taxonomy kinds get stable distinct codes so scripts and supervisors can
+// branch on them (documented in docs/ROBUSTNESS.md).
+const (
+	ExitOK         = 0
+	ExitGeneric    = 1
+	ExitUsage      = 2
+	ExitBadInput   = 3
+	ExitBadMeta    = 4
+	ExitBadParams  = 5
+	ExitBadQuery   = 6
+	ExitCheckpoint = 7
+	ExitPartial    = 8
+	ExitInternal   = 9
+)
+
+// ExitCode maps an error to its process exit code.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	switch Kind(err) {
+	case ErrUsage:
+		return ExitUsage
+	case ErrBadInput:
+		return ExitBadInput
+	case ErrBadMeta:
+		return ExitBadMeta
+	case ErrBadParams:
+		return ExitBadParams
+	case ErrBadQuery:
+		return ExitBadQuery
+	case ErrCorruptCheckpoint:
+		return ExitCheckpoint
+	case ErrPartialWrite:
+		return ExitPartial
+	case ErrInternal:
+		return ExitInternal
+	default:
+		return ExitGeneric
+	}
+}
+
+// Recover converts a recovered panic value into an ErrInternal fault. Use as
+//
+//	defer func() {
+//		if r := recover(); r != nil {
+//			err = faults.Recover(r)
+//		}
+//	}()
+func Recover(r any) error {
+	if r == nil {
+		return nil
+	}
+	if err, ok := r.(error); ok {
+		return Wrap(ErrInternal, err)
+	}
+	return Errorf(ErrInternal, "panic: %v", r)
+}

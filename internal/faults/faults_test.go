@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"testing"
+)
+
+func TestWrapClassifies(t *testing.T) {
+	cause := fmt.Errorf("row 7: field count mismatch")
+	err := Wrap(ErrBadInput, cause)
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatal("wrapped error should match its kind")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("wrapped error should match its cause")
+	}
+	if errors.Is(err, ErrBadMeta) {
+		t.Fatal("wrapped error should not match other kinds")
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(ErrBadInput, nil) != nil {
+		t.Fatal("Wrap(kind, nil) must be nil")
+	}
+}
+
+func TestWrapIdempotent(t *testing.T) {
+	inner := Errorf(ErrBadParams, "p = %v out of range", 1.5)
+	outer := Wrap(ErrBadParams, fmt.Errorf("privatize: %w", inner))
+	if got := outer.Error(); got != "privatize: "+inner.Error() {
+		t.Fatalf("re-wrapping stuttered: %q", got)
+	}
+}
+
+func TestErrorfCarriesKindAndMessage(t *testing.T) {
+	err := Errorf(ErrCorruptCheckpoint, "chunk %d beyond end", 12)
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatal("kind lost")
+	}
+	want := "corrupt checkpoint: chunk 12 beyond end"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestErrorsAsReachesCause(t *testing.T) {
+	err := Wrap(ErrBadInput, &fs.PathError{Op: "open", Path: "x.csv", Err: fs.ErrNotExist})
+	var pe *fs.PathError
+	if !errors.As(err, &pe) || pe.Path != "x.csv" {
+		t.Fatal("errors.As should reach the wrapped cause")
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("errors.Is should reach the deep cause")
+	}
+}
+
+func TestKind(t *testing.T) {
+	cases := []struct {
+		err  error
+		want error
+	}{
+		{nil, nil},
+		{fmt.Errorf("plain"), nil},
+		{Errorf(ErrUsage, "missing -in"), ErrUsage},
+		{Wrap(ErrBadMeta, fmt.Errorf("json: bad")), ErrBadMeta},
+		{fmt.Errorf("outer: %w", Errorf(ErrPartialWrite, "short")), ErrPartialWrite},
+	}
+	for _, c := range cases {
+		if got := Kind(c.err); got != c.want {
+			t.Errorf("Kind(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestExitCodesDistinct(t *testing.T) {
+	codes := map[int]error{}
+	for _, k := range kinds {
+		code := ExitCode(Wrap(k, fmt.Errorf("x")))
+		if code == ExitOK || code == ExitGeneric {
+			t.Errorf("kind %v maps to non-distinct code %d", k, code)
+		}
+		if prev, dup := codes[code]; dup {
+			t.Errorf("kinds %v and %v share exit code %d", prev, k, code)
+		}
+		codes[code] = k
+	}
+	if ExitCode(nil) != ExitOK {
+		t.Error("nil should exit 0")
+	}
+	if ExitCode(fmt.Errorf("plain")) != ExitGeneric {
+		t.Error("unclassified error should exit 1")
+	}
+}
+
+func TestRecover(t *testing.T) {
+	if Recover(nil) != nil {
+		t.Fatal("Recover(nil) must be nil")
+	}
+	err := Recover("index out of range")
+	if !errors.Is(err, ErrInternal) {
+		t.Fatal("panic value should classify as internal")
+	}
+	cause := fmt.Errorf("nil deref")
+	err = Recover(cause)
+	if !errors.Is(err, ErrInternal) || !errors.Is(err, cause) {
+		t.Fatal("panic error should keep its cause chain")
+	}
+}
+
+func TestRecoverInDefer(t *testing.T) {
+	f := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = Recover(r)
+			}
+		}()
+		var m map[string]int
+		m["boom"] = 1 // panics: assignment to nil map
+		return nil
+	}
+	if err := f(); !errors.Is(err, ErrInternal) {
+		t.Fatalf("want ErrInternal from recovered panic, got %v", err)
+	}
+}

@@ -1,9 +1,9 @@
 package privacy
 
 import (
-	"fmt"
 	"math"
 
+	"privateclean/internal/faults"
 	"privateclean/internal/relation"
 	"privateclean/internal/stats"
 )
@@ -21,13 +21,13 @@ import (
 // up to constant columns whose epsilon is 0 regardless of b).
 func AllocateEpsilon(r *relation.Relation, eps float64) (Params, error) {
 	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
-		return Params{}, fmt.Errorf("privacy: total epsilon must be positive and finite, got %v", eps)
+		return Params{}, faults.Errorf(faults.ErrBadParams, "privacy: total epsilon must be positive and finite, got %v", eps)
 	}
 	discrete := r.Schema().DiscreteNames()
 	numeric := r.Schema().NumericNames()
 	attrs := len(discrete) + len(numeric)
 	if attrs == 0 {
-		return Params{}, fmt.Errorf("privacy: relation has no attributes")
+		return Params{}, faults.Errorf(faults.ErrBadInput, "privacy: relation has no attributes")
 	}
 	per := eps / float64(attrs)
 
@@ -64,12 +64,12 @@ func AllocateEpsilon(r *relation.Relation, eps float64) (Params, error) {
 // the relation (Theorem 1's interpretation).
 func AllocateEpsilonWeighted(r *relation.Relation, eps float64, weights map[string]float64) (Params, error) {
 	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
-		return Params{}, fmt.Errorf("privacy: total epsilon must be positive and finite, got %v", eps)
+		return Params{}, faults.Errorf(faults.ErrBadParams, "privacy: total epsilon must be positive and finite, got %v", eps)
 	}
 	discrete := r.Schema().DiscreteNames()
 	numeric := r.Schema().NumericNames()
 	if len(discrete)+len(numeric) == 0 {
-		return Params{}, fmt.Errorf("privacy: relation has no attributes")
+		return Params{}, faults.Errorf(faults.ErrBadInput, "privacy: relation has no attributes")
 	}
 	weightOf := func(name string) (float64, error) {
 		w, ok := weights[name]
@@ -77,7 +77,7 @@ func AllocateEpsilonWeighted(r *relation.Relation, eps float64, weights map[stri
 			return 1, nil
 		}
 		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return 0, fmt.Errorf("privacy: weight for %q must be positive and finite, got %v", name, w)
+			return 0, faults.Errorf(faults.ErrBadParams, "privacy: weight for %q must be positive and finite, got %v", name, w)
 		}
 		return w, nil
 	}

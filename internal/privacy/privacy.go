@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"privateclean/internal/faults"
 	"privateclean/internal/relation"
 	"privateclean/internal/stats"
 )
@@ -149,7 +150,7 @@ func EpsilonDiscreteExact(p float64, n int) float64 {
 // achieves a given eps. eps must be >= 0.
 func PForEpsilon(eps float64) (float64, error) {
 	if eps < 0 || math.IsNaN(eps) {
-		return 0, fmt.Errorf("privacy: epsilon must be >= 0, got %v", eps)
+		return 0, faults.Errorf(faults.ErrBadParams, "privacy: epsilon must be >= 0, got %v", eps)
 	}
 	if math.IsInf(eps, 1) {
 		return 0, nil
@@ -173,7 +174,10 @@ func EpsilonNumeric(delta, b float64) float64 {
 // given eps for an attribute of range delta.
 func BForEpsilon(delta, eps float64) (float64, error) {
 	if eps <= 0 || math.IsNaN(eps) {
-		return 0, fmt.Errorf("privacy: epsilon must be > 0, got %v", eps)
+		return 0, faults.Errorf(faults.ErrBadParams, "privacy: epsilon must be > 0, got %v", eps)
+	}
+	if delta < 0 || math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return 0, faults.Errorf(faults.ErrBadParams, "privacy: sensitivity must be finite and >= 0, got %v", delta)
 	}
 	return delta / eps, nil
 }
@@ -183,10 +187,10 @@ func BForEpsilon(delta, eps float64) (float64, error) {
 // from domain with probability p. The input slice is not modified.
 func RandomizedResponse(rng Rand, col []string, domain []string, p float64) ([]string, error) {
 	if p < 0 || p > 1 || math.IsNaN(p) {
-		return nil, fmt.Errorf("privacy: randomization probability %v out of [0,1]", p)
+		return nil, faults.Errorf(faults.ErrBadParams, "privacy: randomization probability %v out of [0,1]", p)
 	}
 	if len(domain) == 0 && len(col) > 0 {
-		return nil, fmt.Errorf("privacy: empty domain for non-empty column")
+		return nil, faults.Errorf(faults.ErrBadInput, "privacy: empty domain for non-empty column")
 	}
 	out := make([]string, len(col))
 	for i, v := range col {
@@ -203,8 +207,8 @@ func RandomizedResponse(rng Rand, col []string, domain []string, p float64) ([]s
 // value receives independent Laplace(0, b) noise. NaN cells (missing values)
 // stay NaN. The input slice is not modified.
 func LaplacePerturb(rng Rand, col []float64, b float64) ([]float64, error) {
-	if b < 0 || math.IsNaN(b) {
-		return nil, fmt.Errorf("privacy: laplace scale %v must be >= 0", b)
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+		return nil, faults.Errorf(faults.ErrBadParams, "privacy: laplace scale %v must be finite and >= 0", b)
 	}
 	out := make([]float64, len(col))
 	for i, v := range col {
@@ -235,7 +239,7 @@ func Privatize(rng Rand, r *relation.Relation, params Params) (*relation.Relatio
 	for _, name := range r.Schema().DiscreteNames() {
 		p, ok := params.P[name]
 		if !ok {
-			return nil, nil, fmt.Errorf("privacy: no randomization probability for discrete attribute %q", name)
+			return nil, nil, faults.Errorf(faults.ErrBadParams, "privacy: no randomization probability for discrete attribute %q", name)
 		}
 		domain, err := r.Domain(name)
 		if err != nil {
@@ -256,7 +260,7 @@ func Privatize(rng Rand, r *relation.Relation, params Params) (*relation.Relatio
 	for _, name := range r.Schema().NumericNames() {
 		b, ok := params.B[name]
 		if !ok {
-			return nil, nil, fmt.Errorf("privacy: no laplace scale for numeric attribute %q", name)
+			return nil, nil, faults.Errorf(faults.ErrBadParams, "privacy: no laplace scale for numeric attribute %q", name)
 		}
 		col, err := r.Numeric(name)
 		if err != nil {
@@ -332,13 +336,13 @@ var ErrDomainMasked = fmt.Errorf("privacy: domain value masked after all regener
 // For p == 0 no value can be masked and the bound is 0.
 func MinDatasetSize(n int, p, alpha float64) (float64, error) {
 	if n <= 0 {
-		return 0, fmt.Errorf("privacy: domain size must be > 0, got %d", n)
+		return 0, faults.Errorf(faults.ErrBadParams, "privacy: domain size must be > 0, got %d", n)
 	}
 	if p < 0 || p > 1 || math.IsNaN(p) {
-		return 0, fmt.Errorf("privacy: p %v out of [0,1]", p)
+		return 0, faults.Errorf(faults.ErrBadParams, "privacy: p %v out of [0,1]", p)
 	}
-	if alpha <= 0 || alpha >= 1 {
-		return 0, fmt.Errorf("privacy: alpha %v out of (0,1)", alpha)
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return 0, faults.Errorf(faults.ErrBadParams, "privacy: alpha %v out of (0,1)", alpha)
 	}
 	if p == 0 {
 		return 0, nil
@@ -384,10 +388,10 @@ func DomainPreservationProb(n, s int, p float64) float64 {
 // the count.
 func CountErrorBound(s int, p, confidence float64) (float64, error) {
 	if s <= 0 {
-		return 0, fmt.Errorf("privacy: dataset size must be > 0, got %d", s)
+		return 0, faults.Errorf(faults.ErrBadParams, "privacy: dataset size must be > 0, got %d", s)
 	}
-	if p < 0 || p >= 1 {
-		return 0, fmt.Errorf("privacy: p %v out of [0,1)", p)
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		return 0, faults.Errorf(faults.ErrBadParams, "privacy: p %v out of [0,1)", p)
 	}
 	z, err := stats.ZScore(confidence)
 	if err != nil {
@@ -410,10 +414,10 @@ func CountErrorBound(s int, p, confidence float64) (float64, error) {
 func Tune(r *relation.Relation, targetError, confidence float64) (Params, error) {
 	s := r.NumRows()
 	if s <= 0 {
-		return Params{}, fmt.Errorf("privacy: cannot tune on an empty relation")
+		return Params{}, faults.Errorf(faults.ErrBadInput, "privacy: cannot tune on an empty relation")
 	}
-	if targetError <= 0 {
-		return Params{}, fmt.Errorf("privacy: target error must be > 0, got %v", targetError)
+	if targetError <= 0 || math.IsNaN(targetError) {
+		return Params{}, faults.Errorf(faults.ErrBadParams, "privacy: target error must be > 0, got %v", targetError)
 	}
 	z, err := stats.ZScore(confidence)
 	if err != nil {
@@ -421,7 +425,7 @@ func Tune(r *relation.Relation, targetError, confidence float64) (Params, error)
 	}
 	p := 1 - z*math.Sqrt(1/(4*float64(s)*targetError*targetError))
 	if p <= 0 {
-		return Params{}, fmt.Errorf("privacy: dataset of %d rows cannot meet count error %v at confidence %v (need p > 0, got %v)",
+		return Params{}, faults.Errorf(faults.ErrBadParams, "privacy: dataset of %d rows cannot meet count error %v at confidence %v (need p > 0, got %v)",
 			s, targetError, confidence, p)
 	}
 	if p > 1 {

@@ -3,6 +3,8 @@ package provenance
 import (
 	"encoding/json"
 	"fmt"
+
+	"privateclean/internal/faults"
 )
 
 // graphJSON is the serialized form of a Graph.
@@ -19,7 +21,10 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 	return json.Marshal(graphJSON{Attr: g.attr, N: g.n, Forked: g.forked, Parents: g.parents})
 }
 
-// UnmarshalJSON implements json.Unmarshaler.
+// UnmarshalJSON implements json.Unmarshaler. A graph that decodes but fails
+// validation is classified as faults.ErrBadMeta — the provenance sidecar is
+// estimator state, and a corrupted one silently skews every weighted
+// correction built from it.
 func (g *Graph) UnmarshalJSON(data []byte) error {
 	var j graphJSON
 	if err := json.Unmarshal(data, &j); err != nil {
@@ -32,7 +37,7 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	g.n = j.N
 	g.forked = j.Forked
 	g.parents = j.Parents
-	return g.Validate(1e-6)
+	return faults.Wrap(faults.ErrBadMeta, g.Validate(1e-6))
 }
 
 // storeJSON is the serialized form of a Store.
@@ -60,7 +65,7 @@ func (s *Store) UnmarshalJSON(data []byte) error {
 	}
 	for attr, g := range j.Graphs {
 		if g == nil {
-			return fmt.Errorf("provenance: nil graph for attribute %q", attr)
+			return faults.Wrap(faults.ErrBadMeta, fmt.Errorf("provenance: nil graph for attribute %q", attr))
 		}
 	}
 	s.graphs = j.Graphs

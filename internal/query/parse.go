@@ -3,6 +3,8 @@ package query
 import (
 	"fmt"
 	"strings"
+
+	"privateclean/internal/faults"
 )
 
 // AggKind identifies the aggregate of a query.
@@ -184,8 +186,16 @@ func (p *parser) isKeyword(t token, kw string) bool {
 	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
 }
 
-// Parse parses one query.
+// Parse parses one query. Failures are classified as faults.ErrBadQuery.
 func Parse(src string) (*Query, error) {
+	q, err := parse(src)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadQuery, err)
+	}
+	return q, nil
+}
+
+func parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
