@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race faults check bench
+.PHONY: build vet test race faults check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,9 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Machine-readable pipeline benchmarks: the figure reproductions plus the
+# end-to-end privatize job, as JSON (raw benchstat-compatible lines included).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure|BenchmarkPrivatizeJob' -benchmem . \
+		| $(GO) run ./tools/benchjson > BENCH_pipeline.json

@@ -7,21 +7,30 @@
 //
 //	experiments [-trials N] [-seed S] [-only fig2a,fig8b,...] [-list]
 //
-// With no -only flag, all experiments run in paper order.
+// With no -only flag, all experiments run in paper order. The -cpuprofile
+// and -memprofile flags write pprof profiles for performance work, and
+// -log-level/-log-format control the structured diagnostics stream.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
 	"privateclean/internal/experiments"
+	"privateclean/internal/faults"
+	"privateclean/internal/telemetry"
 )
+
+// logDest is where structured logs go; tests substitute a buffer.
+var logDest = os.Stderr
 
 type runner func(experiments.Config) ([]*experiments.Table, error)
 
@@ -61,6 +70,14 @@ var registry = map[string]runner{
 var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "thm2", "tuner", "abl-sum", "abl-prov", "coverage", "perf", "tradeoff"}
 
 func main() {
+	// All work happens in run so deferred profile writers fire before exit.
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(faults.ExitCode(err))
+	}
+}
+
+func run() error {
 	cfg := experiments.Default()
 	trials := flag.Int("trials", cfg.Trials, "randomized private instances per point")
 	seed := flag.Int64("seed", cfg.Seed, "base RNG seed")
@@ -68,7 +85,16 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text, csv, json, or chart")
 	outdir := flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
+	logLevel := flag.String("log-level", "warn", "log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "log format: text | json")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	logger, err := makeLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 
 	if *list {
 		ids := make([]string, 0, len(registry))
@@ -77,7 +103,34 @@ func main() {
 		}
 		sort.Strings(ids)
 		fmt.Println(strings.Join(ids, "\n"))
-		return
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+		logger.Info("cpu profiling enabled")
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				logger.Error("memprofile", telemetry.ErrAttr(err))
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				logger.Error("memprofile", telemetry.ErrAttr(err))
+			}
+		}()
 	}
 
 	cfg.Trials = *trials
@@ -100,6 +153,7 @@ func main() {
 		}
 	}
 
+	var emitErr error
 	var emit func(*experiments.Table)
 	switch *format {
 	case "text":
@@ -112,16 +166,15 @@ func main() {
 		emit = func(t *experiments.Table) {
 			data, err := json.Marshal(t)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				emitErr = err
+				return
 			}
 			fmt.Println(string(data))
 		}
 	case "chart":
 		emit = func(t *experiments.Table) { fmt.Println(t.Chart()) }
 	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
-		os.Exit(1)
+		return faults.Errorf(faults.ErrUsage, "unknown format %q", *format)
 	}
 
 	// Experiments are independent (every trial derives its RNG from the
@@ -139,6 +192,7 @@ func main() {
 		}
 		ch := make(chan outcome, 1)
 		results[id] = ch
+		logger.Debug("experiment scheduled", "id", id)
 		go func(id string, ch chan outcome) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
@@ -154,22 +208,40 @@ func main() {
 		}
 		res := <-ch
 		if res.err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, res.err)
-			os.Exit(1)
+			logger.Error("experiment failed", "id", id, telemetry.ErrAttr(res.err))
+			return fmt.Errorf("%s: %w", id, res.err)
 		}
+		logger.Debug("experiment done", "id", id, "tables", len(res.tables))
 		for _, t := range res.tables {
 			emit(t)
+			if emitErr != nil {
+				return emitErr
+			}
 			if *outdir != "" {
 				if err := os.MkdirAll(*outdir, 0o755); err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-					os.Exit(1)
+					return err
 				}
 				path := filepath.Join(*outdir, t.ID+".csv")
 				if err := os.WriteFile(path, []byte(t.FormatCSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-					os.Exit(1)
+					return err
 				}
 			}
 		}
 	}
+	return nil
+}
+
+// makeLogger builds the experiments logger. Experiment ids and table counts
+// are the only values logged, so the redactor just needs those ids allowed.
+func makeLogger(level, format string) (*slog.Logger, error) {
+	lvl, err := telemetry.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	f, err := telemetry.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	red := telemetry.NewRedactor(order...)
+	return telemetry.NewLogger(logDest, lvl, f, red), nil
 }

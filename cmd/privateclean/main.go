@@ -14,11 +14,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"privateclean/internal/atomicio"
 	"privateclean/internal/cleaning"
@@ -31,7 +33,11 @@ import (
 	"privateclean/internal/query"
 	"privateclean/internal/relation"
 	"privateclean/internal/stats"
+	"privateclean/internal/telemetry"
 )
+
+// logDest is where structured logs go; tests substitute a buffer.
+var logDest io.Writer = os.Stderr
 
 func main() {
 	err := run(os.Args[1:])
@@ -97,6 +103,73 @@ subcommands:
 run 'privateclean <subcommand> -h' for flags`)
 }
 
+// telFlags bundles the observability flags every subcommand shares:
+// structured-log level and format, plus metrics and trace snapshot outputs.
+type telFlags struct {
+	level, format        *string
+	metricsOut, traceOut *string
+	set                  *telemetry.Set
+}
+
+func addTelFlags(fs *flag.FlagSet) *telFlags {
+	return &telFlags{
+		level:      fs.String("log-level", "warn", "log level: debug | info | warn | error"),
+		format:     fs.String("log-format", "text", "log format: text | json"),
+		metricsOut: fs.String("metrics-out", "", "write a metrics snapshot on exit (Prometheus text; a .json path gets expvar-style JSON)"),
+		traceOut:   fs.String("trace-out", "", "write the pipeline span tree on exit (JSON for .json paths, text outline otherwise)"),
+	}
+}
+
+// setup builds the telemetry set from the flags and installs it as the
+// process default, so instrumentation inside csvio/cleaning/query reports
+// through it too.
+func (tf *telFlags) setup() (*telemetry.Set, error) {
+	lvl, err := telemetry.ParseLevel(*tf.level)
+	if err != nil {
+		return nil, err
+	}
+	format, err := telemetry.ParseFormat(*tf.format)
+	if err != nil {
+		return nil, err
+	}
+	red := telemetry.NewRedactor()
+	tf.set = &telemetry.Set{
+		Log:     telemetry.NewLogger(logDest, lvl, format, red),
+		Metrics: telemetry.NewRegistry(red),
+		Trace:   telemetry.NewTracer(red),
+		Redact:  red,
+	}
+	telemetry.SetDefault(tf.set)
+	return tf.set, nil
+}
+
+// finish runs at command exit, preferring the command's own error over a
+// snapshot-write failure. Use as: defer tf.finish(&err).
+func (tf *telFlags) finish(err *error) {
+	if ferr := tf.flush(); ferr != nil && *err == nil {
+		*err = ferr
+	}
+}
+
+// flush writes the metrics and trace snapshots. It runs on failure too —
+// the diagnostics matter most when a run dies.
+func (tf *telFlags) flush() error {
+	if tf.set == nil {
+		return nil
+	}
+	if *tf.metricsOut != "" {
+		if err := tf.set.Metrics.SnapshotTo(*tf.metricsOut); err != nil {
+			return err
+		}
+	}
+	if *tf.traceOut != "" {
+		if err := tf.set.Trace.SnapshotTo(*tf.traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // csvFlags bundles the flags every CSV-reading subcommand shares: forced
 // column kinds and the malformed-row policy.
 type csvFlags struct {
@@ -134,29 +207,30 @@ func (cf *csvFlags) quarantinePath(in string) string {
 	return in + csvio.QuarantineFileSuffix
 }
 
-// load reads a CSV under the selected row policy, reporting dropped rows on
-// stderr so a lossy load is never silent.
+// load reads a CSV under the selected row policy. A lossy load is reported
+// as a structured Warn by csvio through the installed logger, so it is never
+// silent and honors -log-format json.
 func (cf *csvFlags) load(path string) (*relation.Relation, error) {
 	policy, err := cf.policy()
 	if err != nil {
 		return nil, err
 	}
-	opts := csvio.Options{ForceKinds: cf.forceKinds(), OnRowError: policy}
+	tel := telemetry.Default()
+	tel.Redact.Allow(path)
+	opts := csvio.Options{ForceKinds: cf.forceKinds(), OnRowError: policy, Tel: tel}
 	if policy == csvio.RowErrorQuarantine {
-		q, err := os.Create(cf.quarantinePath(path))
+		qpath := cf.quarantinePath(path)
+		tel.Redact.Allow(qpath)
+		q, err := os.Create(qpath)
 		if err != nil {
 			return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("quarantine sidecar: %w", err))
 		}
 		defer q.Close()
 		opts.Quarantine = q
 	}
-	r, rep, err := csvio.ReadFileWithReport(path, opts)
+	r, _, err := csvio.ReadFileWithReport(path, opts)
 	if err != nil {
 		return nil, err
-	}
-	if !rep.Clean() {
-		fmt.Fprintf(os.Stderr, "privateclean: %s: %d malformed row(s) handled by policy %q\n",
-			path, rep.Skipped+rep.Quarantined, policy)
 	}
 	return r, nil
 }
@@ -192,7 +266,7 @@ func readJSON(path string, v any) error {
 	return json.Unmarshal(data, v)
 }
 
-func cmdPrivatize(args []string) error {
+func cmdPrivatize(args []string) (err error) {
 	fs := flag.NewFlagSet("privatize", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV (required)")
 	out := fs.String("out", "", "output CSV for the private view (required)")
@@ -205,12 +279,26 @@ func cmdPrivatize(args []string) error {
 	chunk := fs.Int("chunk", core.DefaultChunkSize, "rows privatized per checkpointed chunk")
 	checkpoint := fs.String("checkpoint", "", "checkpoint path (default <out>.ckpt)")
 	resume := fs.Bool("resume", false, "resume an interrupted run from its checkpoint")
+	ledger := fs.String("ledger", "", "epsilon-budget ledger JSON (default <in>"+telemetry.LedgerFileSuffix+"; 'off' disables)")
 	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *in == "" || *out == "" || *metaPath == "" {
 		return faults.Errorf(faults.ErrUsage, "privatize: -in, -out, and -meta are required")
+	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	ledgerPath := *ledger
+	switch ledgerPath {
+	case "":
+		ledgerPath = *in + telemetry.LedgerFileSuffix
+	case "off":
+		ledgerPath = ""
 	}
 	// The parameters need the schema, so the input is read once up front;
 	// the job re-reads it when privatizing (and again on every resume, which
@@ -242,6 +330,8 @@ func cmdPrivatize(args []string) error {
 		OnRowError:     policy,
 		QuarantinePath: *cf.quarantine,
 		Resume:         *resume,
+		Tel:            tel,
+		LedgerPath:     ledgerPath,
 	}
 	res, err := job.Run()
 	if err != nil {
@@ -251,6 +341,8 @@ func cmdPrivatize(args []string) error {
 	if res.ResumedFrom > 0 {
 		fmt.Printf("resumed from chunk %d of %d\n", res.ResumedFrom, res.Chunks)
 	}
+	fmt.Printf("privatize ok: rows=%d chunks=%d resumed-from=%d quarantined=%d wall=%s\n",
+		res.Rows, res.Chunks, res.ResumedFrom, res.Quarantined, res.Wall.Round(time.Millisecond))
 	fmt.Printf("released %d rows; total epsilon = %.4f\n", res.Rows, meta.TotalEpsilon())
 	for _, name := range sortedKeys(meta.Discrete) {
 		m := meta.Discrete[name]
@@ -259,6 +351,14 @@ func cmdPrivatize(args []string) error {
 	for _, name := range sortedKeys(meta.Numeric) {
 		m := meta.Numeric[name]
 		fmt.Printf("  numeric  %-16s b=%.4f delta=%.4f eps=%.4f\n", m.Name, m.B, m.Delta, m.Epsilon())
+	}
+	if res.Ledger != nil {
+		note := ""
+		if res.Ledger.Duplicate {
+			note = " (duplicate release: no new spend)"
+		}
+		fmt.Printf("budget ledger %s: composed eps=%.4f cumulative eps=%.4f%s\n",
+			ledgerPath, res.Ledger.Composed, res.CumulativeEpsilon, note)
 	}
 	return nil
 }
@@ -272,18 +372,26 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
-func cmdTune(args []string) error {
+func cmdTune(args []string) (err error) {
 	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV (required)")
 	targetErr := fs.Float64("error", 0.05, "target maximum count-query fraction error")
 	confidence := fs.Float64("confidence", 0.95, "confidence level")
 	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *in == "" {
 		return faults.Errorf(faults.ErrUsage, "tune: -in is required")
 	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	sp := tel.Trace.StartSpan(nil, "tune")
+	defer sp.End()
 	r, err := cf.load(*in)
 	if err != nil {
 		return err
@@ -301,17 +409,22 @@ func cmdTune(args []string) error {
 	return nil
 }
 
-func cmdMinSize(args []string) error {
+func cmdMinSize(args []string) (err error) {
 	fs := flag.NewFlagSet("minsize", flag.ContinueOnError)
 	n := fs.Int("n", 0, "number of distinct values (required)")
 	p := fs.Float64("p", 0.1, "randomization probability")
 	alpha := fs.Float64("alpha", 0.05, "failure probability (domain preserved w.p. 1-alpha)")
+	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *n <= 0 {
 		return faults.Errorf(faults.ErrUsage, "minsize: -n is required")
 	}
+	if _, err := tf.setup(); err != nil {
+		return err
+	}
+	defer tf.finish(&err)
 	s, err := privacy.MinDatasetSize(*n, *p, *alpha)
 	if err != nil {
 		return err
@@ -321,17 +434,25 @@ func cmdMinSize(args []string) error {
 	return nil
 }
 
-func cmdEpsilon(args []string) error {
+func cmdEpsilon(args []string) (err error) {
 	fs := flag.NewFlagSet("epsilon", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV (required)")
 	eps := fs.Float64("eps", 1, "total privacy budget to allocate")
 	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *in == "" {
 		return faults.Errorf(faults.ErrUsage, "epsilon: -in is required")
 	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	sp := tel.Trace.StartSpan(nil, "epsilon")
+	defer sp.End()
 	r, err := cf.load(*in)
 	if err != nil {
 		return err
@@ -349,16 +470,24 @@ func cmdEpsilon(args []string) error {
 	return nil
 }
 
-func cmdDescribe(args []string) error {
+func cmdDescribe(args []string) (err error) {
 	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV (required)")
 	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
 	if *in == "" {
 		return faults.Errorf(faults.ErrUsage, "describe: -in is required")
 	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	sp := tel.Trace.StartSpan(nil, "describe")
+	defer sp.End()
 	r, err := cf.load(*in)
 	if err != nil {
 		return err
@@ -396,10 +525,11 @@ func cmdDescribe(args []string) error {
 	return nil
 }
 
-func cmdExplain(args []string) error {
+func cmdExplain(args []string) (err error) {
 	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
 	metaPath := fs.String("meta", "", "view metadata JSON (required)")
 	provPath := fs.String("prov", "", "provenance JSON (optional)")
+	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
@@ -407,6 +537,14 @@ func cmdExplain(args []string) error {
 	if *metaPath == "" || sql == "" {
 		return faults.Errorf(faults.ErrUsage, "explain: -meta and a SQL string are required")
 	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	tel.Redact.Allow(*metaPath, *provPath)
+	sp := tel.Trace.StartSpan(nil, "explain")
+	defer sp.End()
 	meta, err := readMeta(*metaPath)
 	if err != nil {
 		return err
@@ -489,7 +627,7 @@ func (o *opList) Set(spec string) error {
 	return nil
 }
 
-func cmdClean(args []string) error {
+func cmdClean(args []string) (err error) {
 	fs := flag.NewFlagSet("clean", flag.ContinueOnError)
 	in := fs.String("in", "", "input private CSV (required)")
 	out := fs.String("out", "", "output cleaned CSV (required)")
@@ -498,6 +636,7 @@ func cmdClean(args []string) error {
 	var ops opList
 	fs.Var(&ops, "op", "cleaning op spec (repeatable): replace:a:f:t | md:a:d | fd:l1,l2:r | fdimpute:l:r | nullify:a:v1,v2")
 	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
@@ -507,6 +646,12 @@ func cmdClean(args []string) error {
 	if len(ops) == 0 {
 		return faults.Errorf(faults.ErrUsage, "clean: at least one -op is required")
 	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	tel.Redact.Allow(*in, *out, *metaPath, *provPath)
 	r, err := cf.load(*in)
 	if err != nil {
 		return err
@@ -521,27 +666,38 @@ func cmdClean(args []string) error {
 			return err
 		}
 	}
-	ctx := &cleaning.Context{Rel: r, Prov: prov, Meta: meta}
-	if err := cleaning.Apply(ctx, ops...); err != nil {
+	sp := tel.Trace.StartSpan(nil, "clean", telemetry.A("ops", len(ops)), telemetry.A("rows", r.NumRows()))
+	ctx := &cleaning.Context{Rel: r, Prov: prov, Meta: meta, Tel: tel, Span: sp}
+	err = cleaning.Apply(ctx, ops...)
+	sp.End()
+	if err != nil {
 		return err
 	}
-	if err := csvio.WriteFile(*out, r); err != nil {
+	wsp := tel.Trace.StartSpan(nil, "write_view", telemetry.A("rows", r.NumRows()))
+	err = csvio.WriteFile(*out, r)
+	wsp.End()
+	if err != nil {
 		return err
 	}
-	if err := atomicio.WriteJSON(*provPath, prov); err != nil {
+	psp := tel.Trace.StartSpan(nil, "provenance_save", telemetry.A("attrs", len(prov.Attrs())))
+	err = atomicio.WriteJSON(*provPath, prov)
+	psp.End()
+	if err != nil {
 		return err
 	}
+	tel.Log.Info("clean finished", "ops", len(ops), "rows", r.NumRows(), "tracked_attrs", len(prov.Attrs()))
 	fmt.Printf("applied %d ops; provenance tracks %d attribute(s)\n", len(ops), len(prov.Attrs()))
 	return nil
 }
 
-func cmdQuery(args []string) error {
+func cmdQuery(args []string) (err error) {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	in := fs.String("in", "", "cleaned private CSV (required)")
 	metaPath := fs.String("meta", "", "view metadata JSON (required)")
 	provPath := fs.String("prov", "", "provenance JSON (optional)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for intervals")
 	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
@@ -549,6 +705,12 @@ func cmdQuery(args []string) error {
 	if *in == "" || *metaPath == "" || sql == "" {
 		return faults.Errorf(faults.ErrUsage, "query: -in, -meta, and a SQL string are required")
 	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	tel.Redact.Allow(*in, *metaPath, *provPath)
 	r, err := cf.load(*in)
 	if err != nil {
 		return err
@@ -568,6 +730,17 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The CLI estimates directly (it needs the direct-comparison numbers the
+	// Analyst API does not expose), so it mirrors Analyst.Run's span + metrics.
+	sp := tel.Trace.StartSpan(nil, "query_estimate", telemetry.A("agg", q.Agg.String()))
+	start := time.Now()
+	defer func() {
+		sp.End()
+		tel.Metrics.Counter("privateclean_queries_total", "Estimated queries, by aggregate.",
+			telemetry.L("agg", q.Agg.String())).Inc()
+		tel.Metrics.Histogram("privateclean_query_seconds", "Wall time of query estimation.",
+			telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
+	}()
 	est := &estimator.Estimator{Meta: meta, Prov: prov, Confidence: *confidence}
 
 	if len(q.AndWhere) > 0 {

@@ -21,11 +21,13 @@ package cleaning
 
 import (
 	"fmt"
+	"time"
 
 	"privateclean/internal/faults"
 	"privateclean/internal/privacy"
 	"privateclean/internal/provenance"
 	"privateclean/internal/relation"
+	"privateclean/internal/telemetry"
 )
 
 // Context is the environment a cleaner runs in. Rel is mutated in place.
@@ -35,6 +37,10 @@ type Context struct {
 	Rel  *relation.Relation
 	Prov *provenance.Store
 	Meta *privacy.ViewMeta
+	// Tel supplies telemetry sinks (nil falls back to telemetry.Default());
+	// Span, if set, parents the per-op spans Apply records.
+	Tel  *telemetry.Set
+	Span *telemetry.Span
 }
 
 // Op is one local cleaner.
@@ -48,12 +54,30 @@ type Op interface {
 
 // Apply runs a composition of cleaners C = C_1 ∘ C_2 ∘ ... ∘ C_k in order.
 func Apply(ctx *Context, ops ...Op) error {
+	tel := ctx.Tel
+	if tel == nil {
+		tel = telemetry.Default()
+	}
 	for _, op := range ops {
-		if err := op.Apply(ctx); err != nil {
+		// Op names embed attribute names and user-supplied spec fragments,
+		// so only the kind prefix is vocabulary-safe by construction; the
+		// full name passes through the redaction boundary.
+		kind := telemetry.OpKind(op.Name())
+		sp := tel.Trace.StartSpan(ctx.Span, "clean_op", telemetry.A("kind", kind), telemetry.A("op", op.Name()))
+		start := time.Now()
+		err := op.Apply(ctx)
+		sp.End()
+		tel.Metrics.Counter("privateclean_clean_ops_total", "Cleaning operations applied, by kind.",
+			telemetry.L("kind", kind)).Inc()
+		tel.Metrics.Histogram("privateclean_clean_op_seconds", "Wall time per cleaning operation.",
+			telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
+		if err != nil {
 			// Op failures stem from the op spec or the data it targets;
 			// classify them so the CLI can exit with the bad-input code.
+			tel.Log.Error("cleaning op failed", "kind", kind, telemetry.ErrAttr(err))
 			return faults.Wrap(faults.ErrBadInput, fmt.Errorf("cleaning: %s: %w", op.Name(), err))
 		}
+		tel.Log.Debug("cleaning op applied", "kind", kind, "rows", ctx.Rel.NumRows())
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"privateclean/internal/cleaning"
 	"privateclean/internal/estimator"
@@ -30,6 +31,7 @@ import (
 	"privateclean/internal/provenance"
 	"privateclean/internal/query"
 	"privateclean/internal/relation"
+	"privateclean/internal/telemetry"
 )
 
 // Provider is the trusted owner of the original relation.
@@ -97,6 +99,7 @@ type Analyst struct {
 	prov       *provenance.Store
 	udfs       query.UDFs
 	confidence float64
+	tel        *telemetry.Set
 }
 
 // NewAnalyst starts an analysis session over a view. The view's relation is
@@ -108,7 +111,17 @@ func NewAnalyst(view *View) *Analyst {
 		prov:       provenance.NewStore(),
 		udfs:       make(query.UDFs),
 		confidence: 0.95,
+		tel:        telemetry.Default(),
 	}
+}
+
+// SetTelemetry points the session at an explicit telemetry set (the default
+// is the process-wide one).
+func (a *Analyst) SetTelemetry(s *telemetry.Set) {
+	if s == nil {
+		s = telemetry.Noop()
+	}
+	a.tel = s
 }
 
 // SetConfidence changes the confidence level used for intervals
@@ -134,7 +147,9 @@ func (a *Analyst) RegisterUDF(name string, f func(string) bool) {
 // Clean applies a composition of cleaning operations to the private
 // relation, recording value provenance.
 func (a *Analyst) Clean(ops ...cleaning.Op) error {
-	ctx := &cleaning.Context{Rel: a.rel, Prov: a.prov, Meta: a.meta}
+	sp := a.tel.Trace.StartSpan(nil, "clean", telemetry.A("ops", len(ops)))
+	defer sp.End()
+	ctx := &cleaning.Context{Rel: a.rel, Prov: a.prov, Meta: a.meta, Tel: a.tel, Span: sp}
 	return cleaning.Apply(ctx, ops...)
 }
 
@@ -178,6 +193,15 @@ func (a *Analyst) Query(sql string) (*QueryResult, error) {
 
 // Run estimates an already-parsed query.
 func (a *Analyst) Run(q *query.Query) (*QueryResult, error) {
+	sp := a.tel.Trace.StartSpan(nil, "query_estimate", telemetry.A("agg", q.Agg.String()))
+	start := time.Now()
+	defer func() {
+		sp.End()
+		a.tel.Metrics.Counter("privateclean_queries_total", "Estimated queries, by aggregate.",
+			telemetry.L("agg", q.Agg.String())).Inc()
+		a.tel.Metrics.Histogram("privateclean_query_seconds", "Wall time of query estimation.",
+			telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
+	}()
 	res := &QueryResult{Query: q}
 	est := a.Estimator()
 

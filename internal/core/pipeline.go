@@ -8,9 +8,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"privateclean/internal/atomicio"
 	"privateclean/internal/csvio"
@@ -18,6 +20,7 @@ import (
 	"privateclean/internal/privacy"
 	"privateclean/internal/relation"
 	"privateclean/internal/stats"
+	"privateclean/internal/telemetry"
 )
 
 // The hardened provider-side pipeline: privatization runs in row chunks with
@@ -77,10 +80,31 @@ type PrivatizeJob struct {
 	// checkpoint written). Returning an error aborts the run at a clean
 	// chunk boundary; the checkpoint stays behind for a later Resume.
 	OnChunk func(done, total int) error
+	// Tel supplies the telemetry sinks (logger, metrics, spans); nil falls
+	// back to telemetry.Default().
+	Tel *telemetry.Set
+	// LedgerPath, when non-empty, appends this run's ε spend to the budget
+	// ledger at that path and reports the cumulative spend for the input.
+	LedgerPath string
+	// Now supplies ledger timestamps; nil means time.Now. Tests pin it.
+	Now func() time.Time
 
 	// tapOutput wraps the partial-file writer; the fault-injection tests
 	// use it to land short writes exactly where the kernel could.
 	tapOutput func(io.Writer) io.Writer
+
+	// per-run instrumentation state, reset at the top of Run.
+	tel        *telemetry.Set
+	span       *telemetry.Span
+	chunkStats []ChunkStat
+}
+
+// ChunkStat is the per-chunk accounting a run reports: which rows the chunk
+// covered and how long privatize+flush+checkpoint took.
+type ChunkStat struct {
+	Chunk    int
+	Rows     int
+	Duration time.Duration
 }
 
 // PrivatizeResult reports a completed run.
@@ -94,6 +118,19 @@ type PrivatizeResult struct {
 	// run was split into, and ResumedFrom the chunk the run restarted at
 	// (0 for a fresh run).
 	Rows, Chunks, ResumedFrom int
+	// Skipped and Quarantined mirror the input-side Report counters.
+	Skipped, Quarantined int
+	// Wall is the end-to-end wall time of the run; ChunkStats carries the
+	// per-chunk timing and row counts for the chunks this run privatized.
+	Wall       time.Duration
+	ChunkStats []ChunkStat
+	// EpsilonComposed is the Theorem 1 composition Σ ε_i of the release.
+	// CumulativeEpsilon is the total spend recorded against this input in
+	// the budget ledger (equal to EpsilonComposed when no ledger is
+	// configured); Ledger is the appended entry, nil without a ledger.
+	EpsilonComposed   float64
+	CumulativeEpsilon float64
+	Ledger            *telemetry.LedgerEntry
 }
 
 // checkpoint is the on-disk resume state. Fingerprints pin the checkpoint
@@ -205,15 +242,45 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 	if job.ChunkSize <= 0 {
 		job.ChunkSize = DefaultChunkSize
 	}
+	job.tel = job.Tel
+	if job.tel == nil {
+		job.tel = telemetry.Default()
+	}
+	tel := job.tel
+	// The artifact paths are operator configuration, not data: telemetry may
+	// show them verbatim.
+	tel.Redact.Allow(job.In, job.Out, job.MetaPath, job.checkpointPath(), job.partialPath(), job.quarantinePath(), job.LedgerPath)
+	start := time.Now()
+	job.chunkStats = nil
+	job.span = tel.Trace.StartSpan(nil, "privatize", telemetry.A("in", job.In), telemetry.A("out", job.Out), telemetry.A("chunk_size", job.ChunkSize), telemetry.A("resume", job.Resume))
+	defer job.span.End()
+	defer func() {
+		if err != nil {
+			job.span.Set("err", err)
+			tel.Metrics.Counter("privateclean_privatize_failures_total",
+				"Privatize runs that ended in a classified error, by fault code.",
+				telemetry.L("code", telemetry.FaultCode(err))).Inc()
+			tel.Log.Error("privatize failed", "in", job.In, telemetry.ErrAttr(err))
+		}
+	}()
+	tel.Log.Info("privatize starting", "in", job.In, "out", job.Out, "chunk_size", job.ChunkSize, "resume", job.Resume)
 
 	inputSHA, err := fingerprintFile(job.In)
 	if err != nil {
 		return nil, err
 	}
+	loadSpan := tel.Trace.StartSpan(job.span, "csv_load", telemetry.A("path", job.In))
+	loadStart := time.Now()
 	r, report, err := job.loadInput()
 	if err != nil {
+		loadSpan.Set("err", err)
+		loadSpan.End()
 		return nil, err
 	}
+	loadSpan.Set("rows", r.NumRows())
+	loadSpan.End()
+	tel.Metrics.Histogram("privateclean_csv_load_seconds",
+		"Wall time of input CSV loads.", telemetry.DurationBuckets).Observe(time.Since(loadStart).Seconds())
 	if err := job.Params.Validate(r.Schema(), true); err != nil {
 		return nil, err
 	}
@@ -241,12 +308,18 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 	}
 	resumedFrom := 0
 	if job.Resume {
+		ckSpan := tel.Trace.StartSpan(job.span, "checkpoint_read", telemetry.A("path", job.checkpointPath()))
 		prev, err := job.readCheckpoint(ck)
 		if err != nil {
+			ckSpan.Set("err", err)
+			ckSpan.End()
 			return nil, err
 		}
 		ck = prev
 		resumedFrom = ck.NextChunk
+		ckSpan.Set("next_chunk", ck.NextChunk)
+		ckSpan.End()
+		tel.Log.Info("resuming from checkpoint", "path", job.checkpointPath(), "next_chunk", ck.NextChunk, "rows_emitted", ck.RowsEmitted)
 	}
 
 	// A resume that already has every chunk durable skips straight to
@@ -263,24 +336,116 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 	// were durable before this run started: each chunk is a pure function
 	// of (data, params, chunk stream), so this re-derivation matches the
 	// bytes on disk without spending fresh randomness.
-	for chunk := 0; chunk < resumedFrom; chunk++ {
-		lo, hi := chunkRange(chunk, job.ChunkSize, rows)
-		if err := privatizeRange(chunkRand(job.Seed, chunk), r, view, meta, lo, hi); err != nil {
+	if resumedFrom > 0 {
+		rbSpan := tel.Trace.StartSpan(job.span, "rebuild", telemetry.A("chunks", resumedFrom))
+		for chunk := 0; chunk < resumedFrom; chunk++ {
+			lo, hi := chunkRange(chunk, job.ChunkSize, rows)
+			if err := privatizeRange(chunkRand(job.Seed, chunk), r, view, meta, lo, hi); err != nil {
+				rbSpan.End()
+				return nil, err
+			}
+		}
+		rbSpan.End()
+	}
+
+	finSpan := tel.Trace.StartSpan(job.span, "finalize", telemetry.A("out", job.Out))
+	if err := job.finalize(meta); err != nil {
+		finSpan.Set("err", err)
+		finSpan.End()
+		return nil, err
+	}
+	finSpan.End()
+
+	res = &PrivatizeResult{
+		View:            view,
+		Meta:            meta,
+		Report:          report,
+		Rows:            rows,
+		Chunks:          chunks,
+		ResumedFrom:     resumedFrom,
+		Skipped:         report.Skipped,
+		Quarantined:     report.Quarantined,
+		ChunkStats:      job.chunkStats,
+		EpsilonComposed: meta.TotalEpsilon(),
+	}
+	res.CumulativeEpsilon = res.EpsilonComposed
+	if job.LedgerPath != "" {
+		if err := job.appendLedger(res, inputSHA, meta); err != nil {
 			return nil, err
 		}
 	}
+	res.Wall = time.Since(start)
 
-	if err := job.finalize(meta); err != nil {
-		return nil, err
+	m := tel.Metrics
+	m.Counter("privateclean_privatize_runs_total", "Completed privatize runs.").Inc()
+	m.Counter("privateclean_rows_released_total", "Rows released into private views.").Add(float64(rows))
+	m.Counter("privateclean_rows_skipped_total", "Malformed input rows dropped under the skip policy.").Add(float64(report.Skipped))
+	m.Counter("privateclean_rows_quarantined_total", "Malformed input rows diverted to quarantine sidecars.").Add(float64(report.Quarantined))
+	m.Gauge("privateclean_epsilon_composed", "Theorem 1 composed epsilon of the last release.").Set(res.EpsilonComposed)
+	m.Counter("privateclean_epsilon_spent_total", "Composed epsilon summed over distinct releases (ledger-deduplicated).").Add(res.spentEpsilon())
+	m.Histogram("privateclean_privatize_seconds", "End-to-end wall time of privatize runs.", telemetry.DurationBuckets).Observe(res.Wall.Seconds())
+	tel.Log.Info("privatize finished",
+		"rows", rows, "chunks", chunks, "resumed_from", resumedFrom,
+		"skipped", report.Skipped, "quarantined", report.Quarantined,
+		"epsilon_composed", res.EpsilonComposed, "epsilon_cumulative", res.CumulativeEpsilon,
+		"wall", res.Wall)
+	return res, nil
+}
+
+// spentEpsilon is the budget this run actually added: zero for a duplicate
+// (byte-identical) re-release, the composed ε otherwise. Non-finite ε is
+// reported as zero here and surfaced through the ledger's Unbounded list.
+func (res *PrivatizeResult) spentEpsilon() float64 {
+	if res.Ledger != nil && res.Ledger.Duplicate {
+		return 0
 	}
-	return &PrivatizeResult{
-		View:        view,
-		Meta:        meta,
-		Report:      report,
-		Rows:        rows,
-		Chunks:      chunks,
-		ResumedFrom: resumedFrom,
-	}, nil
+	if math.IsInf(res.EpsilonComposed, 0) || math.IsNaN(res.EpsilonComposed) {
+		return 0
+	}
+	return res.EpsilonComposed
+}
+
+// appendLedger records the run in the ε-budget ledger and fills the result's
+// cumulative-spend accounting.
+func (job *PrivatizeJob) appendLedger(res *PrivatizeResult, inputSHA string, meta *privacy.ViewMeta) error {
+	sp := job.tel.Trace.StartSpan(job.span, "ledger_append", telemetry.A("path", job.LedgerPath))
+	defer sp.End()
+	led, err := telemetry.LoadLedger(job.LedgerPath)
+	if err != nil {
+		sp.Set("err", err)
+		return err
+	}
+	now := time.Now
+	if job.Now != nil {
+		now = job.Now
+	}
+	perAttr := make(map[string]float64, len(meta.Discrete)+len(meta.Numeric))
+	for name, m := range meta.Discrete {
+		perAttr[name] = m.Epsilon()
+	}
+	for name, m := range meta.Numeric {
+		perAttr[name] = m.Epsilon()
+	}
+	entry := led.Append(telemetry.LedgerEntry{
+		Time:         now().UTC().Format(time.RFC3339),
+		InputSHA:     inputSHA,
+		ParamsSHA:    fingerprintParams(job.Params),
+		Seed:         job.Seed,
+		ChunkSize:    job.ChunkSize,
+		Out:          job.Out,
+		Rows:         res.Rows,
+		PerAttribute: perAttr,
+	})
+	if err := led.WriteTo(job.LedgerPath); err != nil {
+		sp.Set("err", err)
+		return err
+	}
+	res.Ledger = &entry
+	res.CumulativeEpsilon = led.CumulativeFor(inputSHA)
+	job.tel.Log.Info("budget ledger updated", "path", job.LedgerPath,
+		"epsilon_composed", entry.Composed, "epsilon_cumulative", res.CumulativeEpsilon,
+		"duplicate_release", entry.Duplicate, "entries", len(led.Entries))
+	return nil
 }
 
 // chunkRange returns the row interval [lo, hi) covered by one chunk.
@@ -309,22 +474,46 @@ func (job *PrivatizeJob) writeChunks(ck *checkpoint, r, view *relation.Relation,
 			return err
 		}
 	}
+	tel := job.tel
+	chunkSeconds := tel.Metrics.Histogram("privateclean_chunk_seconds",
+		"Wall time to privatize, flush, and checkpoint one chunk.", telemetry.DurationBuckets)
+	chunkRows := tel.Metrics.Histogram("privateclean_chunk_rows",
+		"Rows privatized per chunk.", telemetry.RowBuckets)
+	checkpointWrites := tel.Metrics.Counter("privateclean_checkpoint_writes_total",
+		"Durable checkpoint writes.")
 	for chunk := ck.NextChunk; chunk < chunks; chunk++ {
 		lo, hi := chunkRange(chunk, job.ChunkSize, rows)
+		chunkStart := time.Now()
+		sp := tel.Trace.StartSpan(job.span, "chunk", telemetry.A("index", chunk), telemetry.A("rows", hi-lo))
 		if err := privatizeRange(chunkRand(job.Seed, chunk), r, view, meta, lo, hi); err != nil {
+			sp.End()
 			return err
 		}
 		n, err := job.appendRows(partial, view, lo, hi)
 		if err != nil {
+			sp.Set("err", err)
+			sp.End()
 			return err
 		}
 		ck.NextChunk = chunk + 1
 		ck.RNGStream = streamSeed(job.Seed, chunk+1)
 		ck.PartialBytes += n
 		ck.RowsEmitted += hi - lo
-		if err := atomicio.WriteJSON(job.checkpointPath(), ck); err != nil {
+		ckSp := tel.Trace.StartSpan(sp, "checkpoint_write", telemetry.A("path", job.checkpointPath()))
+		err = atomicio.WriteJSON(job.checkpointPath(), ck)
+		ckSp.End()
+		if err != nil {
+			sp.End()
 			return err
 		}
+		checkpointWrites.Inc()
+		sp.End()
+		d := time.Since(chunkStart)
+		chunkSeconds.Observe(d.Seconds())
+		chunkRows.Observe(float64(hi - lo))
+		job.chunkStats = append(job.chunkStats, ChunkStat{Chunk: chunk, Rows: hi - lo, Duration: d})
+		tel.Metrics.Counter("privateclean_chunks_total", "Chunks privatized and made durable.").Inc()
+		tel.Log.Debug("chunk durable", "chunk", chunk+1, "of", chunks, "rows", hi-lo, "bytes", n, "wall", d)
 		if job.OnChunk != nil {
 			if err := job.OnChunk(chunk+1, chunks); err != nil {
 				return err
@@ -449,6 +638,13 @@ func (job *PrivatizeJob) openPartial(ck *checkpoint) (*os.File, error) {
 			"core: partial view is %d bytes, checkpoint covers %d", info.Size(), ck.PartialBytes)
 	}
 	// Bytes beyond the checkpoint are a torn chunk write: discard them.
+	if torn := info.Size() - ck.PartialBytes; torn > 0 {
+		sp := job.tel.Trace.StartSpan(job.span, "resume_truncate", telemetry.A("torn_bytes", torn))
+		sp.End()
+		job.tel.Metrics.Counter("privateclean_resume_truncated_bytes_total",
+			"Torn partial-write bytes discarded on resume.").Add(float64(torn))
+		job.tel.Log.Warn("discarding torn chunk bytes on resume", "path", path, "torn_bytes", torn)
+	}
 	if err := f.Truncate(ck.PartialBytes); err != nil {
 		f.Close()
 		return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: truncating torn chunk: %w", err))

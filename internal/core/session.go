@@ -12,6 +12,7 @@ import (
 	"privateclean/internal/provenance"
 	"privateclean/internal/query"
 	"privateclean/internal/relation"
+	"privateclean/internal/telemetry"
 )
 
 // Session persistence: an analyst's working state — the (cleaned) private
@@ -83,6 +84,7 @@ func LoadSession(dir string) (*Analyst, error) {
 		prov:       prov,
 		udfs:       make(query.UDFs),
 		confidence: 0.95,
+		tel:        telemetry.Default(),
 	}, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"privateclean/internal/atomicio"
 	"privateclean/internal/faults"
 	"privateclean/internal/relation"
+	"privateclean/internal/telemetry"
 )
 
 // RowErrorPolicy selects what happens to a malformed data row.
@@ -81,6 +82,10 @@ type Options struct {
 	// records of the form (physical row number, reason, original fields...).
 	// Required when OnRowError is RowErrorQuarantine.
 	Quarantine io.Writer
+	// Tel supplies telemetry sinks for load accounting; nil falls back to
+	// telemetry.Default(). Only counts, reason codes, and header names reach
+	// telemetry — never row contents.
+	Tel *telemetry.Set
 }
 
 // RowError describes one malformed data row.
@@ -149,14 +154,27 @@ func ReadWithReport(r io.Reader, opts Options) (*relation.Relation, *Report, err
 		seen[name] = true
 	}
 
+	tel := opts.Tel
+	if tel == nil {
+		tel = telemetry.Default()
+	}
+	// Header names are schema metadata, not data: telemetry may show them.
+	tel.Redact.Allow(header...)
+
 	rep := &Report{}
 	var quarantine *csv.Writer
 	if opts.Quarantine != nil {
 		quarantine = csv.NewWriter(opts.Quarantine)
 	}
-	// reject applies the row policy to one malformed row. It returns a
-	// non-nil error only under RowErrorFail.
-	reject := func(row int, fields []string, reason string) error {
+	// reject applies the row policy to one malformed row; code is the
+	// vocabulary-safe reason class (arity, syntax, bad_numeric) telemetry
+	// carries in place of the full reason text, which may quote cells. It
+	// returns a non-nil error only under RowErrorFail.
+	reject := func(row int, fields []string, code, reason string) error {
+		tel.Metrics.Counter("privateclean_csv_rows_malformed_total",
+			"Malformed CSV rows encountered, by reason code and policy.",
+			telemetry.L("code", code), telemetry.L("policy", opts.OnRowError.String())).Inc()
+		tel.Log.Debug("malformed row", "row", row, "code", code, "policy", opts.OnRowError.String())
 		switch opts.OnRowError {
 		case RowErrorFail:
 			return faults.Errorf(faults.ErrBadInput, "csvio: row %d: %s", row, reason)
@@ -188,7 +206,7 @@ func ReadWithReport(r io.Reader, opts Options) (*relation.Relation, *Report, err
 			var pe *csv.ParseError
 			if errors.As(err, &pe) {
 				// Row-local quoting error: the policy decides.
-				if rerr := reject(physical, nil, fmt.Sprintf("csv syntax: %v", pe.Err)); rerr != nil {
+				if rerr := reject(physical, nil, "syntax", fmt.Sprintf("csv syntax: %v", pe.Err)); rerr != nil {
 					return nil, nil, rerr
 				}
 				continue
@@ -198,7 +216,7 @@ func ReadWithReport(r io.Reader, opts Options) (*relation.Relation, *Report, err
 		}
 		if len(rec) != len(header) {
 			reason := fmt.Sprintf("has %d fields, header has %d", len(rec), len(header))
-			if rerr := reject(physical, rec, reason); rerr != nil {
+			if rerr := reject(physical, rec, "arity", reason); rerr != nil {
 				return nil, nil, rerr
 			}
 			continue
@@ -252,7 +270,7 @@ rowLoop:
 			default:
 				continue
 			}
-			if rerr := reject(rowNums[i], row, reason); rerr != nil {
+			if rerr := reject(rowNums[i], row, "bad_numeric", reason); rerr != nil {
 				return nil, nil, rerr
 			}
 			continue rowLoop
@@ -313,6 +331,13 @@ rowLoop:
 		return nil, nil, faults.Wrap(faults.ErrInternal, fmt.Errorf("csvio: %w", err))
 	}
 	rep.Rows = rel.NumRows()
+	tel.Metrics.Counter("privateclean_csv_rows_total", "Rows kept from CSV loads.").Add(float64(rep.Rows))
+	tel.Metrics.Histogram("privateclean_csv_rows_per_load", "Kept rows per CSV load.",
+		telemetry.RowBuckets).Observe(float64(rep.Rows))
+	if !rep.Clean() {
+		tel.Log.Warn("lossy CSV load", "rows", rep.Rows, "skipped", rep.Skipped,
+			"quarantined", rep.Quarantined, "policy", opts.OnRowError.String())
+	}
 	return rel, rep, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"privateclean/internal/faults"
+	"privateclean/internal/telemetry"
 )
 
 // AggKind identifies the aggregate of a query.
@@ -187,11 +188,18 @@ func (p *parser) isKeyword(t token, kw string) bool {
 }
 
 // Parse parses one query. Failures are classified as faults.ErrBadQuery.
+// Parse outcomes are counted in the process telemetry registry; the query
+// text itself never reaches telemetry (predicate constants are data).
 func Parse(src string) (*Query, error) {
+	tel := telemetry.Default()
 	q, err := parse(src)
 	if err != nil {
+		tel.Metrics.Counter("privateclean_queries_parsed_total",
+			"Parsed queries, by outcome.", telemetry.L("outcome", "error")).Inc()
 		return nil, faults.Wrap(faults.ErrBadQuery, err)
 	}
+	tel.Metrics.Counter("privateclean_queries_parsed_total",
+		"Parsed queries, by outcome.", telemetry.L("outcome", "ok")).Inc()
 	return q, nil
 }
 

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+
+	"privateclean/internal/faults"
+)
+
+// NewLogger builds the pipeline's structured logger: leveled slog output in
+// text or JSON format, with every attribute value passed through the
+// redaction boundary before it reaches the sink. Messages are code-authored
+// literals and are emitted verbatim; values are where data can leak, so
+// string (and stringified any) values are vetted, and error values are
+// reduced to their fault-taxonomy code plus a correlation hash.
+func NewLogger(w io.Writer, level slog.Level, format string, red *Redactor) *slog.Logger {
+	opts := &slog.HandlerOptions{
+		Level:       level,
+		ReplaceAttr: redactAttr(red),
+	}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// ParseLevel parses a -log-level flag value.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, faults.Errorf(faults.ErrUsage, "telemetry: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// ParseFormat validates a -log-format flag value.
+func ParseFormat(s string) (string, error) {
+	switch s {
+	case "text", "":
+		return "text", nil
+	case "json":
+		return "json", nil
+	}
+	return "", faults.Errorf(faults.ErrUsage, "telemetry: unknown log format %q (want text or json)", s)
+}
+
+// redactAttr is the slog ReplaceAttr hook enforcing the redaction boundary.
+func redactAttr(red *Redactor) func([]string, slog.Attr) slog.Attr {
+	return func(groups []string, a slog.Attr) slog.Attr {
+		if len(groups) == 0 {
+			switch a.Key {
+			case slog.TimeKey, slog.LevelKey, slog.MessageKey, slog.SourceKey:
+				return a
+			}
+		}
+		a.Value = a.Value.Resolve()
+		switch a.Value.Kind() {
+		case slog.KindString:
+			a.Value = slog.StringValue(red.Clean(a.Value.String()))
+		case slog.KindAny:
+			v := a.Value.Any()
+			if err, ok := v.(error); ok {
+				a.Value = slog.StringValue(errToken(err))
+			} else {
+				a.Value = slog.StringValue(red.Clean(fmt.Sprint(v)))
+			}
+		}
+		return a
+	}
+}
+
+// errToken renders an error as its taxonomy code plus a correlation hash of
+// the full text — never the text itself, which may quote input cells.
+func errToken(err error) string {
+	return FaultCode(err) + ":" + hash8(err.Error())
+}
+
+// ErrAttr is the conventional way to attach an error to a log record. It
+// carries the error value itself; the redaction boundary reduces it to the
+// fault code (vocabulary-safe) plus a hash of the full message. (Attaching a
+// pre-rendered token string instead would be re-redacted by the boundary,
+// which cannot tell a token from data.)
+func ErrAttr(err error) slog.Attr {
+	return slog.Any("err", err)
+}
+
+// discardHandler drops every record without formatting it; Enabled is false
+// at all levels, so arguments to disabled log calls are never materialized.
+// (slog.DiscardHandler arrived after go1.22, hence the local copy.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// NopLogger returns a logger that discards everything at zero cost.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }

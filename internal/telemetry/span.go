@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"privateclean/internal/atomicio"
+	"privateclean/internal/faults"
+)
+
+// Tracer records lightweight spans for the pipeline stages: CSV load,
+// per-chunk privatize, checkpoint I/O, resume truncation, cleaning, query
+// estimation. Spans form a tree (a span started with a parent becomes its
+// child) renderable as indented text or JSON.
+//
+// A nil *Tracer is the disabled tracer: StartSpan returns a nil *Span, and
+// every *Span method is nil-safe, so instrumented code needs no branching.
+type Tracer struct {
+	red   *Redactor
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer builds an enabled tracer vetting span attributes against red.
+func NewTracer(red *Redactor) *Tracer {
+	return &Tracer{red: red}
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed stage. Fields are exported for rendering; mutate only
+// through the methods.
+type Span struct {
+	t        *Tracer
+	Name     string
+	Begin    time.Time
+	Finish   time.Time
+	Attrs    []Attr
+	Children []*Span
+}
+
+// StartSpan opens a span under parent (nil parent means a new root) and
+// returns it; call End when the stage finishes. String attribute values are
+// vetted through the tracer's redactor at record time, so raw data never
+// lives in the trace.
+func (t *Tracer) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{t: t, Name: name, Begin: time.Now(), Attrs: t.vet(attrs)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if parent == nil {
+		t.roots = append(t.roots, sp)
+	} else {
+		parent.Children = append(parent.Children, sp)
+	}
+	return sp
+}
+
+// End closes the span. Ending twice keeps the first finish time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.Finish.IsZero() {
+		s.Finish = time.Now()
+	}
+}
+
+// Set attaches an attribute to an open span (vetted like StartSpan's).
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.Attrs = append(s.Attrs, s.t.vetOne(Attr{Key: key, Value: value}))
+}
+
+// vet redacts string-valued attributes; errors are reduced to fault codes.
+func (t *Tracer) vet(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = t.vetOne(a)
+	}
+	return out
+}
+
+func (t *Tracer) vetOne(a Attr) Attr {
+	switch v := a.Value.(type) {
+	case string:
+		a.Value = t.red.Clean(v)
+	case error:
+		a.Value = errToken(v)
+	case int, int64, uint64, float64, bool, time.Duration:
+		// numeric/boolean values carry no cells
+	default:
+		a.Value = t.red.Clean(fmt.Sprint(v))
+	}
+	return a
+}
+
+// Roots returns the recorded root spans.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// spanJSON is the serialized span shape.
+type spanJSON struct {
+	Name       string         `json:"name"`
+	Start      string         `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []spanJSON     `json:"children,omitempty"`
+}
+
+func (s *Span) toJSON() spanJSON {
+	end := s.Finish
+	if end.IsZero() {
+		end = s.Begin
+	}
+	out := spanJSON{
+		Name:       s.Name,
+		Start:      s.Begin.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(end.Sub(s.Begin)) / float64(time.Millisecond),
+	}
+	if len(s.Attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, c.toJSON())
+	}
+	return out
+}
+
+// WriteJSON renders the trace tree as a JSON array of root spans.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	t.mu.Lock()
+	trees := make([]spanJSON, 0, len(t.roots))
+	for _, r := range t.roots {
+		trees = append(trees, r.toJSON())
+	}
+	t.mu.Unlock()
+	data, err := json.MarshalIndent(trees, "", "  ")
+	if err != nil {
+		return faults.Wrap(faults.ErrInternal, err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return faults.Wrap(faults.ErrPartialWrite, err)
+}
+
+// Text renders the trace tree as an indented text outline, e.g.
+//
+//	privatize 12.3ms in=data.csv
+//	  csv_load 2.1ms rows=600
+//	  chunk 1.0ms index=0
+func (t *Tracer) Text() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sb strings.Builder
+	for _, r := range t.roots {
+		r.text(&sb, 0)
+	}
+	return sb.String()
+}
+
+func (s *Span) text(sb *strings.Builder, depth int) {
+	end := s.Finish
+	if end.IsZero() {
+		end = s.Begin
+	}
+	fmt.Fprintf(sb, "%s%s %s", strings.Repeat("  ", depth), s.Name, end.Sub(s.Begin).Round(time.Microsecond))
+	for _, a := range s.Attrs {
+		fmt.Fprintf(sb, " %s=%v", a.Key, a.Value)
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.Children {
+		c.text(sb, depth+1)
+	}
+}
+
+// SnapshotTo writes the trace tree atomically to path, as JSON when the
+// path ends in .json and as the text outline otherwise.
+func (t *Tracer) SnapshotTo(path string) error {
+	if t == nil {
+		return nil
+	}
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".json") {
+			return t.WriteJSON(w)
+		}
+		_, err := io.WriteString(w, t.Text())
+		return err
+	})
+}

@@ -1,0 +1,57 @@
+// Package telemetry is the privacy-safe observability subsystem for the
+// PrivateClean pipeline:
+//
+//   - a zero-dependency metrics registry (atomic counters, gauges,
+//     fixed-bucket histograms) with Prometheus text and expvar-style JSON
+//     exposition (metrics.go);
+//   - structured leveled logging on log/slog behind a redaction boundary
+//     (log.go, redact.go): records may carry counts, durations, ε/p/b
+//     parameters, chunk indices, file paths, schema names, and fault
+//     taxonomy codes — never cell values or quarantined row contents;
+//   - lightweight spans forming a per-run trace tree (span.go); and
+//   - the ε-budget ledger accounting per-attribute and composed spend
+//     across runs (ledger.go).
+//
+// The redaction boundary is structural, not advisory: every string that
+// flows into a log attribute, metric label, or span attribute passes
+// through a Redactor, and anything outside the safe vocabulary is replaced
+// by a [redacted:xxxxxxxx] hash tag before it reaches any sink.
+package telemetry
+
+import (
+	"log/slog"
+	"sync/atomic"
+)
+
+// Set bundles the sinks one run reports through. Library code takes a *Set
+// (or falls back to Default()); the CLIs build one from flags and install it
+// as the process default.
+type Set struct {
+	Log     *slog.Logger
+	Metrics *Registry
+	Trace   *Tracer // nil disables span recording
+	Redact  *Redactor
+}
+
+// Noop returns a Set that drops logs, records metrics into a throwaway
+// registry, and records no spans. It is safe for concurrent use.
+func Noop() *Set {
+	red := NewRedactor()
+	return &Set{Log: NopLogger(), Metrics: NewRegistry(red), Trace: nil, Redact: red}
+}
+
+var defaultSet atomic.Pointer[Set]
+
+func init() { defaultSet.Store(Noop()) }
+
+// Default returns the process-wide telemetry set (a noop set until a CLI
+// installs one). Never nil.
+func Default() *Set { return defaultSet.Load() }
+
+// SetDefault installs s as the process-wide set; nil restores the noop set.
+func SetDefault(s *Set) {
+	if s == nil {
+		s = Noop()
+	}
+	defaultSet.Store(s)
+}
