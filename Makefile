@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race faults check bench bench-json
+.PHONY: build vet test race faults check bench bench-json bench-smoke
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,11 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFigure|BenchmarkPrivatizeJob' -benchmem . \
 		| $(GO) run ./tools/benchjson > BENCH_pipeline.json
+
+# Quick regression check against the committed baseline: a short-mode run of
+# the privatize benchmarks diffed report-only (never fails the build; shared
+# runners are too noisy for a hard gate — eyeball the Δ columns).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPrivatize' -benchmem -benchtime 10x -short . \
+		| $(GO) run ./tools/benchjson \
+		| $(GO) run ./tools/benchdiff -baseline BENCH_pipeline.json -current - -ignore-missing

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -573,4 +574,73 @@ func BenchmarkPrivatizeJob(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkPrivatizeParallel measures the in-memory sharded privatizer at
+// one worker and at GOMAXPROCS; the two emit byte-identical views, so the
+// delta is pure parallel speedup.
+func BenchmarkPrivatizeParallel(b *testing.B) {
+	r := benchSynthetic(b, 100000)
+	params := privacy.Uniform(r.Schema(), 0.1, 10)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := privacy.PrivatizeParallel(int64(i), r, params, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(100000*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkPrivatizeJobWorkers is the end-to-end chunked pipeline at one
+// worker and at GOMAXPROCS (same released bytes either way).
+func BenchmarkPrivatizeJobWorkers(b *testing.B) {
+	r := benchSynthetic(b, 5000)
+	params := privacy.Uniform(r.Schema(), 0.15, 0.5)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			dir := b.TempDir()
+			in := filepath.Join(dir, "data.csv")
+			if err := csvio.WriteFile(in, r); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job := &core.PrivatizeJob{
+					In:         in,
+					Out:        filepath.Join(dir, "private.csv"),
+					MetaPath:   filepath.Join(dir, "meta.json"),
+					Params:     params,
+					Seed:       7,
+					ChunkSize:  1024,
+					Workers:    workers,
+					ForceKinds: map[string]relation.Kind{"category": relation.Discrete},
+				}
+				if _, err := job.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkLevenshteinBounded exercises the banded DP on a far pair (early
+// exit) and a near pair (full band).
+func BenchmarkLevenshteinBounded(b *testing.B) {
+	near := [2]string{"United States", "United Statesx"}
+	far := [2]string{"United States", "Commonwealth of Australia"}
+	b.Run("near", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			textutil.LevenshteinBounded(near[0], near[1], 2)
+		}
+	})
+	b.Run("far", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			textutil.LevenshteinBounded(far[0], far[1], 2)
+		}
+	})
 }

@@ -81,6 +81,7 @@ func run() error {
 	cfg := experiments.Default()
 	trials := flag.Int("trials", cfg.Trials, "randomized private instances per point")
 	seed := flag.Int64("seed", cfg.Seed, "base RNG seed")
+	workers := flag.Int("workers", 0, "privatizer pool size for parallel stages (0 = GOMAXPROCS)")
 	only := flag.String("only", "", "comma-separated experiment ids to run (prefix match, e.g. fig2 or fig2a)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text, csv, json, or chart")
@@ -135,6 +136,7 @@ func run() error {
 
 	cfg.Trials = *trials
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	want := func(string) bool { return true }
 	if *only != "" {

@@ -277,6 +277,7 @@ func cmdPrivatize(args []string) (err error) {
 	confidence := fs.Float64("confidence", 0.95, "confidence level for tuning")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	chunk := fs.Int("chunk", core.DefaultChunkSize, "rows privatized per checkpointed chunk")
+	workers := fs.Int("workers", 0, "chunks privatized concurrently (0 = GOMAXPROCS; output is identical at any value)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint path (default <out>.ckpt)")
 	resume := fs.Bool("resume", false, "resume an interrupted run from its checkpoint")
 	ledger := fs.String("ledger", "", "epsilon-budget ledger JSON (default <in>"+telemetry.LedgerFileSuffix+"; 'off' disables)")
@@ -326,6 +327,7 @@ func cmdPrivatize(args []string) (err error) {
 		Params:         params,
 		Seed:           *seed,
 		ChunkSize:      *chunk,
+		Workers:        *workers,
 		ForceKinds:     cf.forceKinds(),
 		OnRowError:     policy,
 		QuarantinePath: *cf.quarantine,

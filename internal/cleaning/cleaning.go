@@ -367,6 +367,8 @@ func (t TransformRows) Apply(ctx *Context) error {
 	}
 	for i := range t.Attrs {
 		copy(cols[i], after[i])
+		// cols[i] is the relation's backing slice; drop its encoding.
+		ctx.Rel.InvalidateIndex(t.Attrs[i])
 	}
 	if ctx.Prov != nil {
 		for i := range t.Attrs {

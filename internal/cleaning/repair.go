@@ -103,6 +103,8 @@ func (f FDRepair) Apply(ctx *Context) error {
 	for r := 0; r < n; r++ {
 		rhsCol[r] = repair[keys[r]]
 	}
+	// rhsCol is the relation's backing slice; drop its dictionary encoding.
+	ctx.Rel.InvalidateIndex(f.RHS)
 
 	if g != nil {
 		if err := g.ApplyRowLevel(before, rhsCol); err != nil {
@@ -211,6 +213,8 @@ func (f FDImpute) Apply(ctx *Context) error {
 			rhsCol[r] = v
 		}
 	}
+	// rhsCol is the relation's backing slice; drop its dictionary encoding.
+	ctx.Rel.InvalidateIndex(f.RHS)
 
 	if g != nil {
 		if err := g.ApplyRowLevel(before, rhsCol); err != nil {

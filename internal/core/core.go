@@ -66,6 +66,20 @@ func (p *Provider) Release(rng privacy.Rand, params privacy.Params) (*View, erro
 	return &View{Rel: priv, Meta: meta}, nil
 }
 
+// ReleaseParallel applies GRR with deterministic per-shard RNG streams and
+// a bounded worker pool (privacy.PrivatizeParallel): the released view is a
+// pure function of (seed, relation, params), byte-identical for any worker
+// count. workers <= 0 means runtime.GOMAXPROCS(0). Note the stream layout
+// differs from Release with a single rng seeded the same way, so the two
+// entry points produce different (equally private) views.
+func (p *Provider) ReleaseParallel(seed int64, params privacy.Params, workers int) (*View, error) {
+	priv, meta, err := privacy.PrivatizeParallel(seed, p.rel, params, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &View{Rel: priv, Meta: meta}, nil
+}
+
 // ReleaseTuned derives GRR parameters from a target count-query error via
 // the Appendix E tuning algorithm, then releases the view.
 func (p *Provider) ReleaseTuned(rng privacy.Rand, targetError, confidence float64) (*View, privacy.Params, error) {

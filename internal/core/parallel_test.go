@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"privateclean/internal/faults"
+)
+
+// The worker-pool determinism contract: a PrivatizeJob's released bytes,
+// metadata, and every intermediate checkpoint are a pure function of
+// (input, params, seed, chunk size) — the Workers knob must never appear in
+// any artifact, and resume must compose with any mix of worker counts.
+
+func runWithWorkers(t *testing.T, input string, workers int) (view, meta []byte) {
+	t.Helper()
+	job, _ := testJob(t, input)
+	job.Workers = workers
+	res, err := job.Run()
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if res.Rows == 0 {
+		t.Fatalf("workers=%d: no rows released", workers)
+	}
+	return readFile(t, job.Out), readFile(t, job.MetaPath)
+}
+
+func TestPipelineWorkersByteIdentical(t *testing.T) {
+	input := testCSV(37) // ten chunks of four
+	wantView, wantMeta := runWithWorkers(t, input, 1)
+	for _, workers := range []int{2, 8} {
+		gotView, gotMeta := runWithWorkers(t, input, workers)
+		if string(gotView) != string(wantView) {
+			t.Errorf("workers=%d view differs from serial run", workers)
+		}
+		if string(gotMeta) != string(wantMeta) {
+			t.Errorf("workers=%d metadata differs from serial run", workers)
+		}
+	}
+}
+
+// TestPipelineWorkersCheckpointTrajectory: not just the final artifacts —
+// the checkpoint after every chunk must be identical too, because a crash
+// can strand any of them for a later resume at a different worker count.
+func TestPipelineWorkersCheckpointTrajectory(t *testing.T) {
+	input := testCSV(29)
+	capture := func(workers int) []string {
+		job, _ := testJob(t, input)
+		job.Workers = workers
+		var cks []string
+		job.OnChunk = func(done, total int) error {
+			data, err := os.ReadFile(job.checkpointPath())
+			if err != nil {
+				return err
+			}
+			cks = append(cks, string(data))
+			return nil
+		}
+		if _, err := job.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return cks
+	}
+	want := capture(1)
+	if len(want) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+	for _, workers := range []int{2, 8} {
+		got := capture(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d wrote %d checkpoints, serial wrote %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d checkpoint %d differs from serial run", workers, i)
+			}
+		}
+	}
+}
+
+// TestPipelineParallelKillResumes: kill at a chunk boundary under one worker
+// count, resume under another — every combination must reproduce the
+// uninterrupted bytes.
+func TestPipelineParallelKillResumes(t *testing.T) {
+	input := testCSV(31)
+	wantView, wantMeta := uninterrupted(t, input)
+	for _, tc := range []struct{ killWorkers, resumeWorkers int }{
+		{8, 1}, {1, 8}, {8, 8}, {2, 2},
+	} {
+		t.Run(fmt.Sprintf("kill_w%d_resume_w%d", tc.killWorkers, tc.resumeWorkers), func(t *testing.T) {
+			job, _ := testJob(t, input)
+			job.Workers = tc.killWorkers
+			boom := errors.New("simulated kill")
+			job.OnChunk = func(done, total int) error {
+				if done == 3 {
+					return boom
+				}
+				return nil
+			}
+			if _, err := job.Run(); !errors.Is(err, boom) {
+				t.Fatalf("interrupted run: %v, want simulated kill", err)
+			}
+			mustNotExist(t, job.Out)
+			mustNotExist(t, job.MetaPath)
+
+			resume := *job
+			resume.OnChunk = nil
+			resume.Resume = true
+			resume.Workers = tc.resumeWorkers
+			res, err := resume.Run()
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if res.ResumedFrom != 3 {
+				t.Errorf("ResumedFrom = %d, want 3", res.ResumedFrom)
+			}
+			if got := readFile(t, job.Out); string(got) != string(wantView) {
+				t.Errorf("resumed view differs from uninterrupted run")
+			}
+			if got := readFile(t, job.MetaPath); string(got) != string(wantMeta) {
+				t.Errorf("resumed metadata differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestPipelineParallelShortWriteResumes: the fault-injection tap sits on the
+// ordered committer, so an injected torn write must behave identically under
+// a worker pool — typed failure, then a byte-identical resume.
+func TestPipelineParallelShortWriteResumes(t *testing.T) {
+	input := testCSV(18)
+	wantView, wantMeta := uninterrupted(t, input)
+
+	job, _ := testJob(t, input)
+	job.Workers = 8
+	appends := 0
+	job.tapOutput = func(w io.Writer) io.Writer {
+		appends++
+		if appends == 3 {
+			return &faults.FailingWriter{W: w, FailAt: 7, Short: true}
+		}
+		return w
+	}
+	_, err := job.Run()
+	if !errors.Is(err, faults.ErrPartialWrite) || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("short write: %v, want ErrPartialWrite via ErrInjected", err)
+	}
+	mustNotExist(t, job.Out)
+	mustNotExist(t, job.MetaPath)
+
+	resume := *job
+	resume.tapOutput = nil
+	resume.Resume = true
+	resume.Workers = 8
+	res, err := resume.Run()
+	if err != nil {
+		t.Fatalf("resume after short write: %v", err)
+	}
+	if res.ResumedFrom != 2 {
+		t.Errorf("ResumedFrom = %d, want 2", res.ResumedFrom)
+	}
+	if got := readFile(t, job.Out); string(got) != string(wantView) {
+		t.Errorf("resumed view differs from uninterrupted run")
+	}
+	if got := readFile(t, job.MetaPath); string(got) != string(wantMeta) {
+		t.Errorf("resumed metadata differs from uninterrupted run")
+	}
+}
+
+// TestPipelineRefusesStaleMechanismCheckpoint: a checkpoint taken under a
+// different RNG-consumption pattern must be refused, never resumed.
+func TestPipelineRefusesStaleMechanismCheckpoint(t *testing.T) {
+	input := testCSV(18)
+	job, _ := testJob(t, input)
+	boom := errors.New("simulated kill")
+	job.OnChunk = func(done, total int) error {
+		if done == 2 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := job.Run(); !errors.Is(err, boom) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	data, err := os.ReadFile(job.checkpointPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := []byte(replaceOnce(string(data), mechanismTag, "grr-naive/1"))
+	if err := os.WriteFile(job.checkpointPath(), tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resume := *job
+	resume.OnChunk = nil
+	resume.Resume = true
+	if _, err := resume.Run(); !errors.Is(err, faults.ErrCorruptCheckpoint) {
+		t.Fatalf("stale mechanism resume: %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+func replaceOnce(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	return s
+}
+
+// TestProviderReleaseParallelMatchesSerial mirrors the in-memory contract at
+// the core API level.
+func TestProviderReleaseParallelMatchesSerial(t *testing.T) {
+	input := testCSV(40)
+	job, _ := testJob(t, input)
+	r, _, err := job.loadInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := NewProvider(r)
+	a, err := prov.ReleaseParallel(9, job.Params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prov.ReleaseParallel(9, job.Params, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, bm := a.Rel.MustDiscrete("major"), b.Rel.MustDiscrete("major")
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatalf("row %d: %q vs %q", i, am[i], bm[i])
+		}
+	}
+	if a.Epsilon() != b.Epsilon() {
+		t.Errorf("epsilon %v vs %v", a.Epsilon(), b.Epsilon())
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"privateclean/internal/atomicio"
@@ -45,8 +47,17 @@ import (
 // resumed run produces byte-identical output to an uninterrupted one.
 
 // checkpointVersion guards the checkpoint schema; a reader refuses any
-// other version rather than guessing.
-const checkpointVersion = 1
+// other version rather than guessing. Version 2 added the mechanism tag.
+const checkpointVersion = 2
+
+// mechanismTag names the RNG-consumption pattern of the privatize hot loop.
+// "grr-skip/2" is geometric skip-sampling (one Float64 per kept run, one
+// Intn per resample — see privacy.RandomizedResponse). A chunk's bytes are a
+// pure function of (data, params, chunk stream) only under a fixed pattern,
+// so any change to how draws are consumed must bump this tag; resume then
+// refuses checkpoints whose durable chunks were produced by a different
+// pattern instead of splicing two mechanisms into one view.
+const mechanismTag = "grr-skip/2"
 
 // DefaultChunkSize is the number of rows privatized per chunk when the job
 // does not choose one.
@@ -66,6 +77,13 @@ type PrivatizeJob struct {
 	Seed int64
 	// ChunkSize is the number of rows per chunk (DefaultChunkSize if <= 0).
 	ChunkSize int
+	// Workers is the number of chunks privatized concurrently: 1 runs the
+	// chunk loop serially, <= 0 means runtime.GOMAXPROCS(0). Chunks draw
+	// from independent per-chunk RNG streams and are committed (written,
+	// synced, checkpointed) strictly in chunk order, so the released bytes,
+	// metadata, and every intermediate checkpoint are identical for any
+	// worker count.
+	Workers int
 	// ForceKinds forces column kinds on load, as in csvio.Options.
 	ForceKinds map[string]relation.Kind
 	// OnRowError selects the per-row policy for malformed input rows.
@@ -138,6 +156,7 @@ type PrivatizeResult struct {
 // silently mix two different releases.
 type checkpoint struct {
 	Version   int    `json:"version"`
+	Mechanism string `json:"mechanism"`
 	InputSHA  string `json:"input_sha256"`
 	ParamsSHA string `json:"params_sha256"`
 	Seed      int64  `json:"seed"`
@@ -179,21 +198,16 @@ func (job *PrivatizeJob) quarantinePath() string {
 }
 
 // streamSeed derives the RNG stream for one chunk from the job seed via a
-// splitmix64 round. Chunks are independent streams, so a resumed run
-// regenerates chunk k identically without replaying chunks 0..k-1.
+// splitmix64 round (privacy.StreamSeed). Chunks are independent streams, so
+// a resumed run regenerates chunk k identically without replaying chunks
+// 0..k-1, and a worker pool can privatize chunks in any order.
 func streamSeed(seed int64, chunk int) uint64 {
-	x := uint64(seed) + 0x9E3779B97F4A7C15*uint64(chunk+1)
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return x
+	return privacy.StreamSeed(seed, chunk)
 }
 
 // chunkRand builds the rand source for one chunk.
 func chunkRand(seed int64, chunk int) *rand.Rand {
-	return rand.New(rand.NewSource(int64(streamSeed(seed, chunk))))
+	return privacy.StreamRand(seed, chunk)
 }
 
 // fingerprintFile hashes a file's bytes.
@@ -298,6 +312,7 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 	chunks := (rows + job.ChunkSize - 1) / job.ChunkSize
 	ck := &checkpoint{
 		Version:          checkpointVersion,
+		Mechanism:        mechanismTag,
 		InputSHA:         inputSHA,
 		ParamsSHA:        fingerprintParams(job.Params),
 		Seed:             job.Seed,
@@ -346,6 +361,13 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 			}
 		}
 		rbSpan.End()
+	}
+
+	// The view was cloned from the input (sharing its cached discrete
+	// indexes) and its discrete columns have been rewritten chunk by chunk;
+	// drop the stale cache entries before handing it to the caller.
+	for _, name := range view.Schema().DiscreteNames() {
+		view.InvalidateIndex(name)
 	}
 
 	finSpan := tel.Trace.StartSpan(job.span, "finalize", telemetry.A("out", job.Out))
@@ -458,10 +480,32 @@ func chunkRange(chunk, chunkSize, rows int) (int, int) {
 	return lo, hi
 }
 
+// workerCount resolves the effective chunk-privatizer pool size.
+func (job *PrivatizeJob) workerCount() int {
+	if job.Workers > 0 {
+		return job.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// renderedChunk is one chunk privatized and rendered to CSV bytes by a
+// worker, waiting for its in-order durable commit.
+type renderedChunk struct {
+	data    []byte
+	err     error
+	started time.Time
+}
+
 // writeChunks privatizes and durably appends every remaining chunk,
 // advancing the checkpoint after each one. The header of an empty relation
 // is emitted as a degenerate zeroth chunk so the released view is never a
 // zero-byte file.
+//
+// With Workers > 1 a bounded pool privatizes and renders chunks
+// concurrently — each chunk owns a disjoint row range of the view and an
+// independent RNG stream — while this goroutine commits them (write, sync,
+// checkpoint, OnChunk) strictly in chunk order. The bytes on disk and every
+// intermediate checkpoint are therefore identical to a serial run.
 func (job *PrivatizeJob) writeChunks(ck *checkpoint, r, view *relation.Relation, meta *privacy.ViewMeta, rows, chunks int) error {
 	partial, err := job.openPartial(ck)
 	if err != nil {
@@ -481,15 +525,13 @@ func (job *PrivatizeJob) writeChunks(ck *checkpoint, r, view *relation.Relation,
 		"Rows privatized per chunk.", telemetry.RowBuckets)
 	checkpointWrites := tel.Metrics.Counter("privateclean_checkpoint_writes_total",
 		"Durable checkpoint writes.")
-	for chunk := ck.NextChunk; chunk < chunks; chunk++ {
-		lo, hi := chunkRange(chunk, job.ChunkSize, rows)
-		chunkStart := time.Now()
-		sp := tel.Trace.StartSpan(job.span, "chunk", telemetry.A("index", chunk), telemetry.A("rows", hi-lo))
-		if err := privatizeRange(chunkRand(job.Seed, chunk), r, view, meta, lo, hi); err != nil {
-			sp.End()
-			return err
-		}
-		n, err := job.appendRows(partial, view, lo, hi)
+	chunksTotal := tel.Metrics.Counter("privateclean_chunks_total", "Chunks privatized and made durable.")
+
+	// commit makes one rendered chunk durable and advances the checkpoint.
+	// Only this goroutine touches the partial file and the checkpoint, in
+	// both the serial and the pooled path.
+	commit := func(sp *telemetry.Span, chunk, lo, hi int, data []byte, started time.Time) error {
+		n, err := job.commitBytes(partial, data)
 		if err != nil {
 			sp.Set("err", err)
 			sp.End()
@@ -508,16 +550,122 @@ func (job *PrivatizeJob) writeChunks(ck *checkpoint, r, view *relation.Relation,
 		}
 		checkpointWrites.Inc()
 		sp.End()
-		d := time.Since(chunkStart)
+		d := time.Since(started)
 		chunkSeconds.Observe(d.Seconds())
 		chunkRows.Observe(float64(hi - lo))
 		job.chunkStats = append(job.chunkStats, ChunkStat{Chunk: chunk, Rows: hi - lo, Duration: d})
-		tel.Metrics.Counter("privateclean_chunks_total", "Chunks privatized and made durable.").Inc()
+		chunksTotal.Inc()
 		tel.Log.Debug("chunk durable", "chunk", chunk+1, "of", chunks, "rows", hi-lo, "bytes", n, "wall", d)
 		if job.OnChunk != nil {
-			if err := job.OnChunk(chunk+1, chunks); err != nil {
+			return job.OnChunk(chunk+1, chunks)
+		}
+		return nil
+	}
+
+	first := ck.NextChunk
+	pending := chunks - first
+	workers := job.workerCount()
+	if workers > pending {
+		workers = pending
+	}
+	tel.Metrics.Gauge("privateclean_privatize_workers",
+		"Effective chunk-privatizer pool size of the last privatize run.").Set(float64(workers))
+	job.span.Set("workers", workers)
+
+	if workers <= 1 {
+		for chunk := first; chunk < chunks; chunk++ {
+			lo, hi := chunkRange(chunk, job.ChunkSize, rows)
+			started := time.Now()
+			sp := tel.Trace.StartSpan(job.span, "chunk", telemetry.A("index", chunk), telemetry.A("rows", hi-lo))
+			data, err := job.renderChunk(r, view, meta, chunk, lo, hi)
+			if err != nil {
+				sp.Set("err", err)
+				sp.End()
 				return err
 			}
+			if err := commit(sp, chunk, lo, hi, data, started); err != nil {
+				return err
+			}
+		}
+		if err := partial.Close(); err != nil {
+			return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: closing partial view: %w", err))
+		}
+		return nil
+	}
+
+	// Pooled path. Workers pull chunk indexes and park the rendered bytes
+	// in a ring of single-slot channels, slot (chunk-first) mod inflight.
+	// The producer must hold a dispatch token before handing out a chunk and
+	// the committer returns the token only when it drains the chunk's slot;
+	// with exactly inflight tokens, the dispatched-but-undrained chunks are
+	// always inflight consecutive indexes — distinct modulo inflight — so a
+	// slot can never receive a later chunk before its earlier tenant is
+	// consumed, and buffered chunk memory stays bounded.
+	inflight := workers * 2
+	if inflight > pending {
+		inflight = pending
+	}
+	results := make([]chan renderedChunk, inflight)
+	for i := range results {
+		results[i] = make(chan renderedChunk, 1)
+	}
+	tokens := make(chan struct{}, inflight)
+	for i := 0; i < inflight; i++ {
+		tokens <- struct{}{}
+	}
+	jobs := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopAll := func() { stopOnce.Do(func() { close(stop) }) }
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for chunk := range jobs {
+				lo, hi := chunkRange(chunk, job.ChunkSize, rows)
+				started := time.Now()
+				data, err := job.renderChunk(r, view, meta, chunk, lo, hi)
+				select {
+				case results[(chunk-first)%inflight] <- renderedChunk{data: data, err: err, started: started}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for chunk := first; chunk < chunks; chunk++ {
+			select {
+			case <-tokens:
+			case <-stop:
+				return
+			}
+			select {
+			case jobs <- chunk:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer func() {
+		stopAll()
+		wg.Wait()
+	}()
+
+	for chunk := first; chunk < chunks; chunk++ {
+		rc := <-results[(chunk-first)%inflight]
+		tokens <- struct{}{} // slot drained; its next tenant may be dispatched
+		lo, hi := chunkRange(chunk, job.ChunkSize, rows)
+		sp := tel.Trace.StartSpan(job.span, "chunk", telemetry.A("index", chunk), telemetry.A("rows", hi-lo))
+		if rc.err != nil {
+			sp.Set("err", rc.err)
+			sp.End()
+			return rc.err
+		}
+		if err := commit(sp, chunk, lo, hi, rc.data, rc.started); err != nil {
+			return err
 		}
 	}
 	if err := partial.Close(); err != nil {
@@ -574,41 +722,11 @@ func viewMetaFor(r *relation.Relation, params privacy.Params) (*privacy.ViewMeta
 
 // privatizeRange randomizes rows [lo, hi) of every attribute, writing into
 // view. Column order is the schema's, so the draw sequence for a chunk is a
-// pure function of (data, params, chunk stream).
+// pure function of (data, params, chunk stream). It allocates nothing and
+// touches only rows [lo, hi) of view, so disjoint chunks may run
+// concurrently (privacy.PrivatizeRange).
 func privatizeRange(rng privacy.Rand, r, view *relation.Relation, meta *privacy.ViewMeta, lo, hi int) error {
-	for _, name := range r.Schema().DiscreteNames() {
-		src, err := r.Discrete(name)
-		if err != nil {
-			return err
-		}
-		dm := meta.Discrete[name]
-		priv, err := privacy.RandomizedResponse(rng, src[lo:hi], dm.Domain, dm.P)
-		if err != nil {
-			return err
-		}
-		dst, err := view.Discrete(name)
-		if err != nil {
-			return err
-		}
-		copy(dst[lo:hi], priv)
-	}
-	for _, name := range r.Schema().NumericNames() {
-		src, err := r.Numeric(name)
-		if err != nil {
-			return err
-		}
-		nm := meta.Numeric[name]
-		priv, err := privacy.LaplacePerturb(rng, src[lo:hi], nm.B)
-		if err != nil {
-			return err
-		}
-		dst, err := view.Numeric(name)
-		if err != nil {
-			return err
-		}
-		copy(dst[lo:hi], priv)
-	}
-	return nil
+	return privacy.PrivatizeRange(rng, r, view, meta, lo, hi)
 }
 
 // openPartial opens (or creates) the partial output file positioned at the
@@ -656,47 +774,71 @@ func (job *PrivatizeJob) openPartial(ck *checkpoint) (*os.File, error) {
 	return f, nil
 }
 
-// appendRows renders rows [lo, hi) of the view (plus the header before row
-// zero) and appends them durably to the partial file, returning the byte
-// count. The chunk is staged in memory first so a short write never
+// renderChunk privatizes rows [lo, hi) of the view with the chunk's own RNG
+// stream and renders them to CSV bytes. It touches only that row range, so
+// pool workers can render disjoint chunks concurrently.
+func (job *PrivatizeJob) renderChunk(r, view *relation.Relation, meta *privacy.ViewMeta, chunk, lo, hi int) ([]byte, error) {
+	if err := privatizeRange(chunkRand(job.Seed, chunk), r, view, meta, lo, hi); err != nil {
+		return nil, err
+	}
+	return renderRows(view, lo, hi)
+}
+
+// renderRows renders rows [lo, hi) of the view (plus the header before row
+// zero) to CSV bytes. The chunk is staged in memory so a short write never
 // interleaves a torn record into the accounting.
-func (job *PrivatizeJob) appendRows(f *os.File, view *relation.Relation, lo, hi int) (int64, error) {
+func renderRows(view *relation.Relation, lo, hi int) ([]byte, error) {
 	var buf bytes.Buffer
 	cw := csv.NewWriter(&buf)
 	cols := view.Schema().Columns()
 	if lo == 0 {
 		if err := cw.Write(csvio.Header(view)); err != nil {
-			return 0, faults.Wrap(faults.ErrPartialWrite, err)
+			return nil, faults.Wrap(faults.ErrPartialWrite, err)
 		}
 	}
 	record := make([]string, len(cols))
 	for i := lo; i < hi; i++ {
 		if err := csvio.FormatRow(view, cols, i, record); err != nil {
-			return 0, err
+			return nil, err
 		}
 		if err := cw.Write(record); err != nil {
-			return 0, faults.Wrap(faults.ErrPartialWrite, err)
+			return nil, faults.Wrap(faults.ErrPartialWrite, err)
 		}
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
-		return 0, faults.Wrap(faults.ErrPartialWrite, err)
+		return nil, faults.Wrap(faults.ErrPartialWrite, err)
 	}
+	return buf.Bytes(), nil
+}
+
+// commitBytes appends one rendered chunk durably to the partial file.
+func (job *PrivatizeJob) commitBytes(f *os.File, data []byte) (int64, error) {
 	var w io.Writer = f
 	if job.tapOutput != nil {
 		w = job.tapOutput(f)
 	}
-	n, err := w.Write(buf.Bytes())
+	n, err := w.Write(data)
 	if err != nil {
 		return 0, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: chunk write: %w", err))
 	}
-	if n != buf.Len() {
-		return 0, faults.Errorf(faults.ErrPartialWrite, "core: chunk write: %d of %d bytes", n, buf.Len())
+	if n != len(data) {
+		return 0, faults.Errorf(faults.ErrPartialWrite, "core: chunk write: %d of %d bytes", n, len(data))
 	}
 	if err := f.Sync(); err != nil {
 		return 0, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: chunk sync: %w", err))
 	}
-	return int64(buf.Len()), nil
+	return int64(len(data)), nil
+}
+
+// appendRows renders rows [lo, hi) of the view and appends them durably to
+// the partial file, returning the byte count.
+func (job *PrivatizeJob) appendRows(f *os.File, view *relation.Relation, lo, hi int) (int64, error) {
+	data, err := renderRows(view, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return job.commitBytes(f, data)
 }
 
 // readCheckpoint loads and validates the on-disk checkpoint against the
@@ -716,6 +858,8 @@ func (job *PrivatizeJob) readCheckpoint(fresh *checkpoint) (*checkpoint, error) 
 	switch {
 	case ck.Version != checkpointVersion:
 		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	case ck.Mechanism != mechanismTag:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint mechanism %q, this build privatizes with %q", ck.Mechanism, mechanismTag)
 	case ck.InputSHA != fresh.InputSHA:
 		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint was taken against a different input file")
 	case ck.ParamsSHA != fresh.ParamsSHA:

@@ -49,16 +49,28 @@ func (e Estimate) Hi() float64 { return e.Value + e.CI }
 // String renders the estimate as "value ± ci".
 func (e Estimate) String() string { return fmt.Sprintf("%.6g ± %.3g", e.Value, e.CI) }
 
+// matchTable evaluates pred once per distinct value of a dictionary-encoded
+// column, so the row scans below test a code against a []bool instead of
+// calling pred.Match per row. A nil Match matches every row.
+func matchTable(ix *relation.DiscreteIndex, pred Predicate) []bool {
+	t := make([]bool, ix.N())
+	for i, v := range ix.Domain {
+		t[i] = pred.Match == nil || pred.Match(v)
+	}
+	return t
+}
+
 // countMatches returns the number of rows of rel whose pred.Attr value
 // satisfies pred.
 func countMatches(rel *relation.Relation, pred Predicate) (int, error) {
-	col, err := rel.Discrete(pred.Attr)
+	ix, err := rel.DiscreteIndex(pred.Attr)
 	if err != nil {
 		return 0, err
 	}
+	match := matchTable(ix, pred)
 	n := 0
-	for _, v := range col {
-		if pred.Match(v) {
+	for _, c := range ix.Codes {
+		if match[c] {
 			n++
 		}
 	}
@@ -68,7 +80,7 @@ func countMatches(rel *relation.Relation, pred Predicate) (int, error) {
 // sumMatches returns the sum of agg over rows satisfying pred and over rows
 // not satisfying it. NaN aggregate cells contribute zero.
 func sumMatches(rel *relation.Relation, agg string, pred Predicate) (matched, complement float64, err error) {
-	col, err := rel.Discrete(pred.Attr)
+	ix, err := rel.DiscreteIndex(pred.Attr)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -76,12 +88,13 @@ func sumMatches(rel *relation.Relation, agg string, pred Predicate) (matched, co
 	if err != nil {
 		return 0, 0, err
 	}
-	for i, v := range col {
+	match := matchTable(ix, pred)
+	for i, c := range ix.Codes {
 		x := vals[i]
 		if math.IsNaN(x) {
 			continue
 		}
-		if pred.Match(v) {
+		if match[c] {
 			matched += x
 		} else {
 			complement += x

@@ -98,7 +98,7 @@ func TestVarCorrectsNoise(t *testing.T) {
 	}
 	// truth ~ 9 (sd 3).
 	const b = 6.0
-	v, meta := privatized(t, r, 6, 0.05, b)
+	v, meta := privatized(t, r, 8, 0.05, b)
 	est := &Estimator{Meta: meta}
 	corrected, err := est.Var(v, "value", Eq("category", "b"))
 	if err != nil {

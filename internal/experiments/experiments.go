@@ -47,6 +47,10 @@ type Config struct {
 	L int
 	// Confidence is the confidence level for intervals.
 	Confidence float64
+	// Workers is the privatizer pool size for the stages that use
+	// privacy.PrivatizeParallel (the perf profile); <= 0 means GOMAXPROCS.
+	// The released bytes for a given seed do not depend on it.
+	Workers int
 }
 
 // Default returns the Table 1 defaults with 100 trials.

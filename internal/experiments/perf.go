@@ -45,7 +45,7 @@ func PerfProfile(cfg Config) (*Table, error) {
 		var privTotal, cleanTotal, queryTotal time.Duration
 		for rep := 0; rep < reps; rep++ {
 			start := time.Now()
-			v, meta, err := privacy.Privatize(rng, r, params)
+			v, meta, err := privacy.PrivatizeParallel(cfg.Seed+17000+int64(rep), r, params, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}

@@ -185,20 +185,17 @@ func BForEpsilon(delta, eps float64) (float64, error) {
 // RandomizedResponse applies the discrete GRR mechanism to one column:
 // each value is kept with probability 1-p and replaced with a uniform draw
 // from domain with probability p. The input slice is not modified.
+//
+// The implementation is geometric skip-sampling (see resampleVisit): the RNG
+// cost is one Float64 per resampled run plus one Intn per resample, not one
+// Float64 per cell. The sampled distribution is unchanged, but the stream
+// consumption differs from naive per-cell flips, so views released by older
+// versions are not reproduced draw-for-draw.
 func RandomizedResponse(rng Rand, col []string, domain []string, p float64) ([]string, error) {
-	if p < 0 || p > 1 || math.IsNaN(p) {
-		return nil, faults.Errorf(faults.ErrBadParams, "privacy: randomization probability %v out of [0,1]", p)
-	}
-	if len(domain) == 0 && len(col) > 0 {
-		return nil, faults.Errorf(faults.ErrBadInput, "privacy: empty domain for non-empty column")
-	}
 	out := make([]string, len(col))
-	for i, v := range col {
-		if p > 0 && rng.Float64() < p {
-			out[i] = domain[rng.Intn(len(domain))]
-		} else {
-			out[i] = v
-		}
+	copy(out, col)
+	if err := RandomizedResponseInPlace(rng, out, domain, p); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -207,16 +204,10 @@ func RandomizedResponse(rng Rand, col []string, domain []string, p float64) ([]s
 // value receives independent Laplace(0, b) noise. NaN cells (missing values)
 // stay NaN. The input slice is not modified.
 func LaplacePerturb(rng Rand, col []float64, b float64) ([]float64, error) {
-	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
-		return nil, faults.Errorf(faults.ErrBadParams, "privacy: laplace scale %v must be finite and >= 0", b)
-	}
 	out := make([]float64, len(col))
-	for i, v := range col {
-		if math.IsNaN(v) {
-			out[i] = v
-			continue
-		}
-		out[i] = stats.Laplace(rng, v, b)
+	copy(out, col)
+	if err := LaplacePerturbInPlace(rng, out, b); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -230,54 +221,15 @@ func LaplacePerturb(rng Rand, col []float64, b float64) ([]float64, error) {
 // than an implicit p=0/b=0, because a single non-randomized attribute
 // silently de-privatizes the whole relation (Theorem 1's interpretation).
 func Privatize(rng Rand, r *relation.Relation, params Params) (*relation.Relation, *ViewMeta, error) {
+	meta, err := ViewMetaFor(r, params)
+	if err != nil {
+		return nil, nil, err
+	}
 	out := r.Clone()
-	meta := &ViewMeta{
-		Discrete: make(map[string]DiscreteMeta),
-		Numeric:  make(map[string]NumericMeta),
-		Rows:     r.NumRows(),
+	if err := PrivatizeRange(rng, r, out, meta, 0, r.NumRows()); err != nil {
+		return nil, nil, err
 	}
-	for _, name := range r.Schema().DiscreteNames() {
-		p, ok := params.P[name]
-		if !ok {
-			return nil, nil, faults.Errorf(faults.ErrBadParams, "privacy: no randomization probability for discrete attribute %q", name)
-		}
-		domain, err := r.Domain(name)
-		if err != nil {
-			return nil, nil, err
-		}
-		col, err := r.Discrete(name)
-		if err != nil {
-			return nil, nil, err
-		}
-		priv, err := RandomizedResponse(rng, col, domain, p)
-		if err != nil {
-			return nil, nil, fmt.Errorf("privacy: attribute %q: %w", name, err)
-		}
-		dst, _ := out.Discrete(name)
-		copy(dst, priv)
-		meta.Discrete[name] = DiscreteMeta{Name: name, P: p, Domain: domain}
-	}
-	for _, name := range r.Schema().NumericNames() {
-		b, ok := params.B[name]
-		if !ok {
-			return nil, nil, faults.Errorf(faults.ErrBadParams, "privacy: no laplace scale for numeric attribute %q", name)
-		}
-		col, err := r.Numeric(name)
-		if err != nil {
-			return nil, nil, err
-		}
-		priv, err := LaplacePerturb(rng, col, b)
-		if err != nil {
-			return nil, nil, fmt.Errorf("privacy: attribute %q: %w", name, err)
-		}
-		dst, _ := out.Numeric(name)
-		copy(dst, priv)
-		delta := 0.0
-		if lo, hi, err := stats.MinMax(col); err == nil {
-			delta = hi - lo
-		}
-		meta.Numeric[name] = NumericMeta{Name: name, B: b, Delta: delta}
-	}
+	invalidateDiscrete(out)
 	return out, meta, nil
 }
 

@@ -1,0 +1,196 @@
+package relation
+
+import (
+	"sort"
+	"testing"
+)
+
+func indexRel(t *testing.T) *Relation {
+	t.Helper()
+	schema := MustSchema(
+		Column{Name: "city", Kind: Discrete},
+		Column{Name: "temp", Kind: Numeric},
+	)
+	r, err := FromColumns(schema,
+		map[string][]float64{"temp": {1, 2, 3, 4, 5, 6}},
+		map[string][]string{"city": {"SF", "LA", "SF", "NYC", "LA", "SF"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDiscreteIndexRoundTrip(t *testing.T) {
+	r := indexRel(t)
+	ix, err := r.DiscreteIndex("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(ix.Domain) {
+		t.Errorf("domain not sorted: %v", ix.Domain)
+	}
+	if ix.N() != 3 {
+		t.Errorf("N() = %d, want 3", ix.N())
+	}
+	col := r.MustDiscrete("city")
+	if len(ix.Codes) != len(col) {
+		t.Fatalf("codes length %d, rows %d", len(ix.Codes), len(col))
+	}
+	for i, c := range ix.Codes {
+		if ix.Domain[c] != col[i] {
+			t.Errorf("row %d decodes to %q, want %q", i, ix.Domain[c], col[i])
+		}
+	}
+	if _, err := r.DiscreteIndex("temp"); err == nil {
+		t.Error("want error indexing a numeric column")
+	}
+	if _, err := r.DiscreteIndex("nope"); err == nil {
+		t.Error("want error indexing an unknown column")
+	}
+}
+
+func TestDiscreteIndexCached(t *testing.T) {
+	r := indexRel(t)
+	a, err := r.DiscreteIndex("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.DiscreteIndex("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated DiscreteIndex calls should return the cached pointer")
+	}
+}
+
+func TestDomainRoutesThroughIndexAndCopies(t *testing.T) {
+	r := indexRel(t)
+	d1, err := r.Domain("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1[0] = "CORRUPTED" // callers own the returned slice
+	d2, err := r.Domain("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2[0] == "CORRUPTED" {
+		t.Error("Domain must return a copy, not the cached slice")
+	}
+	n, err := r.DomainSize("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("DomainSize = %d, want 3", n)
+	}
+	counts, err := r.ValueCounts("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["SF"] != 3 || counts["LA"] != 2 || counts["NYC"] != 1 {
+		t.Errorf("ValueCounts = %v", counts)
+	}
+}
+
+func TestWritesInvalidateIndex(t *testing.T) {
+	r := indexRel(t)
+	if _, err := r.DiscreteIndex("city"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetDiscrete("city", 0, "Boston"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Domain("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(d, "Boston") {
+		t.Errorf("SetDiscrete not reflected in Domain: %v", d)
+	}
+
+	if err := r.MapDiscrete("city", func(v string) string { return v + "!" }); err != nil {
+		t.Fatal(err)
+	}
+	d, err = r.Domain("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(d, "Boston!") || contains(d, "Boston") {
+		t.Errorf("MapDiscrete not reflected in Domain: %v", d)
+	}
+
+	if err := r.AddDiscreteColumn("tier", []string{"a", "b", "a", "b", "a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	d, err = r.Domain("tier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 {
+		t.Errorf("new column domain = %v", d)
+	}
+}
+
+func TestRawWriteNeedsExplicitInvalidate(t *testing.T) {
+	r := indexRel(t)
+	ix, err := r.DiscreteIndex("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := r.MustDiscrete("city")
+	col[0] = "Chicago" // backing-slice write bypasses the cache
+	stale, err := r.DiscreteIndex("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale != ix {
+		t.Fatal("raw writes are not expected to refresh the cache by themselves")
+	}
+	r.InvalidateIndex("city")
+	fresh, err := r.DiscreteIndex("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == ix {
+		t.Error("InvalidateIndex should force a rebuild")
+	}
+	if got := fresh.Domain[fresh.Codes[0]]; got != "Chicago" {
+		t.Errorf("rebuilt index decodes row 0 to %q", got)
+	}
+}
+
+func TestCloneSharesIndexUntilInvalidated(t *testing.T) {
+	r := indexRel(t)
+	orig, err := r.DiscreteIndex("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Clone()
+	shared, err := c.DiscreteIndex("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared != orig {
+		t.Error("a clone's identical column should reuse the immutable cached index")
+	}
+	// Invalidating the clone must not disturb the original's cache.
+	c.InvalidateIndex("city")
+	still, err := r.DiscreteIndex("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still != orig {
+		t.Error("invalidating a clone's entry must not evict the original's")
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

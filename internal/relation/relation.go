@@ -14,7 +14,6 @@ package relation
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
@@ -141,6 +140,10 @@ type Relation struct {
 	numeric  map[string][]float64
 	discrete map[string][]string
 	rows     int
+	// dindex caches the dictionary encoding (sorted domain + per-row codes)
+	// of discrete columns; see DiscreteIndex. Entries are dropped whenever
+	// the column is written.
+	dindex map[string]*DiscreteIndex
 }
 
 // New creates an empty relation (zero rows) with the given schema.
@@ -254,51 +257,53 @@ func (r *Relation) Clone() *Relation {
 		copy(cp, col)
 		out.discrete[name] = cp
 	}
+	// A clone's column contents are identical, so the immutable cached
+	// encodings carry over; either relation invalidates independently.
+	if len(r.dindex) > 0 {
+		out.dindex = make(map[string]*DiscreteIndex, len(r.dindex))
+		for name, ix := range r.dindex {
+			out.dindex[name] = ix
+		}
+	}
 	return out
 }
 
 // Domain returns the sorted distinct values of a discrete column
-// (Domain(d_i) in the paper).
+// (Domain(d_i) in the paper). The distinct set is served from the cached
+// dictionary encoding; the returned slice is a copy the caller may keep.
 func (r *Relation) Domain(name string) ([]string, error) {
-	col, err := r.Discrete(name)
+	ix, err := r.DiscreteIndex(name)
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[string]struct{})
-	for _, v := range col {
-		seen[v] = struct{}{}
-	}
-	out := make([]string, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Strings(out)
+	out := make([]string, len(ix.Domain))
+	copy(out, ix.Domain)
 	return out, nil
 }
 
 // DomainSize returns the number of distinct values in a discrete column.
 func (r *Relation) DomainSize(name string) (int, error) {
-	col, err := r.Discrete(name)
+	ix, err := r.DiscreteIndex(name)
 	if err != nil {
 		return 0, err
 	}
-	seen := make(map[string]struct{})
-	for _, v := range col {
-		seen[v] = struct{}{}
-	}
-	return len(seen), nil
+	return ix.N(), nil
 }
 
 // ValueCounts returns the multiplicity of each distinct value in a discrete
 // column.
 func (r *Relation) ValueCounts(name string) (map[string]int, error) {
-	col, err := r.Discrete(name)
+	ix, err := r.DiscreteIndex(name)
 	if err != nil {
 		return nil, err
 	}
-	counts := make(map[string]int)
-	for _, v := range col {
-		counts[v]++
+	perCode := make([]int, ix.N())
+	for _, c := range ix.Codes {
+		perCode[c]++
+	}
+	counts := make(map[string]int, ix.N())
+	for c, n := range perCode {
+		counts[ix.Domain[c]] = n
 	}
 	return counts, nil
 }
@@ -313,6 +318,7 @@ func (r *Relation) SetDiscrete(name string, i int, v string) error {
 		return fmt.Errorf("relation: row %d out of range [0,%d)", i, r.rows)
 	}
 	col[i] = v
+	r.InvalidateIndex(name)
 	return nil
 }
 
@@ -340,6 +346,7 @@ func (r *Relation) MapDiscrete(name string, f func(string) string) error {
 	for i, v := range col {
 		col[i] = f(v)
 	}
+	r.InvalidateIndex(name)
 	return nil
 }
 
@@ -368,6 +375,7 @@ func (r *Relation) AddDiscreteColumn(name string, values []string) error {
 	}
 	r.schema.index[name] = len(r.schema.cols) - 1
 	r.discrete[name] = cp
+	r.InvalidateIndex(name)
 	return nil
 }
 

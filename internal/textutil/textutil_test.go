@@ -1,6 +1,7 @@
 package textutil
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -97,5 +98,52 @@ func TestLevenshteinBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLevenshteinBoundedAgreesWithFull cross-checks the banded DP against
+// the full computation over random rune strings at every useful bound.
+func TestLevenshteinBoundedAgreesWithFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []rune("abcdeé日本")
+	randStr := func() string {
+		n := rng.Intn(12)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(rs)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randStr(), randStr()
+		full := Levenshtein(a, b)
+		for max := 0; max <= 12; max++ {
+			got := LevenshteinBounded(a, b, max)
+			if full <= max {
+				if got != full {
+					t.Fatalf("LevenshteinBounded(%q, %q, %d) = %d, full distance %d", a, b, max, got, full)
+				}
+			} else if got <= max {
+				t.Fatalf("LevenshteinBounded(%q, %q, %d) = %d, but full distance %d exceeds the bound", a, b, max, got, full)
+			}
+		}
+	}
+}
+
+func TestLevenshteinBoundedEdges(t *testing.T) {
+	if got := LevenshteinBounded("", "abc", 3); got != 3 {
+		t.Errorf("empty vs abc, max 3: %d", got)
+	}
+	if got := LevenshteinBounded("", "abc", 2); got <= 2 {
+		t.Errorf("empty vs abc, max 2 should exceed the bound: %d", got)
+	}
+	if got := LevenshteinBounded("same", "same", 0); got != 0 {
+		t.Errorf("identical strings, max 0: %d", got)
+	}
+	if got := LevenshteinBounded("a", "b", -1); got <= 0 {
+		t.Errorf("negative max should behave as 0: %d", got)
+	}
+	if Similar("a", "b", -1) {
+		t.Error("Similar with negative distance must be false")
 	}
 }

@@ -142,6 +142,7 @@ func CorruptStates(rng *rand.Rand, rel *relation.Relation, k, states int) error 
 		}
 		col[i] = repl
 	}
+	rel.InvalidateIndex("ca_state")
 	return nil
 }
 
@@ -160,5 +161,6 @@ func CorruptCountries(rng *rand.Rand, rel *relation.Relation, k int) error {
 	for _, i := range perm[:k] {
 		col[i] = col[i] + string(rune('a'+rng.Intn(26)))
 	}
+	rel.InvalidateIndex("ca_country")
 	return nil
 }

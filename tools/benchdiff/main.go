@@ -1,0 +1,138 @@
+// Command benchdiff compares a fresh benchjson report against a committed
+// baseline and prints a per-benchmark delta table, so the bench trajectory in
+// BENCH_pipeline.json gates regressions instead of just accumulating.
+//
+// Usage:
+//
+//	make bench-json-tmp && go run ./tools/benchdiff -baseline BENCH_pipeline.json -current /tmp/bench.json
+//	... | go run ./tools/benchdiff -baseline BENCH_pipeline.json        (current on stdin)
+//
+// By default benchdiff is report-only: it always exits 0 so CI smoke steps
+// can surface numbers without flaking on noisy shared runners. Pass
+// -max-regress 0.15 to fail (exit 1) when any matched benchmark's ns/op
+// regresses by more than 15% against the baseline.
+//
+// Benchmark names are matched after stripping the trailing -<GOMAXPROCS>
+// suffix, so a baseline captured on one machine still lines up with runs on
+// another core count; the table notes both CPU strings for context.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	CPU     string   `json:"cpu,omitempty"`
+	Results []result `json:"results"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func key(name string) string { return procSuffix.ReplaceAllString(name, "") }
+
+func load(path string) (*report, error) {
+	var f *os.File
+	if path == "-" {
+		f = os.Stdin
+	} else {
+		var err error
+		if f, err = os.Open(path); err != nil {
+			return nil, err
+		}
+		defer f.Close()
+	}
+	rep := &report{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (cur - base) / base
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pipeline.json", "committed baseline report")
+	current := flag.String("current", "-", "fresh report ('-' for stdin)")
+	maxRegress := flag.Float64("max-regress", 0, "fail when ns/op regresses by more than this fraction (0 = report only)")
+	ignoreMissing := flag.Bool("ignore-missing", false, "don't list baseline benchmarks absent from the current run (subset smoke runs)")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	baseBy := map[string]result{}
+	for _, r := range base.Results {
+		baseBy[key(r.Name)] = r
+	}
+
+	if base.CPU != cur.CPU {
+		fmt.Printf("note: baseline cpu %q, current cpu %q — deltas are cross-machine\n", base.CPU, cur.CPU)
+	}
+	fmt.Printf("%-52s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "cur ns/op", "Δns/op", "Δrows/s")
+
+	var regressed []string
+	matched := 0
+	for _, c := range cur.Results {
+		b, ok := baseBy[key(c.Name)]
+		if !ok {
+			fmt.Printf("%-52s %14s %14.0f %8s %10s\n", key(c.Name), "(new)", c.NsPerOp, "", "")
+			continue
+		}
+		matched++
+		delete(baseBy, key(c.Name))
+		rows := ""
+		if br, cr := b.Metrics["rows/s"], c.Metrics["rows/s"]; br > 0 && cr > 0 {
+			rows = fmt.Sprintf("%+.1f%%", pct(br, cr))
+		}
+		d := pct(b.NsPerOp, c.NsPerOp)
+		fmt.Printf("%-52s %14.0f %14.0f %+7.1f%% %10s\n", key(c.Name), b.NsPerOp, c.NsPerOp, d, rows)
+		if *maxRegress > 0 && d > *maxRegress*100 {
+			regressed = append(regressed, fmt.Sprintf("%s: ns/op %+.1f%% (limit %+.1f%%)", key(c.Name), d, *maxRegress*100))
+		}
+	}
+	var gone []string
+	for k := range baseBy {
+		gone = append(gone, k)
+	}
+	sort.Strings(gone)
+	if !*ignoreMissing {
+		for _, k := range gone {
+			fmt.Printf("%-52s %14.0f %14s\n", k, baseBy[k].NsPerOp, "(missing)")
+		}
+	}
+	fmt.Printf("%d matched, %d new, %d missing\n", matched, len(cur.Results)-matched, len(gone))
+
+	if len(regressed) > 0 {
+		for _, r := range regressed {
+			fmt.Fprintf(os.Stderr, "benchdiff: regression: %s\n", r)
+		}
+		os.Exit(1)
+	}
+}
