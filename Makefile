@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race faults check bench bench-json bench-smoke
+.PHONY: build vet test race faults check bench bench-json bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,11 @@ race:
 faults:
 	$(GO) test -race \
 		./internal/faults/ ./internal/atomicio/ ./internal/csvio/ ./internal/core/ ./cmd/privateclean/
+
+# End-to-end smoke of the query service: privatize a sample, start
+# `privateclean serve`, POST a query, scrape /metrics, SIGTERM cleanly.
+serve-smoke:
+	sh tools/serve-smoke.sh
 
 # What CI runs.
 check: build vet race

@@ -78,6 +78,8 @@ func run(args []string) (err error) {
 		return cmdClean(args[1:])
 	case "query":
 		return cmdQuery(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -97,6 +99,7 @@ subcommands:
   epsilon    allocate a total epsilon budget across attributes (Sec. 4.2.3)
   clean      apply cleaning operations to a private CSV, recording provenance
   query      estimate a sum/count/avg query on a (cleaned) private CSV
+  serve      run a long-lived HTTP query service over one private view
   explain    show the channel parameters (p, N, l, tau) behind a query
   describe   profile a CSV: per-column kind, distinct counts, ranges
 

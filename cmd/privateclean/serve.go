@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/provenance"
+	"privateclean/internal/server"
+)
+
+// serveNotify, when set by a test, receives the bound listener address once
+// the server is accepting connections.
+var serveNotify func(net.Addr)
+
+// cmdServe loads a private view once and serves corrected-query estimation
+// over HTTP until SIGINT/SIGTERM, then drains in-flight requests and exits.
+func cmdServe(args []string) (err error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	in := fs.String("in", "", "cleaned private CSV (required)")
+	metaPath := fs.String("meta", "", "view metadata JSON (required)")
+	provPath := fs.String("prov", "", "provenance JSON (optional)")
+	confidence := fs.Float64("confidence", 0.95, "confidence level for intervals")
+	addr := fs.String("addr", ":8080", "listen address (host:port; use :0 for an ephemeral port)")
+	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-query deadline before a 408 response")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInFlight, "concurrent query bound; excess requests get 429")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return faults.Wrap(faults.ErrUsage, err)
+	}
+	if *in == "" || *metaPath == "" {
+		return faults.Errorf(faults.ErrUsage, "serve: -in and -meta are required")
+	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	tel.Redact.Allow(*in, *metaPath, *provPath, *addr)
+
+	r, err := cf.load(*in)
+	if err != nil {
+		return err
+	}
+	meta, err := readMeta(*metaPath)
+	if err != nil {
+		return err
+	}
+	var prov *provenance.Store
+	if *provPath != "" {
+		if prov, err = readProv(*provPath); err != nil {
+			return err
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Rel:         r,
+		Meta:        meta,
+		Prov:        prov,
+		Confidence:  *confidence,
+		Timeout:     *timeout,
+		MaxInFlight: *maxInflight,
+		Tel:         tel,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ready := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr, ready) }()
+
+	select {
+	case bound := <-ready:
+		fmt.Printf("serving on %s\n", bound)
+		tel.Log.Info("serve started", "op", "serve", "rows", r.NumRows())
+		if serveNotify != nil {
+			serveNotify(bound)
+		}
+	case err := <-errCh:
+		return err
+	}
+
+	select {
+	case <-ctx.Done():
+		stop()
+		tel.Log.Info("serve draining", "op", "serve")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if serr := srv.Shutdown(dctx); serr != nil {
+			return serr
+		}
+		// Collect the Serve goroutine's exit so nothing leaks.
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// captureStdout runs f with os.Stdout redirected into a buffer and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out, rerr := io.ReadAll(r)
+	r.Close()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if ferr != nil {
+		t.Fatalf("command failed: %v (output %q)", ferr, out)
+	}
+	return string(out)
+}
+
+// cliEstimate extracts the "privateclean = ..." value from query output.
+func cliEstimate(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "privateclean = "); ok {
+			return rest
+		}
+	}
+	t.Fatalf("no estimate line in output %q", out)
+	return ""
+}
+
+// TestServeMatchesQueryCLI privatizes and cleans a view, runs queries
+// through the one-shot CLI and through a live `privateclean serve`
+// instance, and requires byte-identical estimates from both paths.
+func TestServeMatchesQueryCLI(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTempCSV(t, dir)
+	private := filepath.Join(dir, "private.csv")
+	meta := filepath.Join(dir, "meta.json")
+	cleaned := filepath.Join(dir, "cleaned.csv")
+	prov := filepath.Join(dir, "prov.json")
+
+	for _, step := range [][]string{
+		{"privatize", "-in", data, "-out", private, "-meta", meta, "-p", "0.2", "-b", "0.5", "-seed", "7"},
+		{"clean", "-in", private, "-out", cleaned, "-meta", meta, "-prov", prov,
+			"-op", "replace:major:Mech. Eng.:Mechanical Engineering"},
+	} {
+		if err := run(step); err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+	}
+
+	queries := []string{
+		"SELECT count(1) FROM R WHERE major = 'Mechanical Engineering'",
+		"SELECT count(1) FROM R WHERE major = 'Math'",
+		"SELECT sum(score) FROM R WHERE major = 'Math'",
+		"SELECT avg(score) FROM R WHERE major = 'History'",
+		"SELECT count(1) FROM R",
+	}
+	want := make(map[string]string, len(queries))
+	for _, q := range queries {
+		out := captureStdout(t, func() error {
+			return run([]string{"query", "-in", cleaned, "-meta", meta, "-prov", prov, q})
+		})
+		want[q] = cliEstimate(t, out)
+	}
+
+	// Start the server on an ephemeral port; the hook reports the address.
+	addrCh := make(chan net.Addr, 1)
+	serveNotify = func(a net.Addr) { addrCh <- a }
+	defer func() { serveNotify = nil }()
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- run([]string{"serve", "-in", cleaned, "-meta", meta, "-prov", prov,
+			"-addr", "127.0.0.1:0"})
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-serveDone:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not come up")
+	}
+
+	for _, q := range queries {
+		body, _ := json.Marshal(map[string]string{"query": q})
+		resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %q: status %d: %s", q, resp.StatusCode, raw)
+		}
+		var qr struct {
+			Estimate struct {
+				Text string `json:"text"`
+			} `json:"estimate"`
+		}
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			t.Fatalf("query %q: %v (%s)", q, err, raw)
+		}
+		if qr.Estimate.Text != want[q] {
+			t.Fatalf("query %q: served estimate %q != CLI estimate %q", q, qr.Estimate.Text, want[q])
+		}
+	}
+
+	// Clean shutdown on SIGTERM, draining without error.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down on SIGTERM")
+	}
+}
+
+// TestServeFlagValidation covers the serve-specific usage errors.
+func TestServeFlagValidation(t *testing.T) {
+	if err := run([]string{"serve", "-addr", ":0"}); err == nil {
+		t.Fatal("serve without -in/-meta should fail")
+	}
+	if err := run([]string{"serve", "-in", "x.csv"}); err == nil {
+		t.Fatal("serve without -meta should fail")
+	}
+}

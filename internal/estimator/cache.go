@@ -1,0 +1,162 @@
+package estimator
+
+import (
+	"sync"
+
+	"privateclean/internal/relation"
+)
+
+// ChannelCache memoizes the two deterministic, per-predicate computations
+// behind every corrected estimate:
+//
+//   - the resolved response channel (p, N, l) — which may walk the cleaning
+//     provenance graph to compute a weighted vertex cut; and
+//   - the per-domain-value match table over a column's dictionary encoding.
+//
+// Both are pure functions of (attribute, predicate) for a fixed view, so a
+// long-lived query server attaches one cache to its Estimator and every
+// repeated predicate resolves in two map lookups. Results are identical with
+// and without the cache; the CLI's one-shot query path simply leaves it nil.
+//
+// Keys are the predicate's rendered description (Eq/In/Fn/Not all render
+// distinctly; the match-all nil predicate gets its own key), so only
+// predicates built through the package constructors — which is everything
+// the query language compiles to — are cacheable. A hand-built Predicate
+// with a Match func but no description bypasses the cache.
+//
+// The cache is safe for concurrent use. Match tables are validated against
+// the column's current *DiscreteIndex identity, so a relation write (which
+// replaces the index) transparently invalidates the stale entry.
+type ChannelCache struct {
+	mu     sync.RWMutex
+	chans  map[predKey]channelVal
+	tables map[predKey]matchEntry
+}
+
+// NewChannelCache returns an empty cache ready for concurrent use.
+func NewChannelCache() *ChannelCache {
+	return &ChannelCache{
+		chans:  make(map[predKey]channelVal),
+		tables: make(map[predKey]matchEntry),
+	}
+}
+
+type predKey struct {
+	attr string
+	desc string
+}
+
+type channelVal struct {
+	p float64
+	n int
+	l float64
+}
+
+type matchEntry struct {
+	ix  *relation.DiscreteIndex // index the table was built against
+	tbl []bool
+}
+
+// predCacheKey returns the cache key for pred and whether pred is cacheable.
+// A predicate is cacheable when its description uniquely determines its
+// semantics: every constructor-built predicate has a description, and the
+// nil-Match (match-all) predicate is keyed under a reserved tag.
+func predCacheKey(pred Predicate) (predKey, bool) {
+	if pred.Match == nil {
+		return predKey{attr: pred.Attr, desc: "\x00all"}, true
+	}
+	if pred.desc == "" {
+		return predKey{}, false
+	}
+	return predKey{attr: pred.Attr, desc: pred.desc}, true
+}
+
+func (c *ChannelCache) getChannel(k predKey) (channelVal, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.chans[k]
+	return v, ok
+}
+
+func (c *ChannelCache) putChannel(k predKey, v channelVal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.chans[k] = v
+}
+
+// Len reports how many channels and match tables are resident (for tests
+// and server introspection).
+func (c *ChannelCache) Len() (channels, tables int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.chans), len(c.tables)
+}
+
+// matchTableFor returns the (possibly cached) match table of pred over ix.
+// An entry built against a superseded index — the column was rewritten and
+// re-encoded — is rebuilt, never served stale.
+func (c *ChannelCache) matchTableFor(ix *relation.DiscreteIndex, pred Predicate) []bool {
+	k, cacheable := predCacheKey(pred)
+	if !cacheable {
+		return matchTable(ix, pred)
+	}
+	c.mu.RLock()
+	e, ok := c.tables[k]
+	c.mu.RUnlock()
+	if ok && e.ix == ix {
+		return e.tbl
+	}
+	tbl := matchTable(ix, pred)
+	c.mu.Lock()
+	c.tables[k] = matchEntry{ix: ix, tbl: tbl}
+	c.mu.Unlock()
+	return tbl
+}
+
+// countMatches is countMatches routed through the estimator's cache (when
+// attached); behavior is otherwise identical to the package function.
+func (e *Estimator) countMatches(rel *relation.Relation, pred Predicate) (int, error) {
+	if e.Cache == nil {
+		return countMatches(rel, pred)
+	}
+	ix, err := rel.DiscreteIndex(pred.Attr)
+	if err != nil {
+		return 0, err
+	}
+	match := e.Cache.matchTableFor(ix, pred)
+	n := 0
+	for _, c := range ix.Codes {
+		if match[c] {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// sumMatches is sumMatches routed through the estimator's cache.
+func (e *Estimator) sumMatches(rel *relation.Relation, agg string, pred Predicate) (matched, complement float64, err error) {
+	if e.Cache == nil {
+		return sumMatches(rel, agg, pred)
+	}
+	ix, err := rel.DiscreteIndex(pred.Attr)
+	if err != nil {
+		return 0, 0, err
+	}
+	vals, err := rel.Numeric(agg)
+	if err != nil {
+		return 0, 0, err
+	}
+	match := e.Cache.matchTableFor(ix, pred)
+	for i, c := range ix.Codes {
+		x := vals[i]
+		if x != x { // NaN
+			continue
+		}
+		if match[c] {
+			matched += x
+		} else {
+			complement += x
+		}
+	}
+	return matched, complement, nil
+}

@@ -39,6 +39,7 @@ import (
 // predicate.
 type conjChannel struct {
 	pred   Predicate
+	match  func(string) bool // pred.Match with nil normalized to match-all
 	col    []string
 	wTrue  float64 // weight when the private value satisfies the predicate
 	wFalse float64 // weight otherwise
@@ -66,9 +67,16 @@ func (e *Estimator) conjChannels(rel *relation.Relation, preds []Predicate) ([]c
 		if err != nil {
 			return nil, err
 		}
+		// Honor the nil-means-match-all predicate contract here too: channel
+		// already resolved l = N for it, so the weights come out right.
+		match := pred.Match
+		if match == nil {
+			match = func(string) bool { return true }
+		}
 		tauN := p * l / float64(n)
 		chans[i] = conjChannel{
 			pred:   pred,
+			match:  match,
 			col:    col,
 			wTrue:  (1 - tauN) / (1 - p),
 			wFalse: -tauN / (1 - p),
@@ -78,13 +86,16 @@ func (e *Estimator) conjChannels(rel *relation.Relation, preds []Predicate) ([]c
 }
 
 // conjWeights computes the per-row weight product and accumulates the
-// count/sum statistics. vals may be nil for count-only queries.
+// count/sum statistics. vals may be nil for count-only queries. NaN
+// aggregate cells contribute nothing to the sum terms, so the sum-variance
+// denominator counts only the rows that actually entered the sum.
 func conjStatistics(chans []conjChannel, vals []float64, rows int) (count, sum, countVar, sumVar float64) {
 	var cAcc, hAcc, c2Acc, h2Acc float64
+	var sumRows float64 // rows with a non-NaN aggregate cell
 	for r := 0; r < rows; r++ {
 		w := 1.0
 		for i := range chans {
-			if chans[i].pred.Match(chans[i].col[r]) {
+			if chans[i].match(chans[i].col[r]) {
 				w *= chans[i].wTrue
 			} else {
 				w *= chans[i].wFalse
@@ -97,13 +108,16 @@ func conjStatistics(chans []conjChannel, vals []float64, rows int) (count, sum, 
 			if math.IsNaN(x) {
 				continue
 			}
+			sumRows++
 			hAcc += w * x
 			h2Acc += w * x * w * x
 		}
 	}
 	s := float64(rows)
 	countVar = c2Acc - cAcc*cAcc/s
-	sumVar = h2Acc - hAcc*hAcc/s
+	if sumRows > 0 {
+		sumVar = h2Acc - hAcc*hAcc/sumRows
+	}
 	if countVar < 0 {
 		countVar = 0
 	}
@@ -167,15 +181,10 @@ func (e *Estimator) AvgConj(rel *relation.Relation, agg string, preds ...Predica
 		return Estimate{}, err
 	}
 	if c.Value == 0 {
-		return Estimate{}, fmt.Errorf("estimator: estimated conjunction count is zero")
+		return Estimate{}, fmt.Errorf("%w for the conjunction", ErrZeroEstimatedCount)
 	}
 	v := h.Value / c.Value
-	var rel2 float64
-	if h.Value != 0 {
-		rel2 += (h.CI / h.Value) * (h.CI / h.Value)
-	}
-	rel2 += (c.CI / c.Value) * (c.CI / c.Value)
-	return Estimate{Value: v, CI: math.Abs(v) * math.Sqrt(rel2)}, nil
+	return Estimate{Value: v, CI: ratioCI(v, h, c)}, nil
 }
 
 // DirectCountConj is the nominal conjunction count.
@@ -240,9 +249,17 @@ func conjMatcher(rel *relation.Relation, preds []Predicate) (func(int) bool, err
 		}
 		cols[i] = col
 	}
+	matches := make([]func(string) bool, len(preds))
+	for i, pred := range preds {
+		if pred.Match == nil {
+			matches[i] = func(string) bool { return true }
+		} else {
+			matches[i] = pred.Match
+		}
+	}
 	return func(r int) bool {
-		for i := range preds {
-			if !preds[i].Match(cols[i][r]) {
+		for i := range matches {
+			if !matches[i](cols[i][r]) {
 				return false
 			}
 		}

@@ -22,6 +22,7 @@
 package estimator
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -30,6 +31,12 @@ import (
 	"privateclean/internal/relation"
 	"privateclean/internal/stats"
 )
+
+// ErrZeroEstimatedCount reports that a corrected count estimate is exactly
+// zero, so the ratio (avg) estimator is undefined. Callers that want to skip
+// such groups (GroupAvgs) branch on it with errors.Is; every other error is
+// a genuine failure and must propagate.
+var ErrZeroEstimatedCount = errors.New("estimator: estimated count is zero")
 
 // Estimate is a point estimate with a symmetric confidence interval
 // half-width at the estimator's confidence level.
@@ -149,12 +156,36 @@ type Estimator struct {
 	// edge weights (the "PC-U" ablation of Figure 7). The default weighted
 	// cut is correct for multi-attribute cleaning.
 	UnweightedCut bool
+	// Cache, when non-nil, memoizes resolved channels (p, N, l) and
+	// per-predicate match tables across queries. Results are identical with
+	// or without it. Attach one (NewChannelCache) only while Meta, Prov, and
+	// the relation's predicate columns are not being mutated — the long-lived
+	// query-serving case. The cache itself is safe for concurrent use.
+	Cache *ChannelCache
 }
 
 // channel resolves everything the corrected estimators need about a
 // predicate: the randomization probability p of the governing attribute,
 // the dirty-domain size N, and the predicate's dirty-domain selectivity l.
+// With a Cache attached, resolved channels are served read-through (the
+// resolution walks the provenance graph, so a resident server amortizes it
+// across requests).
 func (e *Estimator) channel(pred Predicate) (p float64, n int, l float64, err error) {
+	key, cacheable := predCacheKey(pred)
+	if cacheable && e.Cache != nil {
+		if ch, ok := e.Cache.getChannel(key); ok {
+			return ch.p, ch.n, ch.l, nil
+		}
+	}
+	p, n, l, err = e.resolveChannel(pred)
+	if err == nil && cacheable && e.Cache != nil {
+		e.Cache.putChannel(key, channelVal{p: p, n: n, l: l})
+	}
+	return p, n, l, err
+}
+
+// resolveChannel is the uncached channel resolution.
+func (e *Estimator) resolveChannel(pred Predicate) (p float64, n int, l float64, err error) {
 	if e.Meta == nil {
 		return 0, 0, 0, fmt.Errorf("estimator: nil view metadata")
 	}
@@ -172,12 +203,18 @@ func (e *Estimator) channel(pred Predicate) (p float64, n int, l float64, err er
 	if n == 0 {
 		return 0, 0, 0, fmt.Errorf("estimator: attribute %q has an empty domain", base)
 	}
+	// A nil Match means match-all (the matchTable contract): the predicate
+	// selects the whole clean domain, whose dirty-domain selectivity is N.
+	match := pred.Match
+	if match == nil {
+		match = func(string) bool { return true }
+	}
 	if e.Prov != nil {
 		if g, ok := e.Prov.Graph(attr); ok {
 			if e.UnweightedCut {
-				l = g.UnweightedSelectivity(pred.Match)
+				l = g.UnweightedSelectivity(match)
 			} else {
-				l = g.Selectivity(pred.Match)
+				l = g.Selectivity(match)
 			}
 			return p, n, l, nil
 		}
@@ -185,7 +222,7 @@ func (e *Estimator) channel(pred Predicate) (p float64, n int, l float64, err er
 	// No cleaning recorded for this attribute: the clean domain is the
 	// dirty domain, so count matching distinct values directly.
 	for _, v := range meta.Domain {
-		if pred.Match(v) {
+		if match(v) {
 			l++
 		}
 	}
@@ -214,7 +251,7 @@ func (e *Estimator) Count(rel *relation.Relation, pred Predicate) (Estimate, err
 	if p >= 1 {
 		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", p)
 	}
-	cPriv, err := countMatches(rel, pred)
+	cPriv, err := e.countMatches(rel, pred)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -256,7 +293,7 @@ func (e *Estimator) Sum(rel *relation.Relation, agg string, pred Predicate) (Est
 	if p >= 1 {
 		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", p)
 	}
-	hp, hpc, err := sumMatches(rel, agg, pred)
+	hp, hpc, err := e.sumMatches(rel, agg, pred)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -267,7 +304,7 @@ func (e *Estimator) Sum(rel *relation.Relation, agg string, pred Predicate) (Est
 	tauN := p * l / float64(n)
 	est := ((1-tauN)*hp - tauN*hpc) / (1 - p)
 
-	cPriv, err := countMatches(rel, pred)
+	cPriv, err := e.countMatches(rel, pred)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -313,7 +350,7 @@ func (e *Estimator) SumIgnoringFalsePositives(rel *relation.Relation, agg string
 	if err != nil {
 		return Estimate{}, err
 	}
-	hp, _, err := sumMatches(rel, agg, pred)
+	hp, _, err := e.sumMatches(rel, agg, pred)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -327,7 +364,7 @@ func (e *Estimator) SumIgnoringFalsePositives(rel *relation.Relation, agg string
 	}
 	est := hp / tauP
 
-	cPriv, err := countMatches(rel, pred)
+	cPriv, err := e.countMatches(rel, pred)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -371,16 +408,24 @@ func (e *Estimator) Avg(rel *relation.Relation, agg string, pred Predicate) (Est
 		return Estimate{}, err
 	}
 	if c.Value == 0 {
-		return Estimate{}, fmt.Errorf("estimator: estimated count is zero for %s", pred)
+		return Estimate{}, fmt.Errorf("%w for %s", ErrZeroEstimatedCount, pred)
 	}
 	v := h.Value / c.Value
-	var rel2 float64
-	if h.Value != 0 {
-		rel2 += (h.CI / h.Value) * (h.CI / h.Value)
+	return Estimate{Value: v, CI: ratioCI(v, h, c)}, nil
+}
+
+// ratioCI is the delta-method interval for the ratio v = ĥ/ĉ. The relative
+// form |v|·sqrt((CI_sum/ĥ)² + (CI_count/ĉ)²) is undefined at ĥ = 0 — dropping
+// the sum term there would collapse the interval to zero exactly where the
+// sum estimate is least certain — so at ĥ = 0 the algebraically equivalent
+// absolute form sqrt(CI_sum² + v²·CI_count²)/|ĉ| is used, which degrades
+// continuously to CI_sum/|ĉ|.
+func ratioCI(v float64, h, c Estimate) float64 {
+	if h.Value == 0 {
+		return math.Hypot(h.CI, v*c.CI) / math.Abs(c.Value)
 	}
-	rel2 += (c.CI / c.Value) * (c.CI / c.Value)
-	ci := math.Abs(v) * math.Sqrt(rel2)
-	return Estimate{Value: v, CI: ci}, nil
+	rel2 := (h.CI/h.Value)*(h.CI/h.Value) + (c.CI/c.Value)*(c.CI/c.Value)
+	return math.Abs(v) * math.Sqrt(rel2)
 }
 
 // TotalCount estimates a predicate-free count: the relation size, which GRR
@@ -486,7 +531,8 @@ func (e *Estimator) GroupSums(rel *relation.Relation, attr, agg string) (map[str
 }
 
 // GroupAvgs estimates avg(agg) ... GROUP BY attr with the corrected ratio
-// estimator per group. Groups whose estimated count is zero are omitted.
+// estimator per group. Groups whose estimated count is zero are omitted;
+// every other failure (missing aggregate column, bad metadata) propagates.
 func (e *Estimator) GroupAvgs(rel *relation.Relation, attr, agg string) (map[string]Estimate, error) {
 	domain, err := rel.Domain(attr)
 	if err != nil {
@@ -495,8 +541,11 @@ func (e *Estimator) GroupAvgs(rel *relation.Relation, attr, agg string) (map[str
 	out := make(map[string]Estimate, len(domain))
 	for _, v := range domain {
 		est, err := e.Avg(rel, agg, Eq(attr, v))
-		if err != nil {
+		if errors.Is(err, ErrZeroEstimatedCount) {
 			continue // zero estimated count: no meaningful average
+		}
+		if err != nil {
+			return nil, err
 		}
 		out[v] = est
 	}

@@ -69,11 +69,13 @@ func Fn(attr, name string, f func(string) bool) Predicate {
 }
 
 // Not negates a predicate (used internally for the sum estimator's
-// complement-query trick, Section 5.5).
+// complement-query trick, Section 5.5). A nil Match means match-all, so its
+// negation matches nothing.
 func Not(p Predicate) Predicate {
+	m := p.Match
 	return Predicate{
 		Attr:  p.Attr,
-		Match: func(v string) bool { return !p.Match(v) },
+		Match: func(v string) bool { return m != nil && !m(v) },
 		desc:  "NOT (" + p.String() + ")",
 	}
 }

@@ -60,7 +60,15 @@ func buildIndex(col []string) *DiscreteIndex {
 // building it on first use. The returned index must be treated as read-only;
 // it stays valid even if the column is later modified (the cache entry is
 // replaced, not mutated).
+//
+// The cache is guarded by a mutex, so any number of goroutines may call
+// DiscreteIndex (and the Domain/DomainSize/ValueCounts readers built on it)
+// concurrently — the property the query server depends on. Column *writes*
+// remain single-threaded: the relation is read-mostly, not a concurrent
+// table.
 func (r *Relation) DiscreteIndex(name string) (*DiscreteIndex, error) {
+	r.dmu.Lock()
+	defer r.dmu.Unlock()
 	if ix, ok := r.dindex[name]; ok {
 		return ix, nil
 	}
@@ -82,5 +90,7 @@ func (r *Relation) DiscreteIndex(name string) (*DiscreteIndex, error) {
 // Domain, DomainSize, ValueCounts, or DiscreteIndex. Invalidating a column
 // with no cache entry (or a numeric/unknown column) is a no-op.
 func (r *Relation) InvalidateIndex(name string) {
+	r.dmu.Lock()
+	defer r.dmu.Unlock()
 	delete(r.dindex, name)
 }

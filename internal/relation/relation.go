@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // Null is the canonical missing-value sentinel for discrete attributes.
@@ -142,7 +143,9 @@ type Relation struct {
 	rows     int
 	// dindex caches the dictionary encoding (sorted domain + per-row codes)
 	// of discrete columns; see DiscreteIndex. Entries are dropped whenever
-	// the column is written.
+	// the column is written. dmu guards the map so concurrent readers — the
+	// query server's request handlers — can share one relation.
+	dmu    sync.Mutex
 	dindex map[string]*DiscreteIndex
 }
 
@@ -259,12 +262,14 @@ func (r *Relation) Clone() *Relation {
 	}
 	// A clone's column contents are identical, so the immutable cached
 	// encodings carry over; either relation invalidates independently.
+	r.dmu.Lock()
 	if len(r.dindex) > 0 {
 		out.dindex = make(map[string]*DiscreteIndex, len(r.dindex))
 		for name, ix := range r.dindex {
 			out.dindex[name] = ix
 		}
 	}
+	r.dmu.Unlock()
 	return out
 }
 

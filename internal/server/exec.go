@@ -1,0 +1,154 @@
+package server
+
+import (
+	"sort"
+	"time"
+
+	"privateclean/internal/estimator"
+	"privateclean/internal/faults"
+	"privateclean/internal/query"
+	"privateclean/internal/telemetry"
+)
+
+// estimateJSON is one corrected estimate on the wire. Text carries the
+// exact Estimate.String() rendering, so a client (and the integration
+// tests) can compare byte-for-byte against the `privateclean query` CLI.
+type estimateJSON struct {
+	Value float64 `json:"value"`
+	CI    float64 `json:"ci"`
+	Text  string  `json:"text"`
+}
+
+func toJSON(e estimator.Estimate) estimateJSON {
+	return estimateJSON{Value: e.Value, CI: e.CI, Text: e.String()}
+}
+
+// groupEstimate is one GROUP BY bucket. Key may be a private cell value;
+// it appears only in the response body, never in logs or metrics.
+type groupEstimate struct {
+	Key      string       `json:"key"`
+	Estimate estimateJSON `json:"estimate"`
+}
+
+// queryResponse is the /v1/query success body: exactly one of Estimate or
+// Groups is set.
+type queryResponse struct {
+	Query      string          `json:"query"`
+	Agg        string          `json:"agg"`
+	Confidence float64         `json:"confidence"`
+	Estimate   *estimateJSON   `json:"estimate,omitempty"`
+	Groups     []groupEstimate `json:"groups,omitempty"`
+}
+
+// execute parses and estimates one query against the resident view. The
+// aggregate dispatch mirrors the `privateclean query` CLI exactly — same
+// estimator entry points, same restrictions — so a served estimate is
+// byte-identical to the CLI's for the same view and query.
+func (s *Server) execute(sql string) (*queryResponse, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadQuery, err)
+	}
+	sp := s.tel.Trace.StartSpan(nil, "serve_query", telemetry.A("agg", q.Agg.String()))
+	start := time.Now()
+	defer func() {
+		sp.End()
+		s.tel.Metrics.Counter("privateclean_queries_total", "Estimated queries, by aggregate.",
+			telemetry.L("agg", q.Agg.String())).Inc()
+		s.tel.Metrics.Histogram("privateclean_query_seconds", "Wall time of query estimation.",
+			telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
+	}()
+
+	resp := &queryResponse{Query: sql, Agg: q.Agg.String(), Confidence: s.est.Confidence}
+
+	if len(q.AndWhere) > 0 {
+		preds, err := query.CompileConjunction(q.Conds(), s.udfs)
+		if err != nil {
+			return nil, faults.Wrap(faults.ErrBadQuery, err)
+		}
+		var pc estimator.Estimate
+		switch q.Agg {
+		case query.AggCount:
+			pc, err = s.est.CountConj(s.rel, preds...)
+		case query.AggSum:
+			pc, err = s.est.SumConj(s.rel, q.AggAttr, preds...)
+		case query.AggAvg:
+			pc, err = s.est.AvgConj(s.rel, q.AggAttr, preds...)
+		default:
+			return nil, faults.Errorf(faults.ErrBadQuery, "query: %s does not support AND conjunctions", q.Agg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		e := toJSON(pc)
+		resp.Estimate = &e
+		return resp, nil
+	}
+
+	if q.GroupBy != "" {
+		if q.Agg != query.AggCount {
+			return nil, faults.Errorf(faults.ErrBadQuery, "query: GROUP BY supports count(1) only")
+		}
+		groups, err := s.est.GroupCounts(s.rel, q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			resp.Groups = append(resp.Groups, groupEstimate{Key: k, Estimate: toJSON(groups[k])})
+		}
+		return resp, nil
+	}
+
+	if q.Where == nil {
+		var e estimator.Estimate
+		switch q.Agg {
+		case query.AggCount:
+			e = s.est.TotalCount(s.rel)
+		case query.AggSum:
+			e, err = s.est.TotalSum(s.rel, q.AggAttr)
+		case query.AggAvg:
+			e, err = s.est.TotalAvg(s.rel, q.AggAttr)
+		default:
+			return nil, faults.Errorf(faults.ErrBadQuery, "query: %s requires a WHERE predicate", q.Agg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ej := toJSON(e)
+		resp.Estimate = &ej
+		return resp, nil
+	}
+
+	pred, err := query.CompilePredicate(q.Where, s.udfs)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadQuery, err)
+	}
+	var pc estimator.Estimate
+	switch q.Agg {
+	case query.AggCount:
+		pc, err = s.est.Count(s.rel, pred)
+	case query.AggSum:
+		pc, err = s.est.Sum(s.rel, q.AggAttr, pred)
+	case query.AggAvg:
+		pc, err = s.est.Avg(s.rel, q.AggAttr, pred)
+	case query.AggMedian:
+		pc, err = s.est.Median(s.rel, q.AggAttr, pred)
+	case query.AggVar:
+		pc, err = s.est.Var(s.rel, q.AggAttr, pred)
+	case query.AggStd:
+		pc, err = s.est.Std(s.rel, q.AggAttr, pred)
+	default:
+		return nil, faults.Errorf(faults.ErrBadQuery, "query: unsupported aggregate %s", q.Agg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := toJSON(pc)
+	resp.Estimate = &e
+	return resp, nil
+}

@@ -1,0 +1,68 @@
+#!/bin/sh
+# End-to-end smoke test of `privateclean serve`: privatize a small CSV,
+# start the server, POST a query, scrape /metrics, and verify a clean
+# SIGTERM shutdown. Run from the repository root (make serve-smoke).
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pc" ./cmd/privateclean
+
+# A tiny two-column dataset: discrete major, numeric score.
+{
+	echo "major,score"
+	i=0
+	while [ $i -lt 100 ]; do
+		echo "Math,$((i % 5 + 1))"
+		echo "History,$(((i + 2) % 5 + 1))"
+		i=$((i + 1))
+	done
+} >"$tmp/data.csv"
+
+"$tmp/pc" privatize -in "$tmp/data.csv" -out "$tmp/private.csv" \
+	-meta "$tmp/meta.json" -p 0.2 -b 0.5 -seed 1
+
+"$tmp/pc" serve -in "$tmp/private.csv" -meta "$tmp/meta.json" \
+	-addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's/^serving on //p' "$tmp/serve.log")
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || { echo "serve died:"; cat "$tmp/serve.log"; exit 1; }
+	sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve never reported its address"; cat "$tmp/serve.log"; exit 1; }
+base="http://$addr"
+
+curl -fs "$base/healthz" >/dev/null
+
+resp=$(curl -fs -X POST "$base/v1/query" \
+	-d '{"query": "SELECT count(1) FROM R WHERE major = '\''Math'\''"}')
+echo "$resp"
+echo "$resp" | grep -q '"text"' || { echo "query response has no estimate"; exit 1; }
+
+curl -fs "$base/v1/describe" | grep -q '"rows"' || { echo "describe broken"; exit 1; }
+
+metrics=$(curl -fs "$base/metrics")
+echo "$metrics" | grep -q 'privateclean_http_requests_total' || {
+	echo "metrics missing request counter"; exit 1; }
+echo "$metrics" | grep -q 'privateclean_http_request_seconds' || {
+	echo "metrics missing latency histogram"; exit 1; }
+# The query text must never leak into metrics.
+if echo "$metrics" | grep -q 'SELECT'; then
+	echo "metrics leak query text"; exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid" || { echo "serve exited non-zero on SIGTERM"; cat "$tmp/serve.log"; exit 1; }
+pid=""
+
+echo "serve smoke OK"
