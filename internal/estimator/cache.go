@@ -18,11 +18,13 @@ import (
 // repeated predicate resolves in two map lookups. Results are identical with
 // and without the cache; the CLI's one-shot query path simply leaves it nil.
 //
-// Keys are the predicate's rendered description (Eq/In/Fn/Not all render
-// distinctly; the match-all nil predicate gets its own key), so only
-// predicates built through the package constructors — which is everything
-// the query language compiles to — are cacheable. A hand-built Predicate
-// with a Match func but no description bypasses the cache.
+// Keys are the predicate's rendered description, which is canonical for
+// Eq/NotEq/In/And/Not-built predicates (values render quoted, so no two
+// distinct value sets collide); the match-all nil predicate gets its own
+// reserved key. Fn-built predicates are NOT cached — a UDF name does not
+// uniquely determine the wrapped function — and neither is a hand-built
+// Predicate with a Match func but no description; both bypass the cache and
+// are recomputed per call.
 //
 // The cache is safe for concurrent use. Match tables are validated against
 // the column's current *DiscreteIndex identity, so a relation write (which
@@ -59,13 +61,14 @@ type matchEntry struct {
 
 // predCacheKey returns the cache key for pred and whether pred is cacheable.
 // A predicate is cacheable when its description uniquely determines its
-// semantics: every constructor-built predicate has a description, and the
-// nil-Match (match-all) predicate is keyed under a reserved tag.
+// semantics: Eq/NotEq/In/And/Not-built predicates qualify, the nil-Match
+// (match-all) predicate is keyed under a reserved tag, and Fn-built or
+// desc-less predicates (noCache) do not.
 func predCacheKey(pred Predicate) (predKey, bool) {
 	if pred.Match == nil {
 		return predKey{attr: pred.Attr, desc: "\x00all"}, true
 	}
-	if pred.desc == "" {
+	if pred.noCache || pred.desc == "" {
 		return predKey{}, false
 	}
 	return predKey{attr: pred.Attr, desc: pred.desc}, true

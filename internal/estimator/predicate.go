@@ -14,8 +14,14 @@ type Predicate struct {
 	Attr string
 	// Match reports whether a distinct value satisfies the predicate.
 	Match func(string) bool
-	// desc is a human-readable rendering for errors and logs.
+	// desc is a human-readable rendering for errors and logs. For Eq, NotEq,
+	// In, And, and Not it is canonical: equal descs imply equal semantics,
+	// which is what lets a ChannelCache key on it.
 	desc string
+	// noCache marks predicates whose desc does not uniquely determine their
+	// semantics (Fn wraps an arbitrary closure behind a name), so a
+	// ChannelCache must not key on it.
+	noCache bool
 }
 
 // String renders the predicate.
@@ -52,20 +58,44 @@ func In(attr string, values ...string) Predicate {
 	}
 	sorted := append([]string(nil), values...)
 	sort.Strings(sorted)
+	// Values are quoted so the rendering is unambiguous: without quotes,
+	// In("cat", "b, c") and In("cat", "b", "c") would render identically and
+	// alias in a ChannelCache.
+	quoted := make([]string, len(sorted))
+	for i, v := range sorted {
+		quoted[i] = fmt.Sprintf("%q", v)
+	}
 	return Predicate{
 		Attr: attr,
 		Match: func(v string) bool {
 			_, ok := set[v]
 			return ok
 		},
-		desc: fmt.Sprintf("%s IN (%s)", attr, strings.Join(sorted, ", ")),
+		desc: fmt.Sprintf("%s IN (%s)", attr, strings.Join(quoted, ", ")),
 	}
 }
 
 // Fn builds a predicate from an arbitrary deterministic value function, e.g.
-// the paper's isEurope(country) (Section 8.5).
+// the paper's isEurope(country) (Section 8.5). Two Fn predicates with the
+// same name may wrap different functions, so Fn-built predicates are never
+// cached by a ChannelCache.
 func Fn(attr, name string, f func(string) bool) Predicate {
-	return Predicate{Attr: attr, Match: f, desc: fmt.Sprintf("%s(%s)", name, attr)}
+	return Predicate{Attr: attr, Match: f, desc: fmt.Sprintf("%s(%s)", name, attr), noCache: true}
+}
+
+// And conjoins two predicates over the same attribute (they reduce to one
+// value subset). A nil Match on either side means match-all. The combined
+// desc is built from the operands' canonical descs, so And of cacheable
+// predicates stays cacheable; if either side is uncacheable (Fn-built, or a
+// hand-built Match with no desc), so is the conjunction.
+func And(a, b Predicate) Predicate {
+	am, bm := a.Match, b.Match
+	return Predicate{
+		Attr:    a.Attr,
+		Match:   func(v string) bool { return (am == nil || am(v)) && (bm == nil || bm(v)) },
+		desc:    "(" + a.String() + " AND " + b.String() + ")",
+		noCache: a.noCache || b.noCache || (a.Match != nil && a.desc == "") || (b.Match != nil && b.desc == ""),
+	}
 }
 
 // Not negates a predicate (used internally for the sum estimator's
@@ -77,5 +107,8 @@ func Not(p Predicate) Predicate {
 		Attr:  p.Attr,
 		Match: func(v string) bool { return m != nil && !m(v) },
 		desc:  "NOT (" + p.String() + ")",
+		// The fallback "<func>" rendering of a desc-less predicate is not
+		// canonical, so its negation cannot be cache-keyed either.
+		noCache: p.noCache || (p.Match != nil && p.desc == ""),
 	}
 }

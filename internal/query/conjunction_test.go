@@ -113,6 +113,35 @@ func TestCompileConjunctionMergesSameAttr(t *testing.T) {
 	}
 }
 
+// Merged same-attribute predicates used to all render as "and(attr)", so a
+// server-side channel cache conflated every conjunction over one attribute.
+// Distinct conjunctions must keep distinct renderings.
+func TestCompileConjunctionMergeKeepsDistinctDescriptions(t *testing.T) {
+	compile := func(src string) string {
+		t.Helper()
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds, err := CompileConjunction(q.Conds(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range preds {
+			if p.Attr == "major" {
+				return p.String()
+			}
+		}
+		t.Fatalf("no merged major predicate for %q", src)
+		return ""
+	}
+	a := compile("SELECT count(1) FROM R WHERE major IN ('ME','EE') AND major != 'EE'")
+	b := compile("SELECT count(1) FROM R WHERE major IN ('ME','EE') AND major != 'ME'")
+	if a == b {
+		t.Fatalf("distinct merged conjunctions share rendering %q", a)
+	}
+}
+
 func TestCompileConjunctionBadUDF(t *testing.T) {
 	q, err := Parse("SELECT count(1) FROM R WHERE isX(major) AND section = '1'")
 	if err != nil {

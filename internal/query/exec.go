@@ -73,9 +73,10 @@ func CompileConjunction(conds []*Cond, udfs UDFs) ([]estimator.Predicate, error)
 			return nil, err
 		}
 		if prev, ok := byAttr[c.Attr]; ok {
-			a, b := prev.Match, pred.Match
-			byAttr[c.Attr] = estimator.Fn(c.Attr, "and",
-				func(v string) bool { return a(v) && b(v) })
+			// estimator.And keeps the merged predicate's description
+			// canonical, so a server-side channel cache never conflates two
+			// different conjunctions over the same attribute.
+			byAttr[c.Attr] = estimator.And(prev, pred)
 			continue
 		}
 		byAttr[c.Attr] = pred

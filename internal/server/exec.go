@@ -13,6 +13,9 @@ import (
 // estimateJSON is one corrected estimate on the wire. Text carries the
 // exact Estimate.String() rendering, so a client (and the integration
 // tests) can compare byte-for-byte against the `privateclean query` CLI.
+// Value and CI pass through jsonSafe: a non-finite estimate (possible on
+// degenerate views) encodes as the -1 sentinel, with Text preserving the
+// exact non-finite rendering.
 type estimateJSON struct {
 	Value float64 `json:"value"`
 	CI    float64 `json:"ci"`
@@ -20,7 +23,7 @@ type estimateJSON struct {
 }
 
 func toJSON(e estimator.Estimate) estimateJSON {
-	return estimateJSON{Value: e.Value, CI: e.CI, Text: e.String()}
+	return estimateJSON{Value: jsonSafe(e.Value), CI: jsonSafe(e.CI), Text: e.String()}
 }
 
 // groupEstimate is one GROUP BY bucket. Key may be a private cell value;

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strings"
@@ -205,12 +206,22 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// writeJSON marshals v before touching the ResponseWriter, so an encoding
+// failure (e.g. a non-finite float that slipped past sanitization) surfaces
+// as a 500 error body instead of a truncated response behind a success
+// status.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		status = http.StatusInternalServerError
+		body, _ = json.MarshalIndent(errorBody{Error: errorInfo{
+			Code:    "internal",
+			Message: "encoding response: " + err.Error(),
+		}}, "", "  ")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(append(body, '\n'))
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
@@ -350,7 +361,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		Confidence: s.est.Confidence,
 	}
 	// TotalEpsilon can be +Inf (a non-randomized column); JSON has no Inf,
-	// so clamp to a large sentinel the client can recognize.
+	// so clamp to the -1 sentinel the client can recognize.
 	resp.TotalEpsilon = jsonSafe(meta.TotalEpsilon())
 	for _, c := range s.rel.Schema().Columns() {
 		dc := describeColumn{Name: c.Name, Kind: c.Kind.String()}
@@ -372,10 +383,13 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// jsonSafe clamps non-finite epsilons (p=0 or b=0 means no privacy) to -1,
-// the wire sentinel for "unbounded".
+// jsonSafe clamps non-finite values to -1, the wire sentinel for
+// "unbounded": JSON has no NaN or Inf, and json.Marshal fails on them. It
+// guards every float the server emits — epsilons (p=0 or b=0 means no
+// privacy) and estimate values/intervals alike; an estimate's exact
+// rendering survives in its Text field.
 func jsonSafe(v float64) float64 {
-	if v != v || v > 1e308 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return -1
 	}
 	return v

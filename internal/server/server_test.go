@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -376,6 +377,95 @@ func TestMetricsHygiene(t *testing.T) {
 	}
 	if strings.Contains(text, secret) || strings.Contains(text, "SELECT") {
 		t.Fatalf("metrics leak query contents:\n%s", text)
+	}
+}
+
+// writeJSON must never send a truncated body behind a 200: an encoding
+// failure is converted to a 500 error envelope before any header is written.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, map[string]float64{"x": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if code := errCode(t, rec.Body.Bytes()); code != "internal" {
+		t.Fatalf("code = %q, want internal", code)
+	}
+}
+
+// Non-finite estimate values encode as the -1 wire sentinel (JSON has no
+// NaN/Inf) with the exact rendering preserved in Text.
+func TestEstimateJSONSanitizesNonFinite(t *testing.T) {
+	e := estimator.Estimate{Value: math.NaN(), CI: math.Inf(1)}
+	ej := toJSON(e)
+	if ej.Value != -1 || ej.CI != -1 {
+		t.Fatalf("sanitized estimate = %+v, want -1 sentinels", ej)
+	}
+	if ej.Text != e.String() {
+		t.Fatalf("Text = %q, want exact rendering %q", ej.Text, e.String())
+	}
+	if _, err := json.Marshal(ej); err != nil {
+		t.Fatalf("sanitized estimate does not marshal: %v", err)
+	}
+}
+
+// Serve-path regression for the In cache-key aliasing: values containing
+// ", " (ordinary data like "Washington, DC") used to render identically to
+// the split value list, so one query poisoned the shared channel cache for
+// the other across requests.
+func TestServeInPredicateWithCommaValue(t *testing.T) {
+	cats := []string{"b", "b", "c", "b, c", "b, c", "b, c", "d"}
+	vals := []float64{1, 2, 3, 4, 5, 6, 7}
+	r, err := relation.FromColumns(testSchema,
+		map[string][]float64{"value": vals},
+		map[string][]string{"category": cats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := &privacy.ViewMeta{
+		Discrete: map[string]privacy.DiscreteMeta{
+			"category": {Name: "category", P: 0.25, Domain: []string{"b", "c", "b, c", "d"}},
+		},
+		Numeric: map[string]privacy.NumericMeta{"value": {Name: "value", B: 0}},
+		Rows:    len(cats),
+	}
+	s, err := New(Config{Rel: r, Meta: meta, Tel: telemetry.Noop()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	est := &estimator.Estimator{Meta: meta, Confidence: 0.95}
+	queries := []struct {
+		sql  string
+		pred estimator.Predicate
+	}{
+		{"SELECT count(1) FROM R WHERE category IN ('b', 'c')", estimator.In("category", "b", "c")},
+		{"SELECT count(1) FROM R WHERE category IN ('b, c')", estimator.In("category", "b, c")},
+	}
+	// Both orders: whichever predicate resolves first must not be served
+	// back for the other.
+	for _, order := range [][2]int{{0, 1}, {1, 0}} {
+		for _, i := range order {
+			q := queries[i]
+			want, err := est.Count(r, q.pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, body := postQuery(t, ts.URL, q.sql)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: status %d (%s)", q.sql, resp.StatusCode, body)
+			}
+			var qr queryResponse
+			if err := json.Unmarshal(body, &qr); err != nil {
+				t.Fatal(err)
+			}
+			if qr.Estimate == nil || qr.Estimate.Text != want.String() {
+				t.Fatalf("%s: served %+v, direct estimator %q (cache aliasing)", q.sql, qr.Estimate, want.String())
+			}
+		}
 	}
 }
 
