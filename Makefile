@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: build vet test race faults check bench bench-json bench-smoke serve-smoke
+# Per-target budget for the fuzz smoke; six targets keep the whole pass
+# around 30 seconds.
+FUZZ_TIME ?= 5s
+
+# Minimum total statement coverage; CI fails below this. Raise it when
+# coverage durably improves, never lower it to make a PR pass.
+COVER_BASELINE ?= 78.0
+
+.PHONY: build vet test race faults check bench bench-json bench-smoke serve-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -27,8 +35,29 @@ faults:
 serve-smoke:
 	sh tools/serve-smoke.sh
 
+# Brief native-fuzz pass over every target, starting from the committed
+# seed corpora in testdata/fuzz. Catches shallow panics and round-trip
+# regressions; long fuzzing campaigns stay manual (-fuzztime 10m).
+fuzz-smoke:
+	$(GO) test ./internal/query/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/query/ -run '^$$' -fuzz '^FuzzCompilePredicate$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/csvio/ -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/csvio/ -run '^$$' -fuzz '^FuzzReadPolicies$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/csvio/ -run '^$$' -fuzz '^FuzzMetaJSON$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/csvio/ -run '^$$' -fuzz '^FuzzProvenanceJSON$$' -fuzztime $(FUZZ_TIME)
+
+# Full-suite statement coverage, gated against COVER_BASELINE.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | sed 's/[^0-9.]*\([0-9.]*\)%$$/\1/'); \
+	ok=$$(awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { print (t+0 >= b+0) ? 1 : 0 }'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "coverage $$total% is below the $(COVER_BASELINE)% baseline"; exit 1; \
+	fi
+
 # What CI runs.
-check: build vet race
+check: build vet race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// update rewrites the golden files from the current output:
+//
+//	go test ./cmd/privateclean/ -run TestGolden -update
+//
+// Inspect the diff before committing — the goldens lock output bytes.
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// wallRe matches the wall-clock token of the privatize summary, the only
+// nondeterministic part of the output under a fixed seed.
+var wallRe = regexp.MustCompile(`wall=[^ \n]+`)
+
+func scrubWall(s string) string {
+	return wallRe.ReplaceAllString(s, "wall=SCRUBBED")
+}
+
+// golden compares got against testdata/golden/<name>, rewriting the file
+// under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create it): %v", name, err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenPrivatize locks the privatize CLI's stdout, view bytes, and
+// metadata bytes under a fixed seed. Any drift — float formatting, column
+// order, schema changes, RNG consumption order — shows up as a byte diff.
+func TestGoldenPrivatize(t *testing.T) {
+	dir := t.TempDir()
+	view := filepath.Join(dir, "view.csv")
+	meta := filepath.Join(dir, "meta.json")
+	out := captureStdout(t, func() error {
+		return run([]string{"privatize",
+			"-in", filepath.Join("testdata", "example.csv"),
+			"-out", view, "-meta", meta,
+			"-p", "0.2", "-b", "0.5", "-seed", "42", "-ledger", "off"})
+	})
+	golden(t, "privatize_stdout.golden", []byte(scrubWall(out)))
+	viewBytes, err := os.ReadFile(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "view.csv.golden", viewBytes)
+	metaBytes, err := os.ReadFile(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "meta.json.golden", metaBytes)
+}
+
+// TestGoldenQuery locks the query CLI's stdout against the golden view:
+// estimate values, confidence intervals, and rendering all pinned.
+func TestGoldenQuery(t *testing.T) {
+	view := filepath.Join("testdata", "golden", "view.csv.golden")
+	meta := filepath.Join("testdata", "golden", "meta.json.golden")
+	if _, err := os.Stat(view); err != nil {
+		t.Fatalf("golden view missing (run TestGoldenPrivatize with -update first): %v", err)
+	}
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"query_count.golden", "SELECT count(1) FROM R WHERE major = 'Math'"},
+		{"query_sum_in.golden", "SELECT sum(score) FROM R WHERE major IN ('Math', 'Mech. Eng.')"},
+		{"query_avg.golden", "SELECT avg(score) FROM R WHERE major = 'History'"},
+		{"query_groupby.golden", "SELECT count(1) FROM R GROUP BY major"},
+	}
+	for _, c := range cases {
+		out := captureStdout(t, func() error {
+			return run([]string{"query", "-in", view, "-meta", meta, c.sql})
+		})
+		golden(t, c.name, []byte(out))
+	}
+}

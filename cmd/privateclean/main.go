@@ -76,6 +76,8 @@ func run(args []string) (err error) {
 		return cmdDescribe(args[1:])
 	case "clean":
 		return cmdClean(args[1:])
+	case "stats":
+		return cmdStats(args[1:])
 	case "query":
 		return cmdQuery(args[1:])
 	case "serve":
@@ -98,6 +100,7 @@ subcommands:
   minsize    Theorem 2 dataset-size bound for domain preservation
   epsilon    allocate a total epsilon budget across attributes (Sec. 4.2.3)
   clean      apply cleaning operations to a private CSV, recording provenance
+  stats      stream a private CSV into sufficient statistics for count/sum/avg
   query      estimate a sum/count/avg query on a (cleaned) private CSV
   serve      run a long-lived HTTP query service over one private view
   explain    show the channel parameters (p, N, l, tau) behind a query
@@ -284,6 +287,8 @@ func cmdPrivatize(args []string) (err error) {
 	checkpoint := fs.String("checkpoint", "", "checkpoint path (default <out>.ckpt)")
 	resume := fs.Bool("resume", false, "resume an interrupted run from its checkpoint")
 	ledger := fs.String("ledger", "", "epsilon-budget ledger JSON (default <in>"+telemetry.LedgerFileSuffix+"; 'off' disables)")
+	stream := fs.Bool("stream", false, "out-of-core mode: never load the input; scan it in chunks (output is byte-identical)")
+	memBudget := fs.String("mem-budget", "", "streaming memory budget (bytes; k/m/g suffixes) sizing chunks when -chunk is unset")
 	cf := addCSVFlags(fs)
 	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -292,6 +297,19 @@ func cmdPrivatize(args []string) (err error) {
 	if *in == "" || *out == "" || *metaPath == "" {
 		return faults.Errorf(faults.ErrUsage, "privatize: -in, -out, and -meta are required")
 	}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		return faults.Errorf(faults.ErrUsage, "privatize: -mem-budget: %v", err)
+	}
+	if budget > 0 && !*stream {
+		return faults.Errorf(faults.ErrUsage, "privatize: -mem-budget only applies with -stream")
+	}
+	chunkSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "chunk" {
+			chunkSet = true
+		}
+	})
 	tel, err := tf.setup()
 	if err != nil {
 		return err
@@ -304,23 +322,42 @@ func cmdPrivatize(args []string) (err error) {
 	case "off":
 		ledgerPath = ""
 	}
-	// The parameters need the schema, so the input is read once up front;
-	// the job re-reads it when privatizing (and again on every resume, which
-	// is what makes the checkpoint's input fingerprint meaningful).
-	r, err := cf.load(*in)
-	if err != nil {
-		return err
-	}
-	params := privacy.Uniform(r.Schema(), *p, *b)
-	if *targetErr > 0 {
-		params, err = privacy.Tune(r, *targetErr, *confidence)
+	// The parameters need the schema. In-memory mode reads the input once up
+	// front (the job re-reads it when privatizing, which is what makes the
+	// checkpoint's input fingerprint meaningful); streaming mode resolves the
+	// schema with a bounded-memory profile scan instead, so the relation is
+	// never resident.
+	var params privacy.Params
+	if *stream {
+		if *targetErr > 0 {
+			return faults.Errorf(faults.ErrUsage,
+				"privatize: -error (parameter tuning) needs the resident input; run 'privateclean tune' first and pass -p/-b")
+		}
+		schema, err := streamSchema(*in, cf)
 		if err != nil {
 			return err
+		}
+		params = privacy.Uniform(schema, *p, *b)
+	} else {
+		r, err := cf.load(*in)
+		if err != nil {
+			return err
+		}
+		params = privacy.Uniform(r.Schema(), *p, *b)
+		if *targetErr > 0 {
+			params, err = privacy.Tune(r, *targetErr, *confidence)
+			if err != nil {
+				return err
+			}
 		}
 	}
 	policy, err := cf.policy()
 	if err != nil {
 		return err
+	}
+	chunkSize := *chunk
+	if *stream && budget > 0 && !chunkSet {
+		chunkSize = 0 // derived from the budget and the profiled row geometry
 	}
 	job := &core.PrivatizeJob{
 		In:             *in,
@@ -329,7 +366,7 @@ func cmdPrivatize(args []string) (err error) {
 		CheckpointPath: *checkpoint,
 		Params:         params,
 		Seed:           *seed,
-		ChunkSize:      *chunk,
+		ChunkSize:      chunkSize,
 		Workers:        *workers,
 		ForceKinds:     cf.forceKinds(),
 		OnRowError:     policy,
@@ -337,6 +374,8 @@ func cmdPrivatize(args []string) (err error) {
 		Resume:         *resume,
 		Tel:            tel,
 		LedgerPath:     ledgerPath,
+		Stream:         *stream,
+		MemBudget:      budget,
 	}
 	res, err := job.Run()
 	if err != nil {
@@ -366,6 +405,52 @@ func cmdPrivatize(args []string) (err error) {
 			ledgerPath, res.Ledger.Composed, res.CumulativeEpsilon, note)
 	}
 	return nil
+}
+
+// parseBytes reads a byte count with an optional k/m/g (or kb/mb/gb) suffix.
+// Empty means zero (no budget).
+func parseBytes(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	s = strings.TrimSuffix(s, "b")
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("byte count must be > 0, got %d", n)
+	}
+	return n * mult, nil
+}
+
+// streamSchema resolves a CSV's schema with a bounded-memory profile scan.
+// Quarantined rows go to io.Discard here — the privatize job writes the real
+// sidecar when it profiles the input itself.
+func streamSchema(path string, cf *csvFlags) (relation.Schema, error) {
+	policy, err := cf.policy()
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	opts := csvio.Options{ForceKinds: cf.forceKinds(), OnRowError: policy}
+	if policy == csvio.RowErrorQuarantine {
+		opts.Quarantine = io.Discard
+	}
+	prof, err := csvio.ProfileFile(path, opts)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	return prof.Schema()
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -638,6 +723,7 @@ func cmdClean(args []string) (err error) {
 	out := fs.String("out", "", "output cleaned CSV (required)")
 	metaPath := fs.String("meta", "", "view metadata JSON from privatize (required)")
 	provPath := fs.String("prov", "", "provenance JSON (read if present, always written) (required)")
+	stream := fs.Bool("stream", false, "out-of-core mode: clean in windows without loading the input (streamable ops only)")
 	var ops opList
 	fs.Var(&ops, "op", "cleaning op spec (repeatable): replace:a:f:t | md:a:d | fd:l1,l2:r | fdimpute:l:r | nullify:a:v1,v2")
 	cf := addCSVFlags(fs)
@@ -657,10 +743,6 @@ func cmdClean(args []string) (err error) {
 	}
 	defer tf.finish(&err)
 	tel.Redact.Allow(*in, *out, *metaPath, *provPath)
-	r, err := cf.load(*in)
-	if err != nil {
-		return err
-	}
 	meta, err := readMeta(*metaPath)
 	if err != nil {
 		return err
@@ -670,6 +752,13 @@ func cmdClean(args []string) (err error) {
 		if prov, err = readProv(*provPath); err != nil {
 			return err
 		}
+	}
+	if *stream {
+		return cleanStream(cf, tel, meta, prov, *in, *out, *provPath, ops)
+	}
+	r, err := cf.load(*in)
+	if err != nil {
+		return err
 	}
 	sp := tel.Trace.StartSpan(nil, "clean", telemetry.A("ops", len(ops)), telemetry.A("rows", r.NumRows()))
 	ctx := &cleaning.Context{Rel: r, Prov: prov, Meta: meta, Tel: tel, Span: sp}
@@ -695,11 +784,127 @@ func cmdClean(args []string) (err error) {
 	return nil
 }
 
+// openChunks profiles a CSV under the row policy and opens a windowed
+// decode pass over it. The quarantine sidecar (when that policy is on) is
+// written at profile time, exactly as cf.load would.
+func openChunks(cf *csvFlags, path string) (*csvio.ChunkIterator, *csvio.Profile, error) {
+	policy, err := cf.policy()
+	if err != nil {
+		return nil, nil, err
+	}
+	tel := telemetry.Default()
+	tel.Redact.Allow(path)
+	opts := csvio.Options{ForceKinds: cf.forceKinds(), OnRowError: policy, Tel: tel}
+	if policy == csvio.RowErrorQuarantine {
+		qpath := cf.quarantinePath(path)
+		tel.Redact.Allow(qpath)
+		q, err := os.Create(qpath)
+		if err != nil {
+			return nil, nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("quarantine sidecar: %w", err))
+		}
+		defer q.Close()
+		opts.Quarantine = q
+	}
+	prof, err := csvio.ProfileFile(path, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, err := csvio.NewChunkIterator(path, prof, relation.DefaultWindow)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, prof, nil
+}
+
+// cleanStream is clean's out-of-core path: windows of the input are cleaned
+// and written through as they decode, provenance accumulates incrementally,
+// and the output lands atomically. Ops that need the whole relation resident
+// are rejected before any byte is written.
+func cleanStream(cf *csvFlags, tel *telemetry.Set, meta *privacy.ViewMeta, prov *provenance.Store, in, out, provPath string, ops opList) (err error) {
+	it, prof, err := openChunks(cf, in)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	sp := tel.Trace.StartSpan(nil, "clean", telemetry.A("ops", len(ops)), telemetry.A("rows", prof.Rows), telemetry.A("stream", true))
+	ctx := &cleaning.Context{Prov: prov, Meta: meta, Tel: tel, Span: sp}
+	var res *cleaning.StreamResult
+	err = atomicio.WriteFile(out, func(w io.Writer) error {
+		var serr error
+		res, serr = cleaning.StreamApply(ctx, it, w, ops...)
+		return serr
+	})
+	sp.End()
+	if err != nil {
+		return err
+	}
+	psp := tel.Trace.StartSpan(nil, "provenance_save", telemetry.A("attrs", len(prov.Attrs())))
+	err = atomicio.WriteJSON(provPath, prov)
+	psp.End()
+	if err != nil {
+		return err
+	}
+	tel.Log.Info("clean finished", "ops", len(ops), "rows", res.Rows, "tracked_attrs", len(prov.Attrs()), "stream", true)
+	fmt.Printf("applied %d ops; provenance tracks %d attribute(s)\n", len(ops), len(prov.Attrs()))
+	return nil
+}
+
+// cmdStats streams a (cleaned) private CSV once and writes the sufficient
+// statistics for count/sum/avg estimation — per-value counts and per-value
+// numeric sums plus one-pass moments — so query and serve can answer without
+// the relation.
+func cmdStats(args []string) (err error) {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	in := fs.String("in", "", "cleaned private CSV (required)")
+	out := fs.String("out", "", "output statistics JSON (required)")
+	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return faults.Wrap(faults.ErrUsage, err)
+	}
+	if *in == "" || *out == "" {
+		return faults.Errorf(faults.ErrUsage, "stats: -in and -out are required")
+	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	tel.Redact.Allow(*in, *out)
+	it, prof, err := openChunks(cf, *in)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	sp := tel.Trace.StartSpan(nil, "collect_stats", telemetry.A("rows", prof.Rows))
+	st, err := estimator.CollectStatistics(it)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteJSON(*out, st); err != nil {
+		return err
+	}
+	tel.Log.Info("stats collected", "rows", st.Rows, "columns", len(st.Columns))
+	fmt.Printf("stats ok: rows=%d columns=%d\n", st.Rows, len(st.Columns))
+	return nil
+}
+
+// readStats loads a sufficient-statistics JSON written by cmdStats.
+func readStats(path string) (*estimator.Statistics, error) {
+	st := &estimator.Statistics{}
+	if err := readJSON(path, st); err != nil {
+		return nil, faults.Wrap(faults.ErrBadMeta, err)
+	}
+	return st, nil
+}
+
 func cmdQuery(args []string) (err error) {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
-	in := fs.String("in", "", "cleaned private CSV (required)")
+	in := fs.String("in", "", "cleaned private CSV (required unless -stats)")
 	metaPath := fs.String("meta", "", "view metadata JSON (required)")
 	provPath := fs.String("prov", "", "provenance JSON (optional)")
+	statsPath := fs.String("stats", "", "sufficient-statistics JSON from 'privateclean stats' (alternative to -in)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for intervals")
 	cf := addCSVFlags(fs)
 	tf := addTelFlags(fs)
@@ -707,17 +912,22 @@ func cmdQuery(args []string) (err error) {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
 	sql := strings.Join(fs.Args(), " ")
-	if *in == "" || *metaPath == "" || sql == "" {
-		return faults.Errorf(faults.ErrUsage, "query: -in, -meta, and a SQL string are required")
+	if (*in == "") == (*statsPath == "") || *metaPath == "" || sql == "" {
+		return faults.Errorf(faults.ErrUsage, "query: -meta, a SQL string, and exactly one of -in or -stats are required")
 	}
 	tel, err := tf.setup()
 	if err != nil {
 		return err
 	}
 	defer tf.finish(&err)
-	tel.Redact.Allow(*in, *metaPath, *provPath)
-	r, err := cf.load(*in)
-	if err != nil {
+	tel.Redact.Allow(*in, *metaPath, *provPath, *statsPath)
+	var r *relation.Relation
+	var st *estimator.Statistics
+	if *statsPath != "" {
+		if st, err = readStats(*statsPath); err != nil {
+			return err
+		}
+	} else if r, err = cf.load(*in); err != nil {
 		return err
 	}
 	meta, err := readMeta(*metaPath)
@@ -747,6 +957,10 @@ func cmdQuery(args []string) (err error) {
 			telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
 	}()
 	est := &estimator.Estimator{Meta: meta, Prov: prov, Confidence: *confidence}
+
+	if st != nil {
+		return queryStats(est, st, q)
+	}
 
 	if len(q.AndWhere) > 0 {
 		preds, err := query.CompileConjunction(q.Conds(), nil)
@@ -843,6 +1057,85 @@ func cmdQuery(args []string) (err error) {
 			dv, err = estimator.DirectVar(r, q.AggAttr, pred)
 			direct = math.Sqrt(dv)
 		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("privateclean = %s\ndirect       = %.6g\n", pc, direct)
+	return nil
+}
+
+// queryStats answers a parsed query from sufficient statistics, printing in
+// the same format as the relation-backed path. Aggregates that need the raw
+// rows (median, var, std, AND conjunctions) are typed bad-query errors that
+// point the analyst back at -in.
+func queryStats(est *estimator.Estimator, st *estimator.Statistics, q *query.Query) error {
+	if len(q.AndWhere) > 0 {
+		return faults.Errorf(faults.ErrBadQuery,
+			"query: AND conjunctions need the joint row distribution; re-run against the view with -in")
+	}
+	if q.GroupBy != "" {
+		if q.Agg != query.AggCount {
+			return fmt.Errorf("query: GROUP BY supports count(1) only")
+		}
+		groups, err := est.GroupCountsStats(st, q.GroupBy)
+		if err != nil {
+			return err
+		}
+		direct, err := estimator.DirectGroupCountsStats(st, q.GroupBy)
+		if err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(groups) {
+			fmt.Printf("%-24s privateclean=%s direct=%.0f\n", k, groups[k], direct[k])
+		}
+		return nil
+	}
+	if q.Where == nil {
+		var e estimator.Estimate
+		var err error
+		switch q.Agg {
+		case query.AggCount:
+			e = est.TotalCountStats(st)
+		case query.AggSum:
+			e, err = est.TotalSumStats(st, q.AggAttr)
+		case query.AggAvg:
+			e, err = est.TotalAvgStats(st, q.AggAttr)
+		default:
+			return faults.Errorf(faults.ErrBadQuery,
+				"query: %s needs the raw rows; re-run against the view with -in", q.Agg)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("privateclean = %s\n", e)
+		return nil
+	}
+	pred, err := query.CompilePredicate(q.Where, nil)
+	if err != nil {
+		return err
+	}
+	var pc estimator.Estimate
+	var direct float64
+	switch q.Agg {
+	case query.AggCount:
+		pc, err = est.CountStats(st, pred)
+		if err == nil {
+			direct, err = estimator.DirectCountStats(st, pred)
+		}
+	case query.AggSum:
+		pc, err = est.SumStats(st, q.AggAttr, pred)
+		if err == nil {
+			direct, err = estimator.DirectSumStats(st, q.AggAttr, pred)
+		}
+	case query.AggAvg:
+		pc, err = est.AvgStats(st, q.AggAttr, pred)
+		if err == nil {
+			direct, err = estimator.DirectAvgStats(st, q.AggAttr, pred)
+		}
+	default:
+		return faults.Errorf(faults.ErrBadQuery,
+			"query: %s needs the raw rows; re-run against the view with -in", q.Agg)
 	}
 	if err != nil {
 		return err

@@ -11,8 +11,11 @@ import (
 	"syscall"
 	"time"
 
+	"privateclean/internal/atomicio"
+	"privateclean/internal/estimator"
 	"privateclean/internal/faults"
 	"privateclean/internal/provenance"
+	"privateclean/internal/relation"
 	"privateclean/internal/server"
 )
 
@@ -24,11 +27,13 @@ var serveNotify func(net.Addr)
 // over HTTP until SIGINT/SIGTERM, then drains in-flight requests and exits.
 func cmdServe(args []string) (err error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	in := fs.String("in", "", "cleaned private CSV (required)")
+	in := fs.String("in", "", "cleaned private CSV (required unless -stats)")
 	metaPath := fs.String("meta", "", "view metadata JSON (required)")
 	provPath := fs.String("prov", "", "provenance JSON (optional)")
+	statsPath := fs.String("stats", "", "sufficient-statistics JSON from 'privateclean stats' (alternative to -in)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for intervals")
 	addr := fs.String("addr", ":8080", "listen address (host:port; use :0 for an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once serving (for scripts; robust with :0)")
 	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-query deadline before a 408 response")
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInFlight, "concurrent query bound; excess requests get 429")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
@@ -37,18 +42,23 @@ func cmdServe(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
-	if *in == "" || *metaPath == "" {
-		return faults.Errorf(faults.ErrUsage, "serve: -in and -meta are required")
+	if (*in == "") == (*statsPath == "") || *metaPath == "" {
+		return faults.Errorf(faults.ErrUsage, "serve: -meta and exactly one of -in or -stats are required")
 	}
 	tel, err := tf.setup()
 	if err != nil {
 		return err
 	}
 	defer tf.finish(&err)
-	tel.Redact.Allow(*in, *metaPath, *provPath, *addr)
+	tel.Redact.Allow(*in, *metaPath, *provPath, *statsPath, *addr)
 
-	r, err := cf.load(*in)
-	if err != nil {
+	var r *relation.Relation
+	var st *estimator.Statistics
+	if *statsPath != "" {
+		if st, err = readStats(*statsPath); err != nil {
+			return err
+		}
+	} else if r, err = cf.load(*in); err != nil {
 		return err
 	}
 	meta, err := readMeta(*metaPath)
@@ -64,6 +74,7 @@ func cmdServe(args []string) (err error) {
 
 	srv, err := server.New(server.Config{
 		Rel:         r,
+		Stats:       st,
 		Meta:        meta,
 		Prov:        prov,
 		Confidence:  *confidence,
@@ -85,7 +96,19 @@ func cmdServe(args []string) (err error) {
 	select {
 	case bound := <-ready:
 		fmt.Printf("serving on %s\n", bound)
-		tel.Log.Info("serve started", "op", "serve", "rows", r.NumRows())
+		rows := 0
+		if st != nil {
+			rows = st.Rows
+		} else {
+			rows = r.NumRows()
+		}
+		tel.Log.Info("serve started", "op", "serve", "rows", rows)
+		if *addrFile != "" {
+			// Written atomically so a watcher never reads a half address.
+			if werr := atomicio.WriteFileBytes(*addrFile, []byte(bound.String()+"\n")); werr != nil {
+				return werr
+			}
+		}
 		if serveNotify != nil {
 			serveNotify(bound)
 		}

@@ -1,0 +1,214 @@
+package cleaning
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"privateclean/internal/csvio"
+	"privateclean/internal/faults"
+	"privateclean/internal/privacy"
+	"privateclean/internal/provenance"
+	"privateclean/internal/relation"
+)
+
+// The streaming-cleaning contract: for any composition of streamable ops,
+// StreamApply over windows of the relation must write the same CSV bytes as
+// csvio.Write over the one-shot-cleaned relation, and leave the provenance
+// store in the same state.
+
+func metaFor(t *testing.T, r *relation.Relation) *privacy.ViewMeta {
+	t.Helper()
+	params := privacy.Params{P: map[string]float64{}, B: map[string]float64{}}
+	for _, name := range r.Schema().DiscreteNames() {
+		params.P[name] = 0.25
+	}
+	for _, name := range r.Schema().NumericNames() {
+		params.B[name] = 1
+	}
+	meta, err := privacy.ViewMetaFor(r, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func provJSON(t *testing.T, s *provenance.Store) string {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// streamEqualsOneShot runs ops both ways over copies of r and demands
+// identical bytes and provenance.
+func streamEqualsOneShot(t *testing.T, r *relation.Relation, window int, ops ...Op) {
+	t.Helper()
+	meta := metaFor(t, r)
+
+	oneShot := r.Clone()
+	oneCtx := &Context{Rel: oneShot, Prov: provenance.NewStore(), Meta: meta}
+	if err := Apply(oneCtx, ops...); err != nil {
+		t.Fatalf("one-shot apply: %v", err)
+	}
+	var want bytes.Buffer
+	if err := csvio.Write(&want, oneShot); err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := r.Clone()
+	streamCtx := &Context{Prov: provenance.NewStore(), Meta: meta}
+	var got bytes.Buffer
+	res, err := StreamApply(streamCtx, relation.NewSliceIterator(streamed, window), &got, ops...)
+	if err != nil {
+		t.Fatalf("stream apply (window %d): %v", window, err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("window %d: streamed CSV differs from one-shot clean:\ngot:\n%s\nwant:\n%s", window, got.String(), want.String())
+	}
+	if res.Rows != oneShot.NumRows() {
+		t.Errorf("window %d: StreamResult.Rows = %d, want %d", window, res.Rows, oneShot.NumRows())
+	}
+	if res.Schema.String() != oneShot.Schema().String() {
+		t.Errorf("window %d: StreamResult.Schema = %q, want %q", window, res.Schema, oneShot.Schema())
+	}
+	if sGot, sWant := provJSON(t, streamCtx.Prov), provJSON(t, oneCtx.Prov); sGot != sWant {
+		t.Errorf("window %d: provenance differs:\ngot:  %s\nwant: %s", window, sGot, sWant)
+	}
+}
+
+func TestStreamApplyMatchesApply(t *testing.T) {
+	ops := []Op{
+		FindReplace{Attr: "major", From: "Electrical Engineering and Computer Sciences", To: "EECS"},
+		DictionaryMerge{Attr: "major", Mapping: map[string]string{"Mechanical E.": "Mech. Eng."}},
+		Canonicalize{Attr: "instructor", Lowercase: true},
+		NullifyInvalid{Attr: "section", Valid: func(v string) bool { return v != "3" }},
+		Extract{SrcAttr: "major", NewAttr: "is_eng", F: func(v string) string {
+			if strings.Contains(v, "E") {
+				return "yes"
+			}
+			return "no"
+		}},
+		Transform{Attr: "is_eng", Label: "upper", F: strings.ToUpper},
+	}
+	for _, window := range []int{1, 2, 100} {
+		streamEqualsOneShot(t, evalRel(t), window, ops...)
+	}
+}
+
+// TestStreamApplyTransformRowsForked exercises the weighted (multi-attribute,
+// forking) provenance path across many windows.
+func TestStreamApplyTransformRowsForked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	schema := relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.Discrete},
+		relation.Column{Name: "b", Kind: relation.Discrete},
+	)
+	n := 200
+	av := make([]string, n)
+	bv := make([]string, n)
+	for i := range av {
+		av[i] = fmt.Sprintf("a%d", rng.Intn(4))
+		bv[i] = fmt.Sprintf("b%d", rng.Intn(3))
+	}
+	r, err := relation.FromColumns(schema, nil, map[string][]string{"a": av, "b": bv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's new value depends on b, so rows sharing an a-value fork.
+	fork := TransformRows{Attrs: []string{"a", "b"}, Label: "fork", F: func(vals []string) []string {
+		if vals[1] == "b0" {
+			return []string{"merged", vals[1]}
+		}
+		return []string{vals[0], vals[1]}
+	}}
+	for _, window := range []int{1, 7, 64, 1000} {
+		streamEqualsOneShot(t, r, window, fork,
+			FindReplace{Attr: "a", From: "a1", To: "a2"})
+	}
+}
+
+func TestStreamApplyEmptyInput(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "major", Kind: relation.Discrete},
+		relation.Column{Name: "score", Kind: relation.Numeric},
+	)
+	r := relation.New(schema)
+	streamEqualsOneShot(t, r, 4,
+		FindReplace{Attr: "major", From: "x", To: "y"},
+		Extract{SrcAttr: "major", NewAttr: "initial", F: func(v string) string {
+			if v == "" {
+				return v
+			}
+			return v[:1]
+		}})
+}
+
+func TestStreamApplyRejectsNonStreamable(t *testing.T) {
+	r := evalRel(t)
+	nonStreamable := []Op{
+		Merge{Attr: "major", F: func(v string, domain []string) string { return v }},
+		FDRepair{LHS: []string{"section"}, RHS: "instructor"},
+		FDImpute{LHS: []string{"section"}, RHS: "instructor"},
+		MDRepair{Attr: "major", MaxDist: 2},
+	}
+	for _, op := range nonStreamable {
+		var out bytes.Buffer
+		ctx := &Context{Prov: provenance.NewStore(), Meta: metaFor(t, r)}
+		_, err := StreamApply(ctx, relation.NewSliceIterator(r.Clone(), 2), &out, op)
+		if err == nil {
+			t.Errorf("%s: streamed without error, want not-streamable rejection", op.Name())
+			continue
+		}
+		if !errors.Is(err, faults.ErrBadInput) {
+			t.Errorf("%s: error %v not classified ErrBadInput", op.Name(), err)
+		}
+		if !strings.Contains(err.Error(), "not streamable") {
+			t.Errorf("%s: error %v does not name streamability", op.Name(), err)
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s: wrote %d bytes before rejecting", op.Name(), out.Len())
+		}
+	}
+}
+
+func TestStreamApplyWithoutProvenance(t *testing.T) {
+	r := evalRel(t)
+	var out bytes.Buffer
+	ctx := &Context{} // no Prov, no Meta
+	res, err := StreamApply(ctx, relation.NewSliceIterator(r.Clone(), 2), &out,
+		FindReplace{Attr: "major", From: "Math", To: "Maths"},
+		TransformRows{Attrs: []string{"major"}, F: func(vals []string) []string { return vals }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != r.NumRows() {
+		t.Fatalf("rows = %d, want %d", res.Rows, r.NumRows())
+	}
+	if !strings.Contains(out.String(), "Maths") {
+		t.Fatal("transform not applied")
+	}
+}
+
+func TestStreamApplyMissingDomainFails(t *testing.T) {
+	r := evalRel(t)
+	// Provenance requested but the attribute is absent from the metadata:
+	// with no resident relation there is no fallback dirty domain.
+	meta := &privacy.ViewMeta{Discrete: map[string]privacy.DiscreteMeta{}, Numeric: map[string]privacy.NumericMeta{}}
+	var out bytes.Buffer
+	ctx := &Context{Prov: provenance.NewStore(), Meta: meta}
+	_, err := StreamApply(ctx, relation.NewSliceIterator(r.Clone(), 3), &out,
+		FindReplace{Attr: "major", From: "Math", To: "Maths"})
+	if err == nil {
+		t.Fatal("want error for missing dirty domain")
+	}
+	if !strings.Contains(err.Error(), "view metadata") {
+		t.Fatalf("error %v does not explain the metadata requirement", err)
+	}
+}

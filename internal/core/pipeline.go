@@ -84,6 +84,20 @@ type PrivatizeJob struct {
 	// metadata, and every intermediate checkpoint are identical for any
 	// worker count.
 	Workers int
+	// Stream selects the out-of-core path: the input is profiled in two
+	// bounded-memory scans (kind inference, then domains/sensitivities) and
+	// privatized window by window from a csvio.ChunkIterator, never
+	// materializing the whole relation. The released bytes, the metadata, and
+	// every intermediate checkpoint are byte-identical to the in-memory path
+	// for the same (input, params, seed, chunk size) at any worker count.
+	// PrivatizeResult.View is nil in this mode.
+	Stream bool
+	// MemBudget (bytes) sizes streaming chunks when ChunkSize is unset: the
+	// chunk row count is derived from the source's observed bytes per row so
+	// the decode/privatize/render pipeline's working set stays around this
+	// budget. It is a sizing target, not a hard cap, and is ignored when
+	// ChunkSize is set or Stream is false.
+	MemBudget int64
 	// ForceKinds forces column kinds on load, as in csvio.Options.
 	ForceKinds map[string]relation.Kind
 	// OnRowError selects the per-row policy for malformed input rows.
@@ -127,7 +141,8 @@ type ChunkStat struct {
 
 // PrivatizeResult reports a completed run.
 type PrivatizeResult struct {
-	// View is the released private relation; Meta its mechanism metadata.
+	// View is the released private relation (nil for a streaming run, which
+	// never materializes it); Meta its mechanism metadata.
 	View *relation.Relation
 	Meta *privacy.ViewMeta
 	// Report is the input-side row accounting (skipped/quarantined rows).
@@ -253,7 +268,9 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 	if job.In == "" || job.Out == "" || job.MetaPath == "" {
 		return nil, faults.Errorf(faults.ErrUsage, "core: privatize job needs In, Out, and MetaPath")
 	}
-	if job.ChunkSize <= 0 {
+	if job.ChunkSize <= 0 && !(job.Stream && job.MemBudget > 0) {
+		// The streaming path with a memory budget derives its own chunk size
+		// from the profiled input; everything else gets the default here.
 		job.ChunkSize = DefaultChunkSize
 	}
 	job.tel = job.Tel
@@ -282,6 +299,10 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 	inputSHA, err := fingerprintFile(job.In)
 	if err != nil {
 		return nil, err
+	}
+	if job.Stream {
+		res, err = job.runStream(inputSHA, start)
+		return res, err
 	}
 	loadSpan := tel.Trace.StartSpan(job.span, "csv_load", telemetry.A("path", job.In))
 	loadStart := time.Now()
@@ -323,18 +344,11 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 	}
 	resumedFrom := 0
 	if job.Resume {
-		ckSpan := tel.Trace.StartSpan(job.span, "checkpoint_read", telemetry.A("path", job.checkpointPath()))
-		prev, err := job.readCheckpoint(ck)
+		prev, next, err := job.resumeFrom(ck)
 		if err != nil {
-			ckSpan.Set("err", err)
-			ckSpan.End()
 			return nil, err
 		}
-		ck = prev
-		resumedFrom = ck.NextChunk
-		ckSpan.Set("next_chunk", ck.NextChunk)
-		ckSpan.End()
-		tel.Log.Info("resuming from checkpoint", "path", job.checkpointPath(), "next_chunk", ck.NextChunk, "rows_emitted", ck.RowsEmitted)
+		ck, resumedFrom = prev, next
 	}
 
 	// A resume that already has every chunk durable skips straight to
@@ -390,6 +404,30 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 		ChunkStats:      job.chunkStats,
 		EpsilonComposed: meta.TotalEpsilon(),
 	}
+	return job.finishRun(res, inputSHA, meta, start)
+}
+
+// resumeFrom loads and validates the on-disk checkpoint against the fresh
+// state, with the resume telemetry both run modes share.
+func (job *PrivatizeJob) resumeFrom(fresh *checkpoint) (*checkpoint, int, error) {
+	tel := job.tel
+	ckSpan := tel.Trace.StartSpan(job.span, "checkpoint_read", telemetry.A("path", job.checkpointPath()))
+	prev, err := job.readCheckpoint(fresh)
+	if err != nil {
+		ckSpan.Set("err", err)
+		ckSpan.End()
+		return nil, 0, err
+	}
+	ckSpan.Set("next_chunk", prev.NextChunk)
+	ckSpan.End()
+	tel.Log.Info("resuming from checkpoint", "path", job.checkpointPath(), "next_chunk", prev.NextChunk, "rows_emitted", prev.RowsEmitted)
+	return prev, prev.NextChunk, nil
+}
+
+// finishRun records the ledger entry, run metrics, and the success log — the
+// common tail of the in-memory and streaming paths.
+func (job *PrivatizeJob) finishRun(res *PrivatizeResult, inputSHA string, meta *privacy.ViewMeta, start time.Time) (*PrivatizeResult, error) {
+	tel := job.tel
 	res.CumulativeEpsilon = res.EpsilonComposed
 	if job.LedgerPath != "" {
 		if err := job.appendLedger(res, inputSHA, meta); err != nil {
@@ -400,15 +438,15 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 
 	m := tel.Metrics
 	m.Counter("privateclean_privatize_runs_total", "Completed privatize runs.").Inc()
-	m.Counter("privateclean_rows_released_total", "Rows released into private views.").Add(float64(rows))
-	m.Counter("privateclean_rows_skipped_total", "Malformed input rows dropped under the skip policy.").Add(float64(report.Skipped))
-	m.Counter("privateclean_rows_quarantined_total", "Malformed input rows diverted to quarantine sidecars.").Add(float64(report.Quarantined))
+	m.Counter("privateclean_rows_released_total", "Rows released into private views.").Add(float64(res.Rows))
+	m.Counter("privateclean_rows_skipped_total", "Malformed input rows dropped under the skip policy.").Add(float64(res.Skipped))
+	m.Counter("privateclean_rows_quarantined_total", "Malformed input rows diverted to quarantine sidecars.").Add(float64(res.Quarantined))
 	m.Gauge("privateclean_epsilon_composed", "Theorem 1 composed epsilon of the last release.").Set(res.EpsilonComposed)
 	m.Counter("privateclean_epsilon_spent_total", "Composed epsilon summed over distinct releases (ledger-deduplicated).").Add(res.spentEpsilon())
 	m.Histogram("privateclean_privatize_seconds", "End-to-end wall time of privatize runs.", telemetry.DurationBuckets).Observe(res.Wall.Seconds())
 	tel.Log.Info("privatize finished",
-		"rows", rows, "chunks", chunks, "resumed_from", resumedFrom,
-		"skipped", report.Skipped, "quarantined", report.Quarantined,
+		"rows", res.Rows, "chunks", res.Chunks, "resumed_from", res.ResumedFrom,
+		"skipped", res.Skipped, "quarantined", res.Quarantined,
 		"epsilon_composed", res.EpsilonComposed, "epsilon_cumulative", res.CumulativeEpsilon,
 		"wall", res.Wall)
 	return res, nil
@@ -519,47 +557,9 @@ func (job *PrivatizeJob) writeChunks(ck *checkpoint, r, view *relation.Relation,
 		}
 	}
 	tel := job.tel
-	chunkSeconds := tel.Metrics.Histogram("privateclean_chunk_seconds",
-		"Wall time to privatize, flush, and checkpoint one chunk.", telemetry.DurationBuckets)
-	chunkRows := tel.Metrics.Histogram("privateclean_chunk_rows",
-		"Rows privatized per chunk.", telemetry.RowBuckets)
-	checkpointWrites := tel.Metrics.Counter("privateclean_checkpoint_writes_total",
-		"Durable checkpoint writes.")
-	chunksTotal := tel.Metrics.Counter("privateclean_chunks_total", "Chunks privatized and made durable.")
-
-	// commit makes one rendered chunk durable and advances the checkpoint.
-	// Only this goroutine touches the partial file and the checkpoint, in
-	// both the serial and the pooled path.
+	cc := job.newCommitter(ck, partial, chunks)
 	commit := func(sp *telemetry.Span, chunk, lo, hi int, data []byte, started time.Time) error {
-		n, err := job.commitBytes(partial, data)
-		if err != nil {
-			sp.Set("err", err)
-			sp.End()
-			return err
-		}
-		ck.NextChunk = chunk + 1
-		ck.RNGStream = streamSeed(job.Seed, chunk+1)
-		ck.PartialBytes += n
-		ck.RowsEmitted += hi - lo
-		ckSp := tel.Trace.StartSpan(sp, "checkpoint_write", telemetry.A("path", job.checkpointPath()))
-		err = atomicio.WriteJSON(job.checkpointPath(), ck)
-		ckSp.End()
-		if err != nil {
-			sp.End()
-			return err
-		}
-		checkpointWrites.Inc()
-		sp.End()
-		d := time.Since(started)
-		chunkSeconds.Observe(d.Seconds())
-		chunkRows.Observe(float64(hi - lo))
-		job.chunkStats = append(job.chunkStats, ChunkStat{Chunk: chunk, Rows: hi - lo, Duration: d})
-		chunksTotal.Inc()
-		tel.Log.Debug("chunk durable", "chunk", chunk+1, "of", chunks, "rows", hi-lo, "bytes", n, "wall", d)
-		if job.OnChunk != nil {
-			return job.OnChunk(chunk+1, chunks)
-		}
-		return nil
+		return cc.commit(sp, chunk, hi-lo, data, started)
 	}
 
 	first := ck.NextChunk
@@ -670,6 +670,71 @@ func (job *PrivatizeJob) writeChunks(ck *checkpoint, r, view *relation.Relation,
 	}
 	if err := partial.Close(); err != nil {
 		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: closing partial view: %w", err))
+	}
+	return nil
+}
+
+// chunkCommitter makes rendered chunks durable and advances the checkpoint —
+// the single-goroutine commit stage both run modes and both pool shapes
+// share. Only the committer touches the partial file and the checkpoint.
+type chunkCommitter struct {
+	job     *PrivatizeJob
+	ck      *checkpoint
+	partial *os.File
+	chunks  int
+
+	chunkSeconds, chunkRows       *telemetry.Histogram
+	checkpointWrites, chunksTotal *telemetry.Counter
+}
+
+func (job *PrivatizeJob) newCommitter(ck *checkpoint, partial *os.File, chunks int) *chunkCommitter {
+	tel := job.tel
+	return &chunkCommitter{
+		job:     job,
+		ck:      ck,
+		partial: partial,
+		chunks:  chunks,
+		chunkSeconds: tel.Metrics.Histogram("privateclean_chunk_seconds",
+			"Wall time to privatize, flush, and checkpoint one chunk.", telemetry.DurationBuckets),
+		chunkRows: tel.Metrics.Histogram("privateclean_chunk_rows",
+			"Rows privatized per chunk.", telemetry.RowBuckets),
+		checkpointWrites: tel.Metrics.Counter("privateclean_checkpoint_writes_total",
+			"Durable checkpoint writes."),
+		chunksTotal: tel.Metrics.Counter("privateclean_chunks_total", "Chunks privatized and made durable."),
+	}
+}
+
+// commit appends one rendered chunk durably, advances and persists the
+// checkpoint, and runs the OnChunk callback.
+func (cc *chunkCommitter) commit(sp *telemetry.Span, chunk, rows int, data []byte, started time.Time) error {
+	job, ck, tel := cc.job, cc.ck, cc.job.tel
+	n, err := job.commitBytes(cc.partial, data)
+	if err != nil {
+		sp.Set("err", err)
+		sp.End()
+		return err
+	}
+	ck.NextChunk = chunk + 1
+	ck.RNGStream = streamSeed(job.Seed, chunk+1)
+	ck.PartialBytes += n
+	ck.RowsEmitted += rows
+	ckSp := tel.Trace.StartSpan(sp, "checkpoint_write", telemetry.A("path", job.checkpointPath()))
+	err = atomicio.WriteJSON(job.checkpointPath(), ck)
+	ckSp.End()
+	if err != nil {
+		sp.End()
+		return err
+	}
+	cc.checkpointWrites.Inc()
+	sp.End()
+	d := time.Since(started)
+	cc.chunkSeconds.Observe(d.Seconds())
+	cc.chunkRows.Observe(float64(rows))
+	job.chunkStats = append(job.chunkStats, ChunkStat{Chunk: chunk, Rows: rows, Duration: d})
+	cc.chunksTotal.Inc()
+	tel.Log.Debug("chunk durable", "chunk", chunk+1, "of", cc.chunks, "rows", rows, "bytes", n, "wall", d)
+	if job.OnChunk != nil {
+		return job.OnChunk(chunk+1, cc.chunks)
 	}
 	return nil
 }
@@ -788,10 +853,16 @@ func (job *PrivatizeJob) renderChunk(r, view *relation.Relation, meta *privacy.V
 // zero) to CSV bytes. The chunk is staged in memory so a short write never
 // interleaves a torn record into the accounting.
 func renderRows(view *relation.Relation, lo, hi int) ([]byte, error) {
+	return renderWindow(view, lo, hi, lo == 0)
+}
+
+// renderWindow is renderRows with an explicit header switch, for the
+// streaming path whose windows always start at local row zero.
+func renderWindow(view *relation.Relation, lo, hi int, withHeader bool) ([]byte, error) {
 	var buf bytes.Buffer
 	cw := csv.NewWriter(&buf)
 	cols := view.Schema().Columns()
-	if lo == 0 {
+	if withHeader {
 		if err := cw.Write(csvio.Header(view)); err != nil {
 			return nil, faults.Wrap(faults.ErrPartialWrite, err)
 		}

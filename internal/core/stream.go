@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"privateclean/internal/csvio"
+	"privateclean/internal/faults"
+	"privateclean/internal/privacy"
+	"privateclean/internal/relation"
+	"privateclean/internal/telemetry"
+)
+
+// The out-of-core run mode. The input is never materialized: two
+// bounded-memory scans (csvio.ProfileFile) resolve the schema, domains,
+// sensitivities, and row accounting, and a third scan decodes kept rows in
+// chunk-sized windows that are privatized in place and rendered to CSV.
+//
+// Byte-identity with the in-memory path follows from the chunk contract:
+// chunk k covers kept rows [k·ChunkSize, (k+1)·ChunkSize) and draws from
+// privacy.StreamRand(seed, k); privacy.PrivatizeRange consumes randomness as
+// a pure function of (p, row count) per discrete column and of the column's
+// NaN pattern per numeric column, in schema order — all identical between a
+// resident row range and the equivalent decoded window. Rendering, commit,
+// and checkpointing go through the same committer, so the released bytes,
+// the metadata JSON, and every intermediate checkpoint are byte-for-byte
+// equal for the same (input, params, seed, chunk size) at any worker count.
+//
+// Observable differences from the in-memory path, by design:
+//   - PrivatizeResult.View is nil (nothing resident to return);
+//   - under the quarantine policy, sidecar rows are written in input order
+//     rather than grouped arity/syntax-then-bad_numeric (same row set).
+
+// streamBytesPerRow is the conservative expansion factor from one CSV source
+// byte to resident bytes in the streaming pipeline: decoded strings/floats,
+// the rendered chunk, and the bounded ring of inflight windows. MemBudget is
+// divided by (observed bytes/row × this factor) to pick a chunk size. The
+// factor must not depend on Workers, or byte-identity across worker counts
+// would break via differing chunk sizes.
+const streamBytesPerRow = 48
+
+// minStreamChunk and maxStreamChunk clamp the derived chunk size.
+const (
+	minStreamChunk = 32
+	maxStreamChunk = 1 << 20
+)
+
+// chunkSizeForBudget derives the streaming chunk row count from a memory
+// budget and the profiled source geometry.
+func chunkSizeForBudget(budget int64, prof *csvio.Profile) int {
+	if budget <= 0 || prof.Rows <= 0 {
+		return DefaultChunkSize
+	}
+	perRow := prof.DataBytes / int64(prof.Rows)
+	if perRow < 8 {
+		perRow = 8
+	}
+	cs := budget / (perRow * streamBytesPerRow)
+	if cs < minStreamChunk {
+		return minStreamChunk
+	}
+	if cs > maxStreamChunk {
+		return maxStreamChunk
+	}
+	return int(cs)
+}
+
+// profileInput runs the two profile scans under the job's row policy,
+// creating the quarantine sidecar exactly as loadInput would.
+func (job *PrivatizeJob) profileInput() (*csvio.Profile, error) {
+	opts := csvio.Options{ForceKinds: job.ForceKinds, OnRowError: job.OnRowError}
+	if job.OnRowError == csvio.RowErrorQuarantine {
+		q, err := os.Create(job.quarantinePath())
+		if err != nil {
+			return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: quarantine sidecar: %w", err))
+		}
+		defer q.Close()
+		opts.Quarantine = q
+	}
+	return csvio.ProfileFile(job.In, opts)
+}
+
+// viewMetaFromProfile mirrors viewMetaFor over a streaming profile: the same
+// metadata values (and the same empty-domain error) without a resident
+// relation.
+func viewMetaFromProfile(prof *csvio.Profile, schema relation.Schema, params privacy.Params) (*privacy.ViewMeta, error) {
+	meta := &privacy.ViewMeta{
+		Discrete: make(map[string]privacy.DiscreteMeta),
+		Numeric:  make(map[string]privacy.NumericMeta),
+		Rows:     prof.Rows,
+	}
+	for _, name := range schema.DiscreteNames() {
+		domain := prof.Domains[name]
+		if len(domain) == 0 && prof.Rows > 0 {
+			return nil, faults.Errorf(faults.ErrBadInput, "core: attribute %q has an empty domain", name)
+		}
+		meta.Discrete[name] = privacy.DiscreteMeta{Name: name, P: params.P[name], Domain: domain}
+	}
+	for _, name := range schema.NumericNames() {
+		meta.Numeric[name] = privacy.NumericMeta{Name: name, B: params.B[name], Delta: prof.Deltas[name]}
+	}
+	return meta, nil
+}
+
+// runStream executes the job out of core. The caller (Run) has validated the
+// paths, set up telemetry, and fingerprinted the input.
+func (job *PrivatizeJob) runStream(inputSHA string, start time.Time) (*PrivatizeResult, error) {
+	tel := job.tel
+	job.span.Set("stream", true)
+
+	profSpan := tel.Trace.StartSpan(job.span, "csv_profile", telemetry.A("path", job.In))
+	profStart := time.Now()
+	prof, err := job.profileInput()
+	if err != nil {
+		profSpan.Set("err", err)
+		profSpan.End()
+		return nil, err
+	}
+	profSpan.Set("rows", prof.Rows)
+	profSpan.End()
+	tel.Metrics.Histogram("privateclean_csv_load_seconds",
+		"Wall time of input CSV loads.", telemetry.DurationBuckets).Observe(time.Since(profStart).Seconds())
+
+	schema, err := prof.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if err := job.Params.Validate(schema, true); err != nil {
+		return nil, err
+	}
+	if job.ChunkSize <= 0 {
+		job.ChunkSize = chunkSizeForBudget(job.MemBudget, prof)
+		tel.Log.Info("derived streaming chunk size", "chunk_size", job.ChunkSize,
+			"mem_budget", job.MemBudget, "data_bytes", prof.DataBytes, "rows", prof.Rows)
+	}
+	job.span.Set("chunk_size", job.ChunkSize)
+	meta, err := viewMetaFromProfile(prof, schema, job.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := prof.Rows
+	chunks := (rows + job.ChunkSize - 1) / job.ChunkSize
+	ck := &checkpoint{
+		Version:          checkpointVersion,
+		Mechanism:        mechanismTag,
+		InputSHA:         inputSHA,
+		ParamsSHA:        fingerprintParams(job.Params),
+		Seed:             job.Seed,
+		ChunkSize:        job.ChunkSize,
+		Rows:             rows,
+		RNGStream:        streamSeed(job.Seed, 0),
+		EpsilonPerRecord: meta.TotalEpsilon(),
+	}
+	resumedFrom := 0
+	if job.Resume {
+		prev, next, err := job.resumeFrom(ck)
+		if err != nil {
+			return nil, err
+		}
+		ck, resumedFrom = prev, next
+	}
+
+	needPartial := ck.NextChunk < chunks || (ck.NextChunk == 0 && !job.Resume)
+	if needPartial {
+		it, err := csvio.NewChunkIterator(job.In, prof, job.ChunkSize)
+		if err != nil {
+			return nil, err
+		}
+		defer it.Close()
+		if err := job.writeChunksStream(ck, it, schema, meta, rows, chunks); err != nil {
+			return nil, err
+		}
+	}
+
+	finSpan := tel.Trace.StartSpan(job.span, "finalize", telemetry.A("out", job.Out))
+	if err := job.finalize(meta); err != nil {
+		finSpan.Set("err", err)
+		finSpan.End()
+		return nil, err
+	}
+	finSpan.End()
+
+	res := &PrivatizeResult{
+		Meta:            meta,
+		Report:          prof.Report,
+		Rows:            rows,
+		Chunks:          chunks,
+		ResumedFrom:     resumedFrom,
+		Skipped:         prof.Report.Skipped,
+		Quarantined:     prof.Report.Quarantined,
+		ChunkStats:      job.chunkStats,
+		EpsilonComposed: meta.TotalEpsilon(),
+	}
+	return job.finishRun(res, inputSHA, meta, start)
+}
+
+// renderStreamChunk privatizes one decoded window in place with the chunk's
+// RNG stream and renders it to CSV bytes (header included for chunk zero).
+// In-place is safe: PrivatizeRange with view == source degenerates to a
+// self-copy followed by the in-place mechanisms, consuming the same draws.
+func (job *PrivatizeJob) renderStreamChunk(win *relation.Relation, meta *privacy.ViewMeta, chunk int) ([]byte, error) {
+	if err := privacy.PrivatizeRange(chunkRand(job.Seed, chunk), win, win, meta, 0, win.NumRows()); err != nil {
+		return nil, err
+	}
+	return renderWindow(win, 0, win.NumRows(), chunk == 0)
+}
+
+// streamWork is one decoded window travelling from the sequential reader to
+// a pool worker. A decode failure rides in err so it surfaces at the failing
+// chunk's in-order commit slot.
+type streamWork struct {
+	chunk int
+	win   *relation.Relation
+	err   error
+}
+
+// nextWindow pulls the next window and checks it covers exactly the rows the
+// chunk contract assigns — a mismatch means the input changed between the
+// profile scan and this scan.
+func (job *PrivatizeJob) nextWindow(it *csvio.ChunkIterator, chunk, rows int) (*relation.Relation, error) {
+	lo, hi := chunkRange(chunk, job.ChunkSize, rows)
+	win, err := it.Next()
+	if err == io.EOF {
+		return nil, faults.Errorf(faults.ErrBadInput,
+			"core: input ended at chunk %d of a %d-row profile (file changed during the run?)", chunk, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if win.NumRows() != hi-lo {
+		return nil, faults.Errorf(faults.ErrBadInput,
+			"core: chunk %d decoded %d rows, profile assigns %d (file changed during the run?)", chunk, win.NumRows(), hi-lo)
+	}
+	return win, nil
+}
+
+// writeChunksStream is the streaming counterpart of writeChunks: decode
+// windows sequentially, privatize+render them (serially or on a bounded
+// pool), and commit strictly in chunk order through the shared committer.
+// Resident data is bounded by the inflight window ring regardless of input
+// size.
+func (job *PrivatizeJob) writeChunksStream(ck *checkpoint, it *csvio.ChunkIterator, schema relation.Schema, meta *privacy.ViewMeta, rows, chunks int) error {
+	partial, err := job.openPartial(ck)
+	if err != nil {
+		return err
+	}
+	defer partial.Close()
+
+	if rows == 0 && ck.PartialBytes == 0 {
+		if _, err := job.appendRows(partial, relation.New(schema), 0, 0); err != nil {
+			return err
+		}
+	}
+	tel := job.tel
+	cc := job.newCommitter(ck, partial, chunks)
+
+	first := ck.NextChunk
+	// Chunks already durable from a previous run: decode and discard, so the
+	// reader is positioned at the first pending chunk.
+	for chunk := 0; chunk < first; chunk++ {
+		if _, err := job.nextWindow(it, chunk, rows); err != nil {
+			return err
+		}
+	}
+
+	pending := chunks - first
+	workers := job.workerCount()
+	if workers > pending {
+		workers = pending
+	}
+	tel.Metrics.Gauge("privateclean_privatize_workers",
+		"Effective chunk-privatizer pool size of the last privatize run.").Set(float64(workers))
+	job.span.Set("workers", workers)
+
+	if workers <= 1 {
+		for chunk := first; chunk < chunks; chunk++ {
+			win, err := job.nextWindow(it, chunk, rows)
+			if err != nil {
+				return err
+			}
+			started := time.Now()
+			sp := tel.Trace.StartSpan(job.span, "chunk", telemetry.A("index", chunk), telemetry.A("rows", win.NumRows()))
+			data, err := job.renderStreamChunk(win, meta, chunk)
+			if err != nil {
+				sp.Set("err", err)
+				sp.End()
+				return err
+			}
+			if err := cc.commit(sp, chunk, win.NumRows(), data, started); err != nil {
+				return err
+			}
+		}
+		if err := partial.Close(); err != nil {
+			return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: closing partial view: %w", err))
+		}
+		return nil
+	}
+
+	// Pooled path: the same token ring as writeChunks bounds the inflight
+	// windows. The producer decodes sequentially (CSV has no random access)
+	// and hands windows to workers; each worker privatizes and renders its
+	// window and parks the bytes in slot (chunk-first) mod inflight; the
+	// committer drains slots strictly in chunk order.
+	inflight := workers * 2
+	if inflight > pending {
+		inflight = pending
+	}
+	results := make([]chan renderedChunk, inflight)
+	for i := range results {
+		results[i] = make(chan renderedChunk, 1)
+	}
+	tokens := make(chan struct{}, inflight)
+	for i := 0; i < inflight; i++ {
+		tokens <- struct{}{}
+	}
+	jobs := make(chan streamWork)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopAll := func() { stopOnce.Do(func() { close(stop) }) }
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for work := range jobs {
+				started := time.Now()
+				var data []byte
+				err := work.err
+				if err == nil {
+					data, err = job.renderStreamChunk(work.win, meta, work.chunk)
+				}
+				select {
+				case results[(work.chunk-first)%inflight] <- renderedChunk{data: data, err: err, started: started}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for chunk := first; chunk < chunks; chunk++ {
+			select {
+			case <-tokens:
+			case <-stop:
+				return
+			}
+			win, err := job.nextWindow(it, chunk, rows)
+			select {
+			case jobs <- streamWork{chunk: chunk, win: win, err: err}:
+			case <-stop:
+				return
+			}
+			if err != nil {
+				return // decode is dead; the error surfaces at this chunk's slot
+			}
+		}
+	}()
+	defer func() {
+		stopAll()
+		wg.Wait()
+	}()
+
+	for chunk := first; chunk < chunks; chunk++ {
+		rc := <-results[(chunk-first)%inflight]
+		tokens <- struct{}{} // slot drained; its next tenant may be dispatched
+		lo, hi := chunkRange(chunk, job.ChunkSize, rows)
+		sp := tel.Trace.StartSpan(job.span, "chunk", telemetry.A("index", chunk), telemetry.A("rows", hi-lo))
+		if rc.err != nil {
+			sp.Set("err", rc.err)
+			sp.End()
+			return rc.err
+		}
+		if err := cc.commit(sp, chunk, hi-lo, rc.data, rc.started); err != nil {
+			return err
+		}
+	}
+	if err := partial.Close(); err != nil {
+		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: closing partial view: %w", err))
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"privateclean/internal/csvio"
+	"privateclean/internal/relation"
+)
+
+// The out-of-core contract: for the same (input, params, seed, chunk size),
+// a streaming run must release the exact bytes of the in-memory run — the
+// view, the metadata, and every intermediate checkpoint — at any worker
+// count, while keeping resident memory bounded by the chunk window rather
+// than the input size.
+
+// captureRun executes a job and returns (view, meta, checkpoint trajectory).
+func captureRun(t *testing.T, job *PrivatizeJob) (view, meta []byte, cks []string) {
+	t.Helper()
+	job.OnChunk = func(done, total int) error {
+		data, err := os.ReadFile(job.checkpointPath())
+		if err != nil {
+			return err
+		}
+		cks = append(cks, string(data))
+		return nil
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if job.Stream && res.View != nil {
+		t.Error("streaming run materialized a View")
+	}
+	if !job.Stream && res.View == nil {
+		t.Error("in-memory run returned nil View")
+	}
+	return readFile(t, job.Out), readFile(t, job.MetaPath), cks
+}
+
+func TestStreamByteIdenticalToInMemory(t *testing.T) {
+	input := testCSV(37) // ten chunks of four
+	memJob, _ := testJob(t, input)
+	wantView, wantMeta, wantCks := captureRun(t, memJob)
+
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			job, _ := testJob(t, input)
+			job.Stream = true
+			job.Workers = workers
+			gotView, gotMeta, gotCks := captureRun(t, job)
+			if string(gotView) != string(wantView) {
+				t.Errorf("streaming view differs from in-memory run")
+			}
+			if string(gotMeta) != string(wantMeta) {
+				t.Errorf("streaming metadata differs from in-memory run")
+			}
+			if len(gotCks) != len(wantCks) {
+				t.Fatalf("streaming wrote %d checkpoints, in-memory wrote %d", len(gotCks), len(wantCks))
+			}
+			for i := range gotCks {
+				if gotCks[i] != wantCks[i] {
+					t.Errorf("checkpoint %d differs from in-memory run", i)
+				}
+			}
+		})
+	}
+}
+
+func TestStreamSkipPolicyByteIdentical(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("major,score\n")
+	for i := 0; i < 40; i++ {
+		switch {
+		case i%11 == 0:
+			b.WriteString("EECS,1,extra\n") // arity reject
+		case i%13 == 0:
+			b.WriteString("EECS,nope\n") // bad numeric reject
+		default:
+			fmt.Fprintf(&b, "m%d,%d\n", i%3, i)
+		}
+	}
+	input := b.String()
+	// Without forcing, the "nope" cell would demote score to a discrete
+	// column instead of exercising the bad_numeric reject path.
+	force := map[string]relation.Kind{"score": relation.Numeric}
+	memJob, _ := testJob(t, input)
+	memJob.OnRowError = csvio.RowErrorSkip
+	memJob.ForceKinds = force
+	wantView, wantMeta, _ := captureRun(t, memJob)
+
+	job, _ := testJob(t, input)
+	job.OnRowError = csvio.RowErrorSkip
+	job.ForceKinds = force
+	job.Stream = true
+	job.Workers = 4
+	gotView, gotMeta, _ := captureRun(t, job)
+	if string(gotView) != string(wantView) || string(gotMeta) != string(wantMeta) {
+		t.Error("streaming skip-policy run differs from in-memory run")
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	input := "major,score\n"
+	// A header-only file has no cells to infer kinds from; force the kinds
+	// the job's params expect.
+	force := map[string]relation.Kind{"score": relation.Numeric}
+	memJob, _ := testJob(t, input)
+	memJob.ForceKinds = force
+	wantView, wantMeta, _ := captureRun(t, memJob)
+
+	job, _ := testJob(t, input)
+	job.ForceKinds = force
+	job.Stream = true
+	gotView, gotMeta, _ := captureRun(t, job)
+	if string(gotView) != string(wantView) {
+		t.Errorf("empty-input streaming view %q, want %q", gotView, wantView)
+	}
+	if string(gotMeta) != string(wantMeta) {
+		t.Error("empty-input streaming metadata differs")
+	}
+}
+
+// TestStreamResume aborts a streaming run at a chunk boundary and resumes it
+// (streaming again), demanding the uninterrupted in-memory bytes.
+func TestStreamResume(t *testing.T) {
+	input := testCSV(37)
+	wantView, wantMeta := uninterrupted(t, input)
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			job, _ := testJob(t, input)
+			job.Stream = true
+			job.Workers = workers
+			boom := errors.New("injected abort")
+			job.OnChunk = func(done, total int) error {
+				if done == 3 {
+					return boom
+				}
+				return nil
+			}
+			if _, err := job.Run(); !errors.Is(err, boom) {
+				t.Fatalf("aborted run: %v, want injected abort", err)
+			}
+			resume, _ := testJob(t, input)
+			resume.In, resume.Out, resume.MetaPath = job.In, job.Out, job.MetaPath
+			resume.Stream = true
+			resume.Workers = workers
+			resume.Resume = true
+			res, err := resume.Run()
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if res.ResumedFrom != 3 {
+				t.Errorf("ResumedFrom = %d, want 3", res.ResumedFrom)
+			}
+			if string(readFile(t, resume.Out)) != string(wantView) {
+				t.Error("resumed streaming view differs from uninterrupted run")
+			}
+			if string(readFile(t, resume.MetaPath)) != string(wantMeta) {
+				t.Error("resumed streaming metadata differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestStreamCrossModeResume: a checkpoint stranded by one mode must be
+// resumable by the other — the checkpoint schema and RNG trajectory are
+// mode-independent.
+func TestStreamCrossModeResume(t *testing.T) {
+	input := testCSV(37)
+	wantView, wantMeta := uninterrupted(t, input)
+	for _, firstStream := range []bool{false, true} {
+		t.Run(fmt.Sprintf("firstStream=%v", firstStream), func(t *testing.T) {
+			job, _ := testJob(t, input)
+			job.Stream = firstStream
+			boom := errors.New("injected abort")
+			job.OnChunk = func(done, total int) error {
+				if done == 4 {
+					return boom
+				}
+				return nil
+			}
+			if _, err := job.Run(); !errors.Is(err, boom) {
+				t.Fatalf("aborted run: %v", err)
+			}
+			resume, _ := testJob(t, input)
+			resume.In, resume.Out, resume.MetaPath = job.In, job.Out, job.MetaPath
+			resume.Stream = !firstStream
+			resume.Resume = true
+			if _, err := resume.Run(); err != nil {
+				t.Fatalf("cross-mode resume: %v", err)
+			}
+			if string(readFile(t, resume.Out)) != string(wantView) {
+				t.Error("cross-mode resumed view differs from uninterrupted run")
+			}
+			if string(readFile(t, resume.MetaPath)) != string(wantMeta) {
+				t.Error("cross-mode resumed metadata differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+func TestChunkSizeForBudget(t *testing.T) {
+	prof := &csvio.Profile{Rows: 100_000, DataBytes: 2_000_000} // 20 B/row
+	cases := []struct {
+		budget int64
+		want   int
+	}{
+		{0, DefaultChunkSize},          // no budget: default
+		{-5, DefaultChunkSize},         // nonsense budget: default
+		{1 << 20, 1 << 20 / (20 * 48)}, // proportional to budget
+		{1, minStreamChunk},            // tiny budget clamps up
+		{1 << 62, maxStreamChunk},      // huge budget clamps down
+	}
+	for _, tc := range cases {
+		if got := chunkSizeForBudget(tc.budget, prof); got != tc.want {
+			t.Errorf("chunkSizeForBudget(%d) = %d, want %d", tc.budget, got, tc.want)
+		}
+	}
+	if got := chunkSizeForBudget(1<<20, &csvio.Profile{Rows: 0}); got != DefaultChunkSize {
+		t.Errorf("empty profile: %d, want default", got)
+	}
+	// The derived size must not depend on worker count (byte-identity).
+}
+
+// TestStreamOutOfCore processes an input several times larger than the memory
+// budget and asserts the resident heap stays bounded by the chunk window, not
+// the input size.
+func TestStreamOutOfCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("out-of-core soak skipped in -short mode")
+	}
+	var b strings.Builder
+	b.WriteString("major,score,note\n")
+	rows := 120_000
+	// note stays low-cardinality: GRR legitimately keeps the full domain of
+	// every discrete attribute resident, so a high-cardinality column would
+	// measure the domain index, not the streaming window.
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "major-%02d,%d.25,note-pad-pad-pad-%02d\n", i%23, 10+i%1000, i%53)
+	}
+	input := b.String()
+	inputBytes := int64(len(input)) // ~4.5 MB
+
+	job, _ := testJob(t, input)
+	job.Stream = true
+	job.ChunkSize = 0
+	job.MemBudget = 1 << 20 // 1 MiB, several times smaller than the input
+	job.Workers = 2
+	job.Params.P["note"] = 0.2
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak uint64
+	sample := 0
+	job.OnChunk = func(done, total int) error {
+		sample++
+		if sample%16 != 0 {
+			return nil
+		}
+		// Collect before sampling so HeapAlloc reflects the live set, not
+		// uncollected per-chunk garbage.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+		return nil
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != rows {
+		t.Fatalf("released %d rows, want %d", res.Rows, rows)
+	}
+	if res.Chunks < 4 {
+		t.Fatalf("only %d chunks; input should span many mem-budget windows", res.Chunks)
+	}
+	if peak == 0 {
+		t.Fatal("no heap samples taken")
+	}
+	// The in-memory path would hold the decoded relation plus the private
+	// copy (≥ 2× input bytes). Streaming must stay well under one input's
+	// worth of growth over the baseline; allow slack for the profile's
+	// domain maps, GC lag between samples, and the inflight window ring.
+	growth := int64(peak) - int64(base.HeapAlloc)
+	if growth > inputBytes {
+		t.Errorf("heap grew by %d bytes over baseline; want < %d (input size) for an out-of-core run", growth, inputBytes)
+	}
+	t.Logf("input=%d bytes, chunks=%d, heap growth=%d bytes", inputBytes, res.Chunks, growth)
+}
+
+// TestStreamQuarantineSidecarRowSet: the streaming quarantine sidecar holds
+// the same row set as the in-memory one (ordering is documented to differ).
+func TestStreamQuarantineSidecarRowSet(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("major,score\n")
+	for i := 0; i < 30; i++ {
+		if i%7 == 0 {
+			b.WriteString("EECS,1,extra\n")
+		} else {
+			fmt.Fprintf(&b, "m%d,%d\n", i%3, i)
+		}
+	}
+	input := b.String()
+
+	memJob, _ := testJob(t, input)
+	memJob.OnRowError = csvio.RowErrorQuarantine
+	if _, err := memJob.Run(); err != nil {
+		t.Fatal(err)
+	}
+	memRows := strings.Split(strings.TrimSpace(string(readFile(t, memJob.quarantinePath()))), "\n")
+
+	job, _ := testJob(t, input)
+	job.OnRowError = csvio.RowErrorQuarantine
+	job.Stream = true
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gotRows := strings.Split(strings.TrimSpace(string(readFile(t, job.quarantinePath()))), "\n")
+
+	set := make(map[string]int)
+	for _, l := range memRows {
+		set[l]++
+	}
+	for _, l := range gotRows {
+		set[l]--
+	}
+	for l, n := range set {
+		if n != 0 {
+			t.Errorf("quarantine sidecar row sets differ at %q (delta %d)", l, n)
+		}
+	}
+}

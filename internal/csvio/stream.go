@@ -1,0 +1,550 @@
+package csvio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/relation"
+	"privateclean/internal/telemetry"
+)
+
+// Out-of-core loading. ReadWithReport materializes every kept row before the
+// relation is built; for sources larger than RAM the same semantics are
+// recovered from bounded-memory scans instead:
+//
+//	scan 1 (kinds)   — infer column kinds exactly as ReadWithReport does,
+//	                   holding one row at a time;
+//	scan 2 (profile) — with kinds fixed, apply the full row policy
+//	                   (arity/syntax/bad_numeric) and accumulate the
+//	                   per-attribute domains, numeric ranges, and the load
+//	                   Report;
+//	scan 3+          — a ChunkIterator re-decodes the kept rows in bounded
+//	                   windows for the consumer (privatize, clean, collect).
+//
+// A Profile plus a ChunkIterator reproduce ReadWithReport exactly: the same
+// schema, the same kept rows in the same order, the same Report counters, and
+// the same typed errors under the fail policy. The only observable difference
+// is sidecar ordering: quarantined rows are written in input order, where the
+// in-memory loader groups arity/syntax rows before bad_numeric rows.
+
+// Profile summarizes a CSV source after the kind and domain scans: everything
+// a streaming consumer needs before it sees the first row window.
+type Profile struct {
+	// Columns is the resolved schema in header order.
+	Columns []relation.Column
+	// Rows is the number of kept data rows (= Report.Rows).
+	Rows int
+	// Domains maps each discrete column to its sorted distinct values,
+	// including relation.Null when the column has empty cells — identical to
+	// relation.Domain over the materialized load.
+	Domains map[string][]string
+	// Deltas maps each numeric column to max-min over its finite cells (0
+	// when the column has none), the Proposition 1 sensitivity.
+	Deltas map[string]float64
+	// Report is the row-policy accounting of the profile scan.
+	Report *Report
+	// DataBytes is the on-disk size of the source, for chunk sizing.
+	DataBytes int64
+}
+
+// Schema builds the relation schema the profile resolved.
+func (p *Profile) Schema() (relation.Schema, error) {
+	schema, err := relation.NewSchema(p.Columns...)
+	if err != nil {
+		return relation.Schema{}, faults.Wrap(faults.ErrBadInput, fmt.Errorf("csvio: %w", err))
+	}
+	return schema, nil
+}
+
+// source is one sequential pass over a CSV file: BOM stripped, header read
+// and validated with the same typed errors as ReadWithReport.
+type source struct {
+	f      *os.File
+	cr     *csv.Reader
+	header []string
+	// physical is the 1-based physical row number of the last record read
+	// (the header is row 1).
+	physical int
+}
+
+func openSource(path string) (*source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadInput, fmt.Errorf("csvio: %w", err))
+	}
+	br := bufio.NewReader(f)
+	if head, err := br.Peek(3); err == nil && bytes.Equal(head, []byte{0xEF, 0xBB, 0xBF}) {
+		br.Discard(3) // UTF-8 BOM
+	}
+	cr := csv.NewReader(br)
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1 // arity enforced by the caller, under the row policy
+	cr.ReuseRecord = true
+
+	header, err := cr.Read()
+	if err == io.EOF {
+		f.Close()
+		return nil, faults.Errorf(faults.ErrBadInput, "csvio: missing header row")
+	}
+	if err != nil {
+		f.Close()
+		return nil, faults.Wrap(faults.ErrBadInput, fmt.Errorf("csvio: header: %w", err))
+	}
+	header = append([]string(nil), header...) // ReuseRecord would clobber it
+	seen := make(map[string]bool, len(header))
+	for i, name := range header {
+		if name == "" {
+			f.Close()
+			return nil, faults.Errorf(faults.ErrBadInput, "csvio: empty name for header column %d", i+1)
+		}
+		if seen[name] {
+			f.Close()
+			return nil, faults.Errorf(faults.ErrBadInput, "csvio: duplicate header column %q", name)
+		}
+		seen[name] = true
+	}
+	return &source{f: f, cr: cr, header: header, physical: 1}, nil
+}
+
+func (s *source) Close() error { return s.f.Close() }
+
+// rowOutcome classifies one physical data row.
+type rowOutcome int
+
+const (
+	rowKept rowOutcome = iota
+	rowBadSyntax
+	rowBadArity
+	rowEOF
+)
+
+// next reads one data row. For rowKept the returned fields are valid until
+// the following next call (ReuseRecord); reason is set for the bad outcomes.
+// A stream-level (non row-local) failure is returned as a terminal error with
+// ReadWithReport's message.
+func (s *source) next() (fields []string, outcome rowOutcome, reason string, err error) {
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return nil, rowEOF, "", nil
+	}
+	s.physical++
+	if err != nil {
+		var pe *csv.ParseError
+		if errors.As(err, &pe) {
+			return nil, rowBadSyntax, fmt.Sprintf("csv syntax: %v", pe.Err), nil
+		}
+		return nil, rowEOF, "", faults.Wrap(faults.ErrBadInput, fmt.Errorf("csvio: row %d: %w", s.physical, err))
+	}
+	if len(rec) != len(s.header) {
+		return rec, rowBadArity, fmt.Sprintf("has %d fields, header has %d", len(rec), len(s.header)), nil
+	}
+	return rec, rowKept, "", nil
+}
+
+// scanKinds is scan 1: infer column kinds over the structurally kept rows,
+// holding one row at a time. Under the fail policy a malformed row aborts
+// with the same typed error ReadWithReport raises.
+func scanKinds(path string, opts Options) ([]relation.Kind, []string, error) {
+	src, err := openSource(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer src.Close()
+	tel := opts.Tel
+	if tel == nil {
+		tel = telemetry.Default()
+	}
+
+	header := src.header
+	kinds := make([]relation.Kind, len(header))
+	forced := make([]bool, len(header))
+	numeric := make([]bool, len(header))
+	seenVal := make([]bool, len(header))
+	for c, name := range header {
+		if k, ok := opts.ForceKinds[name]; ok {
+			kinds[c] = k
+			forced[c] = true
+			continue
+		}
+		numeric[c] = true
+	}
+	for {
+		rec, outcome, reason, err := src.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch outcome {
+		case rowEOF:
+			for c := range header {
+				if forced[c] {
+					continue
+				}
+				if numeric[c] && seenVal[c] {
+					kinds[c] = relation.Numeric
+				} else {
+					kinds[c] = relation.Discrete
+				}
+			}
+			return kinds, header, nil
+		case rowBadSyntax, rowBadArity:
+			// Dropped rows contribute no kind evidence. Under the fail
+			// policy the load dies here, matching the in-memory loader —
+			// including its one malformed-row counter increment.
+			if opts.OnRowError == RowErrorFail {
+				code := "arity"
+				if outcome == rowBadSyntax {
+					code = "syntax"
+				}
+				tel.Metrics.Counter("privateclean_csv_rows_malformed_total",
+					"Malformed CSV rows encountered, by reason code and policy.",
+					telemetry.L("code", code), telemetry.L("policy", opts.OnRowError.String())).Inc()
+				tel.Log.Debug("malformed row", "row", src.physical, "code", code, "policy", opts.OnRowError.String())
+				return nil, nil, faults.Errorf(faults.ErrBadInput, "csvio: row %d: %s", src.physical, reason)
+			}
+		case rowKept:
+			for c := range header {
+				if forced[c] || !numeric[c] || rec[c] == "" {
+					continue
+				}
+				seenVal[c] = true
+				if _, err := strconv.ParseFloat(rec[c], 64); err != nil {
+					numeric[c] = false
+				}
+			}
+		}
+	}
+}
+
+// ProfileFile runs the kind and domain scans over a CSV file. The resulting
+// Profile carries the same schema, kept-row count, domains, sensitivities,
+// and Report as a materialized ReadFileWithReport under the same Options —
+// without ever holding more than one row resident.
+func ProfileFile(path string, opts Options) (*Profile, error) {
+	if opts.OnRowError == RowErrorQuarantine && opts.Quarantine == nil {
+		return nil, faults.Errorf(faults.ErrUsage, "csvio: quarantine policy needs a quarantine writer")
+	}
+	kinds, header, err := scanKinds(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	src, err := openSource(path)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+
+	tel := opts.Tel
+	if tel == nil {
+		tel = telemetry.Default()
+	}
+	tel.Redact.Allow(header...)
+
+	rep := &Report{}
+	var quarantine *csv.Writer
+	if opts.Quarantine != nil {
+		quarantine = csv.NewWriter(opts.Quarantine)
+	}
+	// BadRows keeps ReadWithReport's grouping — arity/syntax rows first, then
+	// bad_numeric — by accumulating two capped lists and concatenating.
+	var structural, numericBad []RowError
+	reject := func(row int, fields []string, code, reason string) error {
+		tel.Metrics.Counter("privateclean_csv_rows_malformed_total",
+			"Malformed CSV rows encountered, by reason code and policy.",
+			telemetry.L("code", code), telemetry.L("policy", opts.OnRowError.String())).Inc()
+		tel.Log.Debug("malformed row", "row", row, "code", code, "policy", opts.OnRowError.String())
+		switch opts.OnRowError {
+		case RowErrorFail:
+			return faults.Errorf(faults.ErrBadInput, "csvio: row %d: %s", row, reason)
+		case RowErrorSkip:
+			rep.Skipped++
+		case RowErrorQuarantine:
+			rep.Quarantined++
+			record := append([]string{strconv.Itoa(row), reason}, fields...)
+			if err := quarantine.Write(record); err != nil {
+				return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("csvio: quarantine: %w", err))
+			}
+		}
+		if code == "bad_numeric" {
+			if len(numericBad) < maxReportedRows {
+				numericBad = append(numericBad, RowError{Row: row, Reason: reason})
+			}
+		} else if len(structural) < maxReportedRows {
+			structural = append(structural, RowError{Row: row, Reason: reason})
+		}
+		return nil
+	}
+
+	domains := make(map[string]map[string]struct{})
+	for c, name := range header {
+		if kinds[c] == relation.Discrete {
+			domains[name] = make(map[string]struct{})
+		}
+	}
+	mins := make([]float64, len(header))
+	maxs := make([]float64, len(header))
+	seenFinite := make([]bool, len(header))
+
+rowLoop:
+	for {
+		rec, outcome, reason, err := src.next()
+		if err != nil {
+			return nil, err
+		}
+		switch outcome {
+		case rowEOF:
+			// fallthrough below
+		case rowBadSyntax:
+			if rerr := reject(src.physical, nil, "syntax", reason); rerr != nil {
+				return nil, rerr
+			}
+			continue
+		case rowBadArity:
+			if rerr := reject(src.physical, rec, "arity", reason); rerr != nil {
+				return nil, rerr
+			}
+			continue
+		case rowKept:
+			// Validate numeric cells in header order, so the first offending
+			// column is the one ReadWithReport would report.
+			vals := make([]float64, 0, 4)
+			valCols := make([]int, 0, 4)
+			for c, name := range header {
+				if kinds[c] != relation.Numeric || rec[c] == "" {
+					continue
+				}
+				v, err := strconv.ParseFloat(rec[c], 64)
+				badReason := ""
+				switch {
+				case err != nil:
+					badReason = fmt.Sprintf("column %q: %v", name, err)
+				case math.IsInf(v, 0):
+					badReason = fmt.Sprintf("column %q: non-finite value %q", name, rec[c])
+				default:
+					vals = append(vals, v)
+					valCols = append(valCols, c)
+					continue
+				}
+				if rerr := reject(src.physical, rec, "bad_numeric", badReason); rerr != nil {
+					return nil, rerr
+				}
+				continue rowLoop
+			}
+			// Row kept: fold it into domains and ranges.
+			for c, name := range header {
+				if kinds[c] != relation.Discrete {
+					continue
+				}
+				v := rec[c]
+				if v == "" {
+					v = relation.Null
+				}
+				if _, ok := domains[name][v]; !ok {
+					// rec's strings share the reader's buffer (ReuseRecord);
+					// clone the ones that outlive this row.
+					domains[name][string(append([]byte(nil), v...))] = struct{}{}
+				}
+			}
+			for i, v := range vals {
+				c := valCols[i]
+				if math.IsNaN(v) {
+					continue
+				}
+				if !seenFinite[c] {
+					mins[c], maxs[c], seenFinite[c] = v, v, true
+					continue
+				}
+				if v < mins[c] {
+					mins[c] = v
+				}
+				if v > maxs[c] {
+					maxs[c] = v
+				}
+			}
+			rep.Rows++
+			continue
+		}
+		break
+	}
+
+	if quarantine != nil {
+		quarantine.Flush()
+		if err := quarantine.Error(); err != nil {
+			return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("csvio: quarantine: %w", err))
+		}
+	}
+	rep.BadRows = append(structural, numericBad...)
+	if len(rep.BadRows) > maxReportedRows {
+		rep.BadRows = rep.BadRows[:maxReportedRows]
+	}
+
+	prof := &Profile{
+		Columns: make([]relation.Column, len(header)),
+		Rows:    rep.Rows,
+		Domains: make(map[string][]string),
+		Deltas:  make(map[string]float64),
+		Report:  rep,
+	}
+	for c, name := range header {
+		prof.Columns[c] = relation.Column{Name: name, Kind: kinds[c]}
+		switch kinds[c] {
+		case relation.Discrete:
+			dom := make([]string, 0, len(domains[name]))
+			for v := range domains[name] {
+				dom = append(dom, v)
+			}
+			sort.Strings(dom)
+			prof.Domains[name] = dom
+		case relation.Numeric:
+			if seenFinite[c] {
+				prof.Deltas[name] = maxs[c] - mins[c]
+			} else {
+				prof.Deltas[name] = 0
+			}
+		}
+	}
+	if info, err := os.Stat(path); err == nil {
+		prof.DataBytes = info.Size()
+	}
+
+	tel.Metrics.Counter("privateclean_csv_rows_total", "Rows kept from CSV loads.").Add(float64(rep.Rows))
+	tel.Metrics.Histogram("privateclean_csv_rows_per_load", "Kept rows per CSV load.",
+		telemetry.RowBuckets).Observe(float64(rep.Rows))
+	if !rep.Clean() {
+		tel.Log.Warn("lossy CSV load", "rows", rep.Rows, "skipped", rep.Skipped,
+			"quarantined", rep.Quarantined, "policy", opts.OnRowError.String())
+	}
+	return prof, nil
+}
+
+// ChunkIterator streams the kept rows of a profiled CSV source as bounded
+// relation windows (relation.Iterator). Window k holds kept rows
+// [k*window, (k+1)*window) in input order with ReadWithReport's cell
+// conventions, so the concatenation of all windows equals the materialized
+// load. Rows the profile scan rejected are skipped silently — they were
+// already counted (or, under the fail policy, already fatal).
+type ChunkIterator struct {
+	src    *source
+	schema relation.Schema
+	kinds  []relation.Kind
+	window int
+	done   bool
+}
+
+// NewChunkIterator opens a streaming pass over path using the schema prof
+// resolved, yielding windows of at most window rows (relation.DefaultWindow
+// if <= 0).
+func NewChunkIterator(path string, prof *Profile, window int) (*ChunkIterator, error) {
+	schema, err := prof.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		window = relation.DefaultWindow
+	}
+	src, err := openSource(path)
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]relation.Kind, len(prof.Columns))
+	for c, col := range prof.Columns {
+		if col.Name != src.header[c] {
+			src.Close()
+			return nil, faults.Errorf(faults.ErrBadInput,
+				"csvio: source column %d is %q, profile has %q (file changed since profiling?)", c+1, src.header[c], col.Name)
+		}
+		kinds[c] = col.Kind
+	}
+	return &ChunkIterator{src: src, schema: schema, kinds: kinds, window: window}, nil
+}
+
+// Schema returns the schema every window carries.
+func (it *ChunkIterator) Schema() relation.Schema { return it.schema }
+
+// Close releases the underlying file. Next returns io.EOF afterwards.
+func (it *ChunkIterator) Close() error {
+	it.done = true
+	return it.src.Close()
+}
+
+// Next decodes the next window of kept rows, or returns io.EOF after the
+// last one.
+func (it *ChunkIterator) Next() (*relation.Relation, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	header := it.src.header
+	numeric := make(map[string][]float64)
+	discrete := make(map[string][]string)
+	for c, name := range header {
+		switch it.kinds[c] {
+		case relation.Numeric:
+			numeric[name] = make([]float64, 0, it.window)
+		case relation.Discrete:
+			discrete[name] = make([]string, 0, it.window)
+		}
+	}
+	kept := 0
+	vals := make([]float64, len(header))
+rowLoop:
+	for kept < it.window {
+		rec, outcome, _, err := it.src.next()
+		if err != nil {
+			return nil, err
+		}
+		switch outcome {
+		case rowEOF:
+			it.done = true
+			break rowLoop
+		case rowBadSyntax, rowBadArity:
+			continue
+		}
+		// Re-validate numeric cells with the profiled kinds so the iterator
+		// drops exactly the rows the profile scan rejected.
+		for c := range header {
+			if it.kinds[c] != relation.Numeric {
+				continue
+			}
+			if rec[c] == "" {
+				vals[c] = math.NaN()
+				continue
+			}
+			v, err := strconv.ParseFloat(rec[c], 64)
+			if err != nil || math.IsInf(v, 0) {
+				continue rowLoop
+			}
+			vals[c] = v
+		}
+		for c, name := range header {
+			switch it.kinds[c] {
+			case relation.Numeric:
+				numeric[name] = append(numeric[name], vals[c])
+			case relation.Discrete:
+				v := rec[c]
+				if v == "" {
+					v = relation.Null
+				} else {
+					v = string(append([]byte(nil), v...)) // outlives ReuseRecord
+				}
+				discrete[name] = append(discrete[name], v)
+			}
+		}
+		kept++
+	}
+	if kept == 0 {
+		return nil, io.EOF
+	}
+	rel, err := relation.FromColumns(it.schema, numeric, discrete)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrInternal, fmt.Errorf("csvio: %w", err))
+	}
+	return rel, nil
+}

@@ -255,14 +255,20 @@ func (e *Estimator) Count(rel *relation.Relation, pred Predicate) (Estimate, err
 	if err != nil {
 		return Estimate{}, err
 	}
-	s := float64(rel.NumRows())
+	return e.countEstimate(p, n, l, float64(cPriv), float64(rel.NumRows()))
+}
+
+// countEstimate is the Eq. 3 scalar math, shared by the relation-backed and
+// statistics-backed count estimators: invert the channel over the observed
+// private count cPriv out of s rows.
+func (e *Estimator) countEstimate(p float64, n int, l, cPriv, s float64) (Estimate, error) {
 	if s == 0 {
 		return Estimate{}, fmt.Errorf("estimator: empty relation")
 	}
 	tauN := p * l / float64(n)
-	est := (float64(cPriv) - s*tauN) / (1 - p)
+	est := (cPriv - s*tauN) / (1 - p)
 
-	sp := float64(cPriv) / s
+	sp := cPriv / s
 	z, err := stats.ZScore(e.confidence())
 	if err != nil {
 		return Estimate{}, err
@@ -297,18 +303,13 @@ func (e *Estimator) Sum(rel *relation.Relation, agg string, pred Predicate) (Est
 	if err != nil {
 		return Estimate{}, err
 	}
-	s := float64(rel.NumRows())
-	if s == 0 {
+	if rel.NumRows() == 0 {
 		return Estimate{}, fmt.Errorf("estimator: empty relation")
 	}
-	tauN := p * l / float64(n)
-	est := ((1-tauN)*hp - tauN*hpc) / (1 - p)
-
 	cPriv, err := e.countMatches(rel, pred)
 	if err != nil {
 		return Estimate{}, err
 	}
-	sp := float64(cPriv) / s
 	col, err := rel.Numeric(agg)
 	if err != nil {
 		return Estimate{}, err
@@ -321,6 +322,21 @@ func (e *Estimator) Sum(rel *relation.Relation, agg string, pred Predicate) (Est
 	if err != nil {
 		return Estimate{}, err
 	}
+	return e.sumEstimate(p, n, l, hp, hpc, float64(cPriv), float64(rel.NumRows()), muP, varP)
+}
+
+// sumEstimate is the Eq. 5 scalar math, shared by the relation-backed and
+// statistics-backed sum estimators: hp/hpc are the private sums over the
+// predicate and its complement, cPriv the private matching count, s the row
+// count, muP/varP the aggregate column's private mean and variance.
+func (e *Estimator) sumEstimate(p float64, n int, l, hp, hpc, cPriv, s, muP, varP float64) (Estimate, error) {
+	if s == 0 {
+		return Estimate{}, fmt.Errorf("estimator: empty relation")
+	}
+	tauN := p * l / float64(n)
+	est := ((1-tauN)*hp - tauN*hpc) / (1 - p)
+
+	sp := cPriv / s
 	z, err := stats.ZScore(e.confidence())
 	if err != nil {
 		return Estimate{}, err

@@ -1,0 +1,470 @@
+package estimator
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/relation"
+	"privateclean/internal/stats"
+)
+
+// Sufficient statistics for the corrected estimators. The Eq. 3 / Eq. 5 /
+// Eq. 7 estimators consume the relation only through a handful of
+// marginals — the row count, per-value counts of each discrete attribute,
+// per-(discrete value, numeric attribute) sums, and per-numeric-column
+// moments — so a one-pass Collector over streamed windows captures
+// everything count/sum/avg (including GROUP BY) need, in space proportional
+// to the domain sizes rather than the data.
+//
+// What cannot be answered from these marginals, by construction:
+// conjunction (multi-attribute AND) predicates, arbitrary Fn predicates over
+// values outside the recorded domain are fine, but median/quantile and other
+// order statistics need the raw column. Those paths keep requiring the
+// relation and return a typed error here.
+//
+// Numerical caveat: sums are re-associated (accumulated per value, then
+// added in sorted-value order), so statistics-backed estimates can differ
+// from relation-backed ones by float rounding — relative error around 1e-12,
+// asserted in the tests — and the variance is computed from one-pass moments
+// rather than the two-pass formula.
+
+// Moments holds NaN-skipping running moments of one numeric column.
+type Moments struct {
+	// Count is the number of non-NaN cells; Sum and SumSq their first two
+	// power sums.
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	SumSq float64 `json:"sumsq"`
+}
+
+// mean returns the NaN-skipping mean, with stats.ErrEmpty on no data.
+func (m Moments) mean() (float64, error) {
+	if m.Count == 0 {
+		return 0, stats.ErrEmpty
+	}
+	return m.Sum / float64(m.Count), nil
+}
+
+// variance returns the population variance from the one-pass moments,
+// clamped at zero against cancellation.
+func (m Moments) variance() (float64, error) {
+	mu, err := m.mean()
+	if err != nil {
+		return 0, err
+	}
+	v := m.SumSq/float64(m.Count) - mu*mu
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// ValueStats holds the marginals of one distinct value of a discrete
+// attribute.
+type ValueStats struct {
+	// Count is the number of rows holding this value; Sums the per-numeric-
+	// attribute sum of aggregate cells over those rows (NaN cells skipped).
+	Count int                `json:"count"`
+	Sums  map[string]float64 `json:"sums,omitempty"`
+}
+
+// Statistics is the serializable sufficient-statistics summary of one
+// (cleaned) private relation.
+type Statistics struct {
+	// Rows is the relation's row count (S in the paper's notation).
+	Rows int `json:"rows"`
+	// Columns is the relation's schema, for validation when reloaded.
+	Columns []relation.Column `json:"columns"`
+	// Discrete maps attribute -> distinct value -> marginals.
+	Discrete map[string]map[string]*ValueStats `json:"discrete"`
+	// Numeric maps attribute -> column moments.
+	Numeric map[string]Moments `json:"numeric"`
+}
+
+// Domain returns the sorted distinct values of a discrete attribute.
+func (st *Statistics) Domain(attr string) ([]string, error) {
+	vs, ok := st.Discrete[attr]
+	if !ok {
+		return nil, fmt.Errorf("estimator: no statistics for discrete attribute %q", attr)
+	}
+	out := make([]string, 0, len(vs))
+	for v := range vs {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// moments returns the recorded moments of a numeric attribute.
+func (st *Statistics) moments(agg string) (Moments, error) {
+	m, ok := st.Numeric[agg]
+	if !ok {
+		return Moments{}, fmt.Errorf("estimator: no statistics for numeric attribute %q", agg)
+	}
+	return m, nil
+}
+
+// countMatches returns the number of rows whose pred.Attr value satisfies
+// pred (nil Match matches all), from the per-value counts.
+func (st *Statistics) countMatches(pred Predicate) (int, error) {
+	vs, ok := st.Discrete[pred.Attr]
+	if !ok {
+		return 0, fmt.Errorf("estimator: no statistics for discrete attribute %q", pred.Attr)
+	}
+	n := 0
+	for v, s := range vs {
+		if pred.Match == nil || pred.Match(v) {
+			n += s.Count
+		}
+	}
+	return n, nil
+}
+
+// sumMatches returns the sums of agg over rows satisfying pred and over the
+// complement, accumulating per-value sums in sorted-value order so the
+// result is deterministic.
+func (st *Statistics) sumMatches(agg string, pred Predicate) (matched, complement float64, err error) {
+	vs, ok := st.Discrete[pred.Attr]
+	if !ok {
+		return 0, 0, fmt.Errorf("estimator: no statistics for discrete attribute %q", pred.Attr)
+	}
+	if _, err := st.moments(agg); err != nil {
+		return 0, 0, err
+	}
+	domain := make([]string, 0, len(vs))
+	for v := range vs {
+		domain = append(domain, v)
+	}
+	sort.Strings(domain)
+	for _, v := range domain {
+		x := vs[v].Sums[agg]
+		if pred.Match == nil || pred.Match(v) {
+			matched += x
+		} else {
+			complement += x
+		}
+	}
+	return matched, complement, nil
+}
+
+// Collector accumulates Statistics over streamed windows of one relation.
+// Feed every window to Add in any order; all windows must share one schema.
+type Collector struct {
+	st       *Statistics
+	schema   relation.Schema
+	discrete []string
+	numeric  []string
+}
+
+// NewCollector creates an empty collector; the first Add fixes the schema.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add folds one window into the running statistics.
+func (c *Collector) Add(win *relation.Relation) error {
+	if c.st == nil {
+		c.schema = win.Schema()
+		c.discrete = c.schema.DiscreteNames()
+		c.numeric = c.schema.NumericNames()
+		c.st = &Statistics{
+			Columns:  c.schema.Columns(),
+			Discrete: make(map[string]map[string]*ValueStats, len(c.discrete)),
+			Numeric:  make(map[string]Moments, len(c.numeric)),
+		}
+		for _, a := range c.discrete {
+			c.st.Discrete[a] = make(map[string]*ValueStats)
+		}
+	} else if win.Schema().String() != c.schema.String() {
+		return faults.Errorf(faults.ErrBadInput,
+			"estimator: window schema %q differs from first window %q", win.Schema(), c.schema)
+	}
+	c.st.Rows += win.NumRows()
+	numCols := make([][]float64, len(c.numeric))
+	for i, a := range c.numeric {
+		col := win.MustNumeric(a)
+		numCols[i] = col
+		m := c.st.Numeric[a]
+		for _, x := range col {
+			if math.IsNaN(x) {
+				continue
+			}
+			m.Count++
+			m.Sum += x
+			m.SumSq += x * x
+		}
+		c.st.Numeric[a] = m
+	}
+	for _, a := range c.discrete {
+		col := win.MustDiscrete(a)
+		vs := c.st.Discrete[a]
+		for i, v := range col {
+			s := vs[v]
+			if s == nil {
+				s = &ValueStats{}
+				if len(c.numeric) > 0 {
+					s.Sums = make(map[string]float64, len(c.numeric))
+				}
+				vs[v] = s
+			}
+			s.Count++
+			for j, na := range c.numeric {
+				x := numCols[j][i]
+				if !math.IsNaN(x) {
+					s.Sums[na] += x
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Statistics returns the accumulated summary (empty, with a nil schema, if
+// Add was never called).
+func (c *Collector) Statistics() *Statistics {
+	if c.st == nil {
+		return &Statistics{
+			Discrete: make(map[string]map[string]*ValueStats),
+			Numeric:  make(map[string]Moments),
+		}
+	}
+	return c.st
+}
+
+// CollectStatistics drains an iterator through a Collector.
+func CollectStatistics(it relation.Iterator) (*Statistics, error) {
+	c := NewCollector()
+	for {
+		win, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Add(win); err != nil {
+			return nil, err
+		}
+	}
+	return c.Statistics(), nil
+}
+
+// CountStats is Count over sufficient statistics instead of a resident
+// relation.
+func (e *Estimator) CountStats(st *Statistics, pred Predicate) (Estimate, error) {
+	p, n, l, err := e.channel(pred)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if p >= 1 {
+		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", p)
+	}
+	cPriv, err := st.countMatches(pred)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return e.countEstimate(p, n, l, float64(cPriv), float64(st.Rows))
+}
+
+// SumStats is Sum over sufficient statistics.
+func (e *Estimator) SumStats(st *Statistics, agg string, pred Predicate) (Estimate, error) {
+	p, n, l, err := e.channel(pred)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if p >= 1 {
+		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", p)
+	}
+	hp, hpc, err := st.sumMatches(agg, pred)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if st.Rows == 0 {
+		return Estimate{}, fmt.Errorf("estimator: empty relation")
+	}
+	cPriv, err := st.countMatches(pred)
+	if err != nil {
+		return Estimate{}, err
+	}
+	m, err := st.moments(agg)
+	if err != nil {
+		return Estimate{}, err
+	}
+	muP, err := m.mean()
+	if err != nil {
+		return Estimate{}, err
+	}
+	varP, err := m.variance()
+	if err != nil {
+		return Estimate{}, err
+	}
+	return e.sumEstimate(p, n, l, hp, hpc, float64(cPriv), float64(st.Rows), muP, varP)
+}
+
+// AvgStats is Avg over sufficient statistics: the ratio of SumStats and
+// CountStats with the same delta-method interval.
+func (e *Estimator) AvgStats(st *Statistics, agg string, pred Predicate) (Estimate, error) {
+	h, err := e.SumStats(st, agg, pred)
+	if err != nil {
+		return Estimate{}, err
+	}
+	c, err := e.CountStats(st, pred)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if c.Value == 0 {
+		return Estimate{}, fmt.Errorf("%w for %s", ErrZeroEstimatedCount, pred)
+	}
+	v := h.Value / c.Value
+	return Estimate{Value: v, CI: ratioCI(v, h, c)}, nil
+}
+
+// TotalCountStats is TotalCount over sufficient statistics.
+func (e *Estimator) TotalCountStats(st *Statistics) Estimate {
+	return Estimate{Value: float64(st.Rows)}
+}
+
+// TotalSumStats is TotalSum over sufficient statistics.
+func (e *Estimator) TotalSumStats(st *Statistics, agg string) (Estimate, error) {
+	m, err := st.moments(agg)
+	if err != nil {
+		return Estimate{}, err
+	}
+	varP, err := m.variance()
+	if err != nil {
+		return Estimate{}, err
+	}
+	z, err := stats.ZScore(e.confidence())
+	if err != nil {
+		return Estimate{}, err
+	}
+	s := float64(st.Rows)
+	return Estimate{Value: m.Sum, CI: z * math.Sqrt(s*varP)}, nil
+}
+
+// TotalAvgStats is TotalAvg over sufficient statistics.
+func (e *Estimator) TotalAvgStats(st *Statistics, agg string) (Estimate, error) {
+	m, err := st.moments(agg)
+	if err != nil {
+		return Estimate{}, err
+	}
+	mu, err := m.mean()
+	if err != nil {
+		return Estimate{}, err
+	}
+	varP, err := m.variance()
+	if err != nil {
+		return Estimate{}, err
+	}
+	z, err := stats.ZScore(e.confidence())
+	if err != nil {
+		return Estimate{}, err
+	}
+	s := float64(st.Rows)
+	if s == 0 {
+		return Estimate{}, stats.ErrEmpty
+	}
+	return Estimate{Value: mu, CI: z * math.Sqrt(varP/s)}, nil
+}
+
+// GroupCountsStats is GroupCounts over sufficient statistics.
+func (e *Estimator) GroupCountsStats(st *Statistics, attr string) (map[string]Estimate, error) {
+	domain, err := st.Domain(attr)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Estimate, len(domain))
+	for _, v := range domain {
+		est, err := e.CountStats(st, Eq(attr, v))
+		if err != nil {
+			return nil, err
+		}
+		out[v] = est
+	}
+	return out, nil
+}
+
+// GroupSumsStats is GroupSums over sufficient statistics.
+func (e *Estimator) GroupSumsStats(st *Statistics, attr, agg string) (map[string]Estimate, error) {
+	domain, err := st.Domain(attr)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Estimate, len(domain))
+	for _, v := range domain {
+		est, err := e.SumStats(st, agg, Eq(attr, v))
+		if err != nil {
+			return nil, err
+		}
+		out[v] = est
+	}
+	return out, nil
+}
+
+// GroupAvgsStats is GroupAvgs over sufficient statistics; zero-count groups
+// are omitted, as in GroupAvgs.
+func (e *Estimator) GroupAvgsStats(st *Statistics, attr, agg string) (map[string]Estimate, error) {
+	domain, err := st.Domain(attr)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Estimate, len(domain))
+	for _, v := range domain {
+		est, err := e.AvgStats(st, agg, Eq(attr, v))
+		if err != nil {
+			if errors.Is(err, ErrZeroEstimatedCount) {
+				continue
+			}
+			return nil, err
+		}
+		out[v] = est
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("estimator: no group of %q has a nonzero estimated count", attr)
+	}
+	return out, nil
+}
+
+// DirectCountStats is DirectCount over sufficient statistics.
+func DirectCountStats(st *Statistics, pred Predicate) (float64, error) {
+	c, err := st.countMatches(pred)
+	return float64(c), err
+}
+
+// DirectSumStats is DirectSum over sufficient statistics.
+func DirectSumStats(st *Statistics, agg string, pred Predicate) (float64, error) {
+	m, _, err := st.sumMatches(agg, pred)
+	return m, err
+}
+
+// DirectAvgStats is DirectAvg over sufficient statistics.
+func DirectAvgStats(st *Statistics, agg string, pred Predicate) (float64, error) {
+	c, err := st.countMatches(pred)
+	if err != nil {
+		return 0, err
+	}
+	if c == 0 {
+		return 0, fmt.Errorf("estimator: no rows satisfy %s", pred)
+	}
+	s, err := DirectSumStats(st, agg, pred)
+	if err != nil {
+		return 0, err
+	}
+	return s / float64(c), nil
+}
+
+// DirectGroupCountsStats returns the nominal per-group counts from
+// statistics.
+func DirectGroupCountsStats(st *Statistics, attr string) (map[string]float64, error) {
+	vs, ok := st.Discrete[attr]
+	if !ok {
+		return nil, fmt.Errorf("estimator: no statistics for discrete attribute %q", attr)
+	}
+	out := make(map[string]float64, len(vs))
+	for v, s := range vs {
+		out[v] = float64(s.Count)
+	}
+	return out, nil
+}

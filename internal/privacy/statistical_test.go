@@ -1,0 +1,134 @@
+package privacy
+
+import (
+	"math/rand"
+	"testing"
+
+	"privateclean/internal/relation"
+	"privateclean/internal/stats"
+)
+
+// The GRR distributional regression: after randomized response with
+// probability p, the expected frequency of domain value v in the private
+// view is e_v = (1-p)*c_v + p*S/N (keep your value w.p. 1-p, or land on v
+// from a uniform domain draw w.p. p/N from any of the S rows). A chi-square
+// goodness-of-fit against that expectation, with deterministic seeds, locks
+// the mechanism's sampling distribution — a regression in the keep/resample
+// split or the uniform draw shifts the statistic by orders of magnitude.
+
+// grrRel builds a two-attribute relation with skewed value counts.
+func grrRel(t *testing.T) (*relation.Relation, map[string]map[string]int) {
+	t.Helper()
+	countsA := map[string]int{"a0": 1200, "a1": 900, "a2": 700, "a3": 600, "a4": 600}
+	countsB := map[string]int{"b0": 2500, "b1": 1000, "b2": 500}
+	var av, bv []string
+	for _, v := range []string{"a0", "a1", "a2", "a3", "a4"} {
+		for i := 0; i < countsA[v]; i++ {
+			av = append(av, v)
+		}
+	}
+	for _, v := range []string{"b0", "b1", "b2"} {
+		for i := 0; i < countsB[v]; i++ {
+			bv = append(bv, v)
+		}
+	}
+	schema := relation.MustSchema(
+		relation.Column{Name: "attr_a", Kind: relation.Discrete},
+		relation.Column{Name: "attr_b", Kind: relation.Discrete},
+	)
+	r, err := relation.FromColumns(schema, nil, map[string][]string{"attr_a": av, "attr_b": bv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, map[string]map[string]int{"attr_a": countsA, "attr_b": countsB}
+}
+
+// chiSquareGRR computes the goodness-of-fit p-value of a privatized view's
+// value frequencies for one attribute against the GRR expectation under
+// probability p.
+func chiSquareGRR(t *testing.T, view *relation.Relation, attr string, counts map[string]int, p float64) float64 {
+	t.Helper()
+	s := 0
+	for _, c := range counts {
+		s += c
+	}
+	n := len(counts)
+	observed := make(map[string]int, n)
+	col, err := view.Discrete(attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range col {
+		observed[v]++
+	}
+	var chi2 float64
+	for v, c := range counts {
+		e := (1-p)*float64(c) + p*float64(s)/float64(n)
+		d := float64(observed[v]) - e
+		chi2 += d * d / e
+	}
+	pval, err := stats.ChiSquareSurvival(chi2, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pval
+}
+
+func TestGRRFrequenciesChiSquare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical suite: seeded privatizations; skipped with -short")
+	}
+	r, counts := grrRel(t)
+	params := Params{P: map[string]float64{"attr_a": 0.3, "attr_b": 0.15}, B: map[string]float64{}}
+
+	const seeds = 20
+	for attr, c := range counts {
+		p := params.P[attr]
+		pvals := make([]float64, 0, seeds)
+		for seed := int64(1); seed <= seeds; seed++ {
+			rng := rand.New(rand.NewSource(31000 + seed))
+			view, _, err := Privatize(rng, r, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pvals = append(pvals, chiSquareGRR(t, view, attr, c, p))
+		}
+		// Under the null every p-value is Uniform(0,1). With fixed seeds the
+		// observed values are constants; the thresholds just document how far
+		// from uniform a regression would have to push them.
+		low := 0
+		for _, pv := range pvals {
+			if pv < 1e-4 {
+				t.Errorf("%s: chi-square p-value %v < 1e-4: frequencies do not match GRR(p=%v)", attr, pv, p)
+			}
+			if pv < 0.05 {
+				low++
+			}
+		}
+		if low > seeds/2 {
+			t.Errorf("%s: %d/%d p-values below 0.05: frequencies systematically off GRR(p=%v)", attr, low, seeds, p)
+		}
+	}
+}
+
+// TestGRRChiSquareDetectsWrongP is the power check: the same statistic
+// against an expectation computed with the wrong p must reject decisively,
+// proving the suite can actually see a mechanism regression.
+func TestGRRChiSquareDetectsWrongP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical suite: seeded privatizations; skipped with -short")
+	}
+	r, counts := grrRel(t)
+	params := Params{P: map[string]float64{"attr_a": 0.3, "attr_b": 0.3}, B: map[string]float64{}}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(32000 + seed))
+		view, _, err := Privatize(rng, r, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pval := chiSquareGRR(t, view, "attr_a", counts["attr_a"], 0.7)
+		if pval > 1e-6 {
+			t.Fatalf("seed %d: p-value %v against wrong p: chi-square has no power", seed, pval)
+		}
+	}
+}

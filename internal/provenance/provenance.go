@@ -138,7 +138,6 @@ func (g *Graph) ApplyRowLevel(before, after []string) error {
 	}
 	// Count row-level transitions m -> m2.
 	trans := make(map[string]map[string]int)
-	totals := make(map[string]int)
 	for i := range before {
 		m, m2 := before[i], after[i]
 		t := trans[m]
@@ -147,7 +146,23 @@ func (g *Graph) ApplyRowLevel(before, after []string) error {
 			trans[m] = t
 		}
 		t[m2]++
-		totals[m]++
+	}
+	g.ApplyTransitions(trans)
+	return nil
+}
+
+// ApplyTransitions composes the graph with a row-level rewrite given as
+// pre-counted transitions: trans[m][m2] is the number of rows whose value
+// went from m to m2. This is ApplyRowLevel with the counting hoisted out, so
+// an out-of-core cleaner can accumulate counts window by window and apply
+// them once — the resulting weights are identical to a one-shot
+// ApplyRowLevel over the concatenated rows.
+func (g *Graph) ApplyTransitions(trans map[string]map[string]int) {
+	totals := make(map[string]int, len(trans))
+	for m, t := range trans {
+		for _, cnt := range t {
+			totals[m] += cnt
+		}
 	}
 	next := make(map[string]map[string]float64)
 	for m, ps := range g.parents {
@@ -183,7 +198,6 @@ func (g *Graph) ApplyRowLevel(before, after []string) error {
 		}
 	}
 	g.parents = next
-	return nil
 }
 
 // Selectivity returns the effective dirty-domain selectivity l of a

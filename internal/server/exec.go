@@ -64,6 +64,10 @@ func (s *Server) execute(sql string) (*queryResponse, error) {
 
 	resp := &queryResponse{Query: sql, Agg: q.Agg.String(), Confidence: s.est.Confidence}
 
+	if s.stats != nil {
+		return s.executeStats(resp, q)
+	}
+
 	if len(q.AndWhere) > 0 {
 		preds, err := query.CompileConjunction(q.Conds(), s.udfs)
 		if err != nil {
@@ -147,6 +151,78 @@ func (s *Server) execute(sql string) (*queryResponse, error) {
 		pc, err = s.est.Std(s.rel, q.AggAttr, pred)
 	default:
 		return nil, faults.Errorf(faults.ErrBadQuery, "query: unsupported aggregate %s", q.Agg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := toJSON(pc)
+	resp.Estimate = &e
+	return resp, nil
+}
+
+// executeStats answers from sufficient statistics. The dispatch mirrors the
+// `privateclean query -stats` CLI: count/sum/avg with single predicates,
+// totals, and GROUP BY counts work; anything needing the raw rows is the
+// analyst's bad-query problem, with the error pointing back at a full view.
+func (s *Server) executeStats(resp *queryResponse, q *query.Query) (*queryResponse, error) {
+	if len(q.AndWhere) > 0 {
+		return nil, faults.Errorf(faults.ErrBadQuery,
+			"query: AND conjunctions need the joint row distribution; serve the full view instead of statistics")
+	}
+	if q.GroupBy != "" {
+		if q.Agg != query.AggCount {
+			return nil, faults.Errorf(faults.ErrBadQuery, "query: GROUP BY supports count(1) only")
+		}
+		groups, err := s.est.GroupCountsStats(s.stats, q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			resp.Groups = append(resp.Groups, groupEstimate{Key: k, Estimate: toJSON(groups[k])})
+		}
+		return resp, nil
+	}
+	if q.Where == nil {
+		var e estimator.Estimate
+		var err error
+		switch q.Agg {
+		case query.AggCount:
+			e = s.est.TotalCountStats(s.stats)
+		case query.AggSum:
+			e, err = s.est.TotalSumStats(s.stats, q.AggAttr)
+		case query.AggAvg:
+			e, err = s.est.TotalAvgStats(s.stats, q.AggAttr)
+		default:
+			return nil, faults.Errorf(faults.ErrBadQuery,
+				"query: %s needs the raw rows; serve the full view instead of statistics", q.Agg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ej := toJSON(e)
+		resp.Estimate = &ej
+		return resp, nil
+	}
+	pred, err := query.CompilePredicate(q.Where, s.udfs)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadQuery, err)
+	}
+	var pc estimator.Estimate
+	switch q.Agg {
+	case query.AggCount:
+		pc, err = s.est.CountStats(s.stats, pred)
+	case query.AggSum:
+		pc, err = s.est.SumStats(s.stats, q.AggAttr, pred)
+	case query.AggAvg:
+		pc, err = s.est.AvgStats(s.stats, q.AggAttr, pred)
+	default:
+		return nil, faults.Errorf(faults.ErrBadQuery,
+			"query: %s needs the raw rows; serve the full view instead of statistics", q.Agg)
 	}
 	if err != nil {
 		return nil, err

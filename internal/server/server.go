@@ -56,12 +56,17 @@ const DefaultTimeout = 10 * time.Second
 // larger.
 const maxBodyBytes = 1 << 20
 
-// Config assembles a Server. Rel and Meta are required; everything else
-// defaults.
+// Config assembles a Server. Meta and exactly one of Rel or Stats are
+// required; everything else defaults.
 type Config struct {
 	// Rel is the (cleaned) private relation to serve. The server owns it:
 	// it must not be mutated while the server is running.
 	Rel *relation.Relation
+	// Stats serves from sufficient statistics instead of a resident
+	// relation: count/sum/avg (with single predicates, totals, and GROUP BY
+	// count) work; median/var/std and AND conjunctions are rejected as bad
+	// queries. Mutually exclusive with Rel.
+	Stats *estimator.Statistics
 	// Meta is the GRR view metadata released with the relation.
 	Meta *privacy.ViewMeta
 	// Prov is the cleaning provenance; nil when no cleaning happened.
@@ -78,9 +83,11 @@ type Config struct {
 	Tel *telemetry.Set
 }
 
-// Server serves corrected-query estimation over one resident private view.
+// Server serves corrected-query estimation over one resident private view
+// (or its sufficient statistics).
 type Server struct {
 	rel     *relation.Relation
+	stats   *estimator.Statistics
 	est     *estimator.Estimator
 	udfs    query.UDFs
 	tel     *telemetry.Set
@@ -97,8 +104,11 @@ type Server struct {
 
 // New validates cfg and builds a Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Rel == nil {
-		return nil, faults.Errorf(faults.ErrUsage, "server: nil relation")
+	if cfg.Rel == nil && cfg.Stats == nil {
+		return nil, faults.Errorf(faults.ErrUsage, "server: need a relation or sufficient statistics")
+	}
+	if cfg.Rel != nil && cfg.Stats != nil {
+		return nil, faults.Errorf(faults.ErrUsage, "server: a relation and sufficient statistics are mutually exclusive")
 	}
 	if cfg.Meta == nil {
 		return nil, faults.Errorf(faults.ErrBadMeta, "server: nil view metadata")
@@ -126,7 +136,8 @@ func New(cfg Config) (*Server, error) {
 		"timeout", "shed", "method_not_allowed", "not_found", "serve", "serve_query",
 		"200", "400", "404", "405", "408", "422", "429", "500", "503")
 	return &Server{
-		rel: cfg.Rel,
+		rel:   cfg.Rel,
+		stats: cfg.Stats,
 		est: &estimator.Estimator{
 			Meta:       cfg.Meta,
 			Prov:       cfg.Prov,
@@ -357,16 +368,27 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	}
 	meta := s.est.Meta
 	resp := describeResponse{
-		Rows:       s.rel.NumRows(),
 		Confidence: s.est.Confidence,
 	}
 	// TotalEpsilon can be +Inf (a non-randomized column); JSON has no Inf,
 	// so clamp to the -1 sentinel the client can recognize.
 	resp.TotalEpsilon = jsonSafe(meta.TotalEpsilon())
-	for _, c := range s.rel.Schema().Columns() {
+	var cols []relation.Column
+	if s.stats != nil {
+		resp.Rows = s.stats.Rows
+		cols = s.stats.Columns
+	} else {
+		resp.Rows = s.rel.NumRows()
+		cols = s.rel.Schema().Columns()
+	}
+	for _, c := range cols {
 		dc := describeColumn{Name: c.Name, Kind: c.Kind.String()}
 		if c.Kind == relation.Discrete {
-			if n, err := s.rel.DomainSize(c.Name); err == nil {
+			if s.stats != nil {
+				if dom, err := s.stats.Domain(c.Name); err == nil {
+					dc.Distinct = len(dom)
+				}
+			} else if n, err := s.rel.DomainSize(c.Name); err == nil {
 				dc.Distinct = n
 			}
 			if dm, err := meta.DiscreteFor(c.Name); err == nil {

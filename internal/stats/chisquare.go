@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareSurvival returns P(X > x) for a chi-square variable X with df
+// degrees of freedom — the p-value of an observed chi-square statistic x.
+// It is the regularized upper incomplete gamma Q(df/2, x/2).
+func ChiSquareSurvival(x float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: chi-square needs df > 0, got %d", df)
+	}
+	if math.IsNaN(x) {
+		return 0, fmt.Errorf("stats: chi-square statistic is NaN")
+	}
+	if x <= 0 {
+		return 1, nil
+	}
+	return gammaQ(float64(df)/2, x/2), nil
+}
+
+// gammaQ is the regularized upper incomplete gamma function Q(a, x) =
+// Γ(a,x)/Γ(a), for a > 0, x >= 0. The series converges fast for x < a+1 and
+// the continued fraction for x >= a+1 (Numerical Recipes 6.2).
+func gammaQ(a, x float64) float64 {
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+// gammaPSeries evaluates P(a, x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-15
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) by modified Lentz's method.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-15
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareSurvivalKnownQuantiles(t *testing.T) {
+	// Critical values from standard chi-square tables: Q(x, df) = alpha.
+	cases := []struct {
+		x     float64
+		df    int
+		alpha float64
+	}{
+		{3.841, 1, 0.05},
+		{6.635, 1, 0.01},
+		{5.991, 2, 0.05},
+		{7.815, 3, 0.05},
+		{9.488, 4, 0.05},
+		{18.307, 10, 0.05},
+		{28.869, 18, 0.05},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareSurvival(c.x, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.alpha) > 5e-4 {
+			t.Errorf("Q(%v, df=%d) = %v, want ~%v", c.x, c.df, got, c.alpha)
+		}
+	}
+}
+
+func TestChiSquareSurvivalDF2Closed(t *testing.T) {
+	// With df=2 the survival function is exp(-x/2) in closed form.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10, 25, 60} {
+		got, err := ChiSquareSurvival(x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(-x / 2)
+		if math.Abs(got-want) > 1e-12*math.Max(want, 1e-12) && math.Abs(got-want) > 1e-14 {
+			t.Errorf("Q(%v, 2) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalEdges(t *testing.T) {
+	if got, err := ChiSquareSurvival(0, 3); err != nil || got != 1 {
+		t.Fatalf("Q(0, 3) = %v, %v; want 1", got, err)
+	}
+	if got, err := ChiSquareSurvival(-2, 3); err != nil || got != 1 {
+		t.Fatalf("Q(-2, 3) = %v, %v; want 1", got, err)
+	}
+	if _, err := ChiSquareSurvival(1, 0); err == nil {
+		t.Fatal("want error for df = 0")
+	}
+	if _, err := ChiSquareSurvival(math.NaN(), 3); err == nil {
+		t.Fatal("want error for NaN statistic")
+	}
+	// Monotone decreasing in x.
+	prev := 1.0
+	for x := 0.5; x < 40; x += 0.5 {
+		q, err := ChiSquareSurvival(x, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q > prev {
+			t.Fatalf("Q not monotone at x=%v: %v > %v", x, q, prev)
+		}
+		prev = q
+	}
+}

@@ -28,14 +28,16 @@ go build -o "$tmp/pc" ./cmd/privateclean
 "$tmp/pc" privatize -in "$tmp/data.csv" -out "$tmp/private.csv" \
 	-meta "$tmp/meta.json" -p 0.2 -b 0.5 -seed 1
 
+# Bind port 0 (the kernel picks a free port) and read the bound address
+# from -addr-file: the file is written atomically once the listener is up,
+# so there is no fixed-port collision and no log scraping.
 "$tmp/pc" serve -in "$tmp/private.csv" -meta "$tmp/meta.json" \
-	-addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+	-addr 127.0.0.1:0 -addr-file "$tmp/addr" >"$tmp/serve.log" 2>&1 &
 pid=$!
 
 addr=""
 for _ in $(seq 1 100); do
-	addr=$(sed -n 's/^serving on //p' "$tmp/serve.log")
-	[ -n "$addr" ] && break
+	[ -f "$tmp/addr" ] && addr=$(cat "$tmp/addr") && break
 	kill -0 "$pid" 2>/dev/null || { echo "serve died:"; cat "$tmp/serve.log"; exit 1; }
 	sleep 0.1
 done
