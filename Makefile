@@ -8,7 +8,7 @@ FUZZ_TIME ?= 5s
 # coverage durably improves, never lower it to make a PR pass.
 COVER_BASELINE ?= 78.0
 
-.PHONY: build vet test race faults check bench bench-json bench-smoke serve-smoke fuzz-smoke cover
+.PHONY: build vet test race faults check bench bench-json bench-smoke serve-smoke collect-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,18 @@ race:
 # Just the fault-injection and robustness suite, race-enabled.
 faults:
 	$(GO) test -race \
-		./internal/faults/ ./internal/atomicio/ ./internal/csvio/ ./internal/core/ ./cmd/privateclean/
+		./internal/faults/ ./internal/atomicio/ ./internal/csvio/ ./internal/core/ \
+		./internal/collect/ ./cmd/privateclean/
 
 # End-to-end smoke of the query service: privatize a sample, start
 # `privateclean serve`, POST a query, scrape /metrics, SIGTERM cleanly.
 serve-smoke:
 	sh tools/serve-smoke.sh
+
+# Crash smoke of the LDP collector: ship reports, kill -9 mid-stream,
+# restart in the same directory, re-ship, assert byte-identical statistics.
+collect-smoke:
+	sh tools/collect-smoke.sh
 
 # Brief native-fuzz pass over every target, starting from the committed
 # seed corpora in testdata/fuzz. Catches shallow panics and round-trip

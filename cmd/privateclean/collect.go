@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"privateclean/internal/atomicio"
+	"privateclean/internal/collect"
+	"privateclean/internal/faults"
+	"privateclean/internal/privacy"
+)
+
+// collectNotify, when set by a test, receives the bound listener address once
+// the collector is accepting connections.
+var collectNotify func(net.Addr)
+
+// cmdCollect runs the crash-safe LDP ingestion service: clients POST batches
+// of locally randomized reports, every accepted batch is WAL-logged before
+// the ack, and an asynchronous compactor folds segments into the
+// sufficient-statistics checkpoint that `query -stats` / `serve -stats`
+// consume.
+func cmdCollect(args []string) (err error) {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	dir := fs.String("dir", "", "collection directory: WAL under dir/wal, checkpoint at dir/store.json (required)")
+	metaPath := fs.String("meta", "", "mechanism metadata JSON every client randomized under (required)")
+	addr := fs.String("addr", ":8081", "listen address (host:port; use :0 for an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once serving (for scripts; robust with :0)")
+	fsyncPolicy := fs.String("fsync", "always", "WAL durability: always | interval | never")
+	syncEvery := fs.Duration("sync-every", 100*time.Millisecond, "fsync cadence under -fsync interval")
+	segmentBytes := fs.Int64("segment-bytes", collect.DefaultSegmentBytes, "WAL segment rotation threshold in bytes")
+	maxInflight := fs.Int("max-inflight", collect.DefaultMaxInFlight, "concurrent batch bound; excess requests get 429")
+	maxBatch := fs.Int("max-batch", collect.DefaultMaxBatchReports, "maximum reports per batch")
+	compactEvery := fs.Duration("compact-every", 5*time.Second, "background compaction cadence (0 disables; compaction still runs at startup, on stats reads, and on drain)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline; expiry force-closes in-flight requests (the WAL still flushes)")
+	tf := addTelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return faults.Wrap(faults.ErrUsage, err)
+	}
+	if *dir == "" || *metaPath == "" {
+		return faults.Errorf(faults.ErrUsage, "collect: -dir and -meta are required")
+	}
+	policy, err := collect.ParseSyncPolicy(*fsyncPolicy)
+	if err != nil {
+		return err
+	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	tel.Redact.Allow(*dir, *metaPath, *addr, *fsyncPolicy)
+
+	meta, err := readMeta(*metaPath)
+	if err != nil {
+		return err
+	}
+	svc, err := collect.New(collect.Config{
+		Dir:             *dir,
+		Meta:            meta,
+		Fsync:           policy,
+		SyncEvery:       *syncEvery,
+		SegmentBytes:    *segmentBytes,
+		MaxInFlight:     *maxInflight,
+		MaxBatchReports: *maxBatch,
+		CompactEvery:    *compactEvery,
+		Tel:             tel,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ready := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- svc.ListenAndServe(*addr, ready) }()
+
+	select {
+	case bound := <-ready:
+		fmt.Printf("collecting on %s\n", bound)
+		tel.Log.Info("collect started", "op", "collect", "fsync", *fsyncPolicy)
+		if *addrFile != "" {
+			// Written atomically so a watcher never reads a half address.
+			if werr := atomicio.WriteFileBytes(*addrFile, []byte(bound.String()+"\n")); werr != nil {
+				return werr
+			}
+		}
+		if collectNotify != nil {
+			collectNotify(bound)
+		}
+	case err := <-errCh:
+		return err
+	}
+
+	select {
+	case <-ctx.Done():
+		stop()
+		tel.Log.Info("collect draining", "op", "collect")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		serr := svc.Shutdown(dctx)
+		// Collect the Serve goroutine's exit so nothing leaks.
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return serr
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// cmdReport is the client side of collection: read a raw CSV, randomize each
+// row locally under the mechanism (privacy.PrivatizeRecord with a per-row
+// seeded stream), and POST the reports to a collector in batches. Batch IDs
+// are derived from the batch content, so rerunning the same command after a
+// crash re-posts byte-identical batches that the collector deduplicates —
+// the client-side half of exactly-once.
+func cmdReport(args []string) (err error) {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	in := fs.String("in", "", "raw CSV to randomize and ship (required; never leaves this process un-randomized)")
+	metaPath := fs.String("meta", "", "mechanism metadata JSON (required; must match the collector's)")
+	url := fs.String("url", "", "collector base URL, e.g. http://127.0.0.1:8081 (required)")
+	batchSize := fs.Int("batch", 64, "reports per POST")
+	seed := fs.Int64("seed", 1, "base seed for the per-row randomization streams")
+	retries := fs.Int("retries", 8, "attempts per batch when the collector sheds (429) or reports transient failure (5xx)")
+	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return faults.Wrap(faults.ErrUsage, err)
+	}
+	if *in == "" || *metaPath == "" || *url == "" {
+		return faults.Errorf(faults.ErrUsage, "report: -in, -meta and -url are required")
+	}
+	if *batchSize <= 0 {
+		return faults.Errorf(faults.ErrUsage, "report: -batch must be positive")
+	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	tel.Redact.Allow(*in, *metaPath, *url)
+
+	meta, err := readMeta(*metaPath)
+	if err != nil {
+		return err
+	}
+	mech := privacy.MechanismFor(meta)
+	r, err := cf.load(*in)
+	if err != nil {
+		return err
+	}
+
+	reports := make([]privacy.Report, 0, r.NumRows())
+	for i := 0; i < r.NumRows(); i++ {
+		row, rerr := r.Row(i)
+		if rerr != nil {
+			return faults.Wrap(faults.ErrInternal, rerr)
+		}
+		rep, rerr := privacy.PrivatizeRecord(privacy.StreamRand(*seed, i), meta, row.Discrete, row.Numeric)
+		if rerr != nil {
+			return rerr
+		}
+		reports = append(reports, rep)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	posted, duplicates := 0, 0
+	for start := 0; start < len(reports); start += *batchSize {
+		end := start + *batchSize
+		if end > len(reports) {
+			end = len(reports)
+		}
+		batch := collect.Batch{
+			ID:        batchID(mech.Fingerprint, start, reports[start:end]),
+			Mechanism: mech.Fingerprint,
+			Reports:   reports[start:end],
+		}
+		dup, perr := postBatch(client, *url, batch, *retries)
+		if perr != nil {
+			return perr
+		}
+		posted++
+		if dup {
+			duplicates++
+		}
+		tel.Log.Debug("batch acked", "op", "report", "reports", end-start, "duplicate", dup)
+	}
+	fmt.Printf("reported %d rows in %d batches (%d already known to the collector)\n",
+		len(reports), posted, duplicates)
+	tel.Log.Info("report finished", "op", "report", "rows", len(reports), "batches", posted, "duplicates", duplicates)
+	return nil
+}
+
+// batchID derives a deterministic batch identifier from the mechanism, the
+// batch's position, and its exact report content. The same input CSV, seed,
+// and batch size always reproduce the same IDs, so a rerun after a client or
+// collector crash is deduplicated instead of double-counted.
+func batchID(fingerprint string, start int, reports []privacy.Report) string {
+	h := sha256.New()
+	io.WriteString(h, fingerprint)
+	fmt.Fprintf(h, "|%d|", start)
+	enc := json.NewEncoder(h)
+	for _, rep := range reports {
+		enc.Encode(rep)
+	}
+	return "r-" + hex.EncodeToString(h.Sum(nil))[:40]
+}
+
+// postBatch POSTs one batch, honoring Retry-After on 429/503 shedding.
+// Anything other than 200/accepted after the retry budget is a hard error.
+func postBatch(client *http.Client, base string, batch collect.Batch, retries int) (duplicate bool, err error) {
+	payload, err := json.Marshal(batch)
+	if err != nil {
+		return false, faults.Wrap(faults.ErrInternal, err)
+	}
+	for attempt := 0; ; attempt++ {
+		resp, perr := client.Post(base+"/v1/report", "application/json", bytes.NewReader(payload))
+		if perr != nil {
+			return false, faults.Wrap(faults.ErrPartialWrite, perr)
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return false, faults.Wrap(faults.ErrPartialWrite, rerr)
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var ack struct {
+				Duplicate bool `json:"duplicate"`
+			}
+			if jerr := json.Unmarshal(body, &ack); jerr != nil {
+				return false, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("report: unreadable ack: %w", jerr))
+			}
+			return ack.Duplicate, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			if attempt >= retries {
+				return false, faults.Errorf(faults.ErrPartialWrite,
+					"report: collector still shedding after %d attempts (HTTP %d)", attempt+1, resp.StatusCode)
+			}
+			time.Sleep(retryAfter(resp))
+		default:
+			return false, faults.Errorf(faults.ErrBadParams,
+				"report: collector rejected batch %s: HTTP %d: %s", batch.ID, resp.StatusCode, bytes.TrimSpace(body))
+		}
+	}
+}
+
+// retryAfter reads the Retry-After header (seconds), defaulting to a short
+// pause so shed batches back off without stalling the upload.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 250 * time.Millisecond
+}

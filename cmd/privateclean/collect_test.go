@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startCollector runs `privateclean collect` against dir in a goroutine and
+// returns its base URL plus the exit channel. The caller SIGTERMs the process
+// to stop it.
+func startCollector(t *testing.T, dir, meta string) (string, chan error) {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	collectNotify = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { collectNotify = nil })
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"collect", "-dir", dir, "-meta", meta,
+			"-addr", "127.0.0.1:0", "-fsync", "never", "-compact-every", "0"})
+	}()
+	select {
+	case a := <-addrCh:
+		return "http://" + a.String(), done
+	case err := <-done:
+		t.Fatalf("collect exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("collect did not come up")
+	}
+	return "", nil
+}
+
+func stopCollector(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("collect shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("collect did not shut down on SIGTERM")
+	}
+}
+
+// TestCollectReportRoundtrip drives the full client->collector->analyst path
+// through the CLI: derive a mechanism with privatize, ship the raw CSV with
+// `report`, verify rerunning `report` deduplicates every batch, and query the
+// drained checkpoint with `query -stats`.
+func TestCollectReportRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTempCSV(t, dir)
+	private := filepath.Join(dir, "private.csv")
+	meta := filepath.Join(dir, "meta.json")
+	if err := run([]string{"privatize", "-in", data, "-out", private, "-meta", meta,
+		"-p", "0.2", "-b", "0.5", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+
+	cdir := filepath.Join(dir, "collect")
+	base, done := startCollector(t, cdir, meta)
+
+	reportArgs := []string{"report", "-in", data, "-meta", meta, "-url", base,
+		"-batch", "64", "-seed", "3"}
+	out := captureStdout(t, func() error { return run(reportArgs) })
+	if !strings.Contains(out, "reported 600 rows in 10 batches (0 already known to the collector)") {
+		t.Fatalf("first report output %q", out)
+	}
+
+	// The live stats endpoint serves the `pc stats` format (and folds the
+	// WAL, so the batches become visible to duplicate detection).
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats: status %d: %s", resp.StatusCode, served)
+	}
+
+	// Deterministic batch IDs: the identical rerun is fully deduplicated.
+	out = captureStdout(t, func() error { return run(reportArgs) })
+	if !strings.Contains(out, "reported 600 rows in 10 batches (10 already known to the collector)") {
+		t.Fatalf("rerun report output %q", out)
+	}
+
+	stopCollector(t, done)
+
+	// After the drain, the checkpoint matches what the endpoint served and is
+	// directly queryable.
+	ckpt, err := os.ReadFile(filepath.Join(cdir, "store.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf struct {
+		Stats map[string]any `json:"stats"`
+	}
+	if jerr := json.Unmarshal(ckpt, &cf); jerr != nil {
+		t.Fatalf("checkpoint not JSON: %v", jerr)
+	}
+	if cf.Stats == nil {
+		t.Fatal("checkpoint has no folded stats")
+	}
+	statsFile := filepath.Join(dir, "collected-stats.json")
+	if err := os.WriteFile(statsFile, served, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qout := captureStdout(t, func() error {
+		return run([]string{"query", "-stats", statsFile, "-meta", meta,
+			"SELECT count(1) FROM R WHERE major = 'Math'"})
+	})
+	if cliEstimate(t, qout) == "" {
+		t.Fatalf("no estimate from collected stats: %q", qout)
+	}
+}
+
+// TestCollectReportFlagValidation covers the usage errors of both commands.
+func TestCollectReportFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"collect"},
+		{"collect", "-dir", "x"},
+		{"collect", "-dir", "x", "-meta", "m.json", "-fsync", "sometimes"},
+		{"report"},
+		{"report", "-in", "x.csv", "-meta", "m.json"},
+		{"report", "-in", "x.csv", "-meta", "m.json", "-url", "http://h", "-batch", "0"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("%v should fail", args)
+		}
+	}
+}

@@ -82,6 +82,10 @@ func run(args []string) (err error) {
 		return cmdQuery(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "collect":
+		return cmdCollect(args[1:])
+	case "report":
+		return cmdReport(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -103,6 +107,8 @@ subcommands:
   stats      stream a private CSV into sufficient statistics for count/sum/avg
   query      estimate a sum/count/avg query on a (cleaned) private CSV
   serve      run a long-lived HTTP query service over one private view
+  collect    run a crash-safe WAL-backed ingestion service for LDP reports
+  report     randomize a raw CSV locally and ship it to a collector in batches
   explain    show the channel parameters (p, N, l, tau) behind a query
   describe   profile a CSV: per-column kind, distinct counts, ranges
 
@@ -224,17 +230,21 @@ func (cf *csvFlags) load(path string) (*relation.Relation, error) {
 	tel := telemetry.Default()
 	tel.Redact.Allow(path)
 	opts := csvio.Options{ForceKinds: cf.forceKinds(), OnRowError: policy, Tel: tel}
-	if policy == csvio.RowErrorQuarantine {
-		qpath := cf.quarantinePath(path)
-		tel.Redact.Allow(qpath)
-		q, err := os.Create(qpath)
-		if err != nil {
-			return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("quarantine sidecar: %w", err))
-		}
-		defer q.Close()
-		opts.Quarantine = q
+	if policy != csvio.RowErrorQuarantine {
+		r, _, err := csvio.ReadFileWithReport(path, opts)
+		return r, err
 	}
-	r, _, err := csvio.ReadFileWithReport(path, opts)
+	// The sidecar lands atomically: a crash mid-load cannot tear it, and a
+	// failed load leaves a pre-existing sidecar untouched.
+	qpath := cf.quarantinePath(path)
+	tel.Redact.Allow(qpath)
+	var r *relation.Relation
+	err = atomicio.WriteFileKeep(qpath, func(w io.Writer) error {
+		opts.Quarantine = w
+		var rerr error
+		r, _, rerr = csvio.ReadFileWithReport(path, opts)
+		return rerr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -795,17 +805,20 @@ func openChunks(cf *csvFlags, path string) (*csvio.ChunkIterator, *csvio.Profile
 	tel := telemetry.Default()
 	tel.Redact.Allow(path)
 	opts := csvio.Options{ForceKinds: cf.forceKinds(), OnRowError: policy, Tel: tel}
+	var prof *csvio.Profile
 	if policy == csvio.RowErrorQuarantine {
+		// The sidecar lands atomically, exactly as cf.load writes it.
 		qpath := cf.quarantinePath(path)
 		tel.Redact.Allow(qpath)
-		q, err := os.Create(qpath)
-		if err != nil {
-			return nil, nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("quarantine sidecar: %w", err))
-		}
-		defer q.Close()
-		opts.Quarantine = q
+		err = atomicio.WriteFileKeep(qpath, func(w io.Writer) error {
+			opts.Quarantine = w
+			var perr error
+			prof, perr = csvio.ProfileFile(path, opts)
+			return perr
+		})
+	} else {
+		prof, err = csvio.ProfileFile(path, opts)
 	}
-	prof, err := csvio.ProfileFile(path, opts)
 	if err != nil {
 		return nil, nil, err
 	}

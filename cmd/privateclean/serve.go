@@ -9,7 +9,6 @@ import (
 	"net/http"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"privateclean/internal/atomicio"
 	"privateclean/internal/estimator"
@@ -36,7 +35,8 @@ func cmdServe(args []string) (err error) {
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once serving (for scripts; robust with :0)")
 	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-query deadline before a 408 response")
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInFlight, "concurrent query bound; excess requests get 429")
-	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	drainTimeout := fs.Duration("drain-timeout", server.DefaultDrainTimeout, "graceful-shutdown drain deadline; expiry force-closes in-flight requests")
+	drain := fs.Duration("drain", 0, "deprecated alias for -drain-timeout")
 	cf := addCSVFlags(fs)
 	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -72,15 +72,19 @@ func cmdServe(args []string) (err error) {
 		}
 	}
 
+	if *drain > 0 && *drainTimeout == server.DefaultDrainTimeout {
+		*drainTimeout = *drain
+	}
 	srv, err := server.New(server.Config{
-		Rel:         r,
-		Stats:       st,
-		Meta:        meta,
-		Prov:        prov,
-		Confidence:  *confidence,
-		Timeout:     *timeout,
-		MaxInFlight: *maxInflight,
-		Tel:         tel,
+		Rel:          r,
+		Stats:        st,
+		Meta:         meta,
+		Prov:         prov,
+		Confidence:   *confidence,
+		Timeout:      *timeout,
+		MaxInFlight:  *maxInflight,
+		DrainTimeout: *drainTimeout,
+		Tel:          tel,
 	})
 	if err != nil {
 		return err
@@ -120,9 +124,7 @@ func cmdServe(args []string) (err error) {
 	case <-ctx.Done():
 		stop()
 		tel.Log.Info("serve draining", "op", "serve")
-		dctx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if serr := srv.Shutdown(dctx); serr != nil {
+		if serr := srv.Drain(); serr != nil {
 			return serr
 		}
 		// Collect the Serve goroutine's exit so nothing leaks.

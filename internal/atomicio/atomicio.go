@@ -25,7 +25,21 @@ import (
 // cross filesystems. On any failure the temp file is removed and the
 // destination is untouched; write-side failures are classified as
 // faults.ErrPartialWrite.
-func WriteFile(path string, write func(io.Writer) error) (err error) {
+func WriteFile(path string, write func(io.Writer) error) error {
+	return writeFile(path, write, true)
+}
+
+// WriteFileKeep is WriteFile except that an error returned by the write
+// callback is propagated unmodified instead of being classified as
+// faults.ErrPartialWrite. Use it when the callback runs a larger pipeline
+// (e.g. a CSV load emitting a quarantine sidecar) whose failures carry their
+// own taxonomy kinds that callers branch on; the atomicity guarantee — old
+// file or new file, never a torn one — is identical.
+func WriteFileKeep(path string, write func(io.Writer) error) error {
+	return writeFile(path, write, false)
+}
+
+func writeFile(path string, write func(io.Writer) error, classify bool) (err error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
@@ -41,6 +55,9 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 		}
 	}()
 	if err := write(tmp); err != nil {
+		if !classify {
+			return err
+		}
 		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("atomicio: writing %s: %w", path, err))
 	}
 	if err := tmp.Sync(); err != nil {

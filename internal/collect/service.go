@@ -1,0 +1,606 @@
+package collect
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/privacy"
+	"privateclean/internal/relation"
+	"privateclean/internal/telemetry"
+)
+
+// DefaultMaxInFlight bounds concurrently executing /v1/report requests when
+// Config.MaxInFlight is zero.
+const DefaultMaxInFlight = 64
+
+// DefaultMaxBatchReports bounds one batch when Config.MaxBatchReports is
+// zero.
+const DefaultMaxBatchReports = 4096
+
+// maxBatchBytes caps a /v1/report body.
+const maxBatchBytes = 8 << 20
+
+// maxBatchIDLen bounds a batch ID; IDs are client-chosen idempotency keys,
+// not storage.
+const maxBatchIDLen = 256
+
+// StoreFileName is the checkpoint file inside the collection directory;
+// WALDirName holds the segments.
+const (
+	StoreFileName = "store.json"
+	WALDirName    = "wal"
+)
+
+// Config assembles a Service. Dir and Meta are required.
+type Config struct {
+	// Dir is the collection directory: WAL segments under Dir/wal, the
+	// statistics checkpoint at Dir/store.json.
+	Dir string
+	// Meta is the mechanism metadata every client randomized under. Its
+	// fingerprint (privacy.MechanismFingerprint) pins the collection: a
+	// batch declaring a different fingerprint is rejected.
+	Meta *privacy.ViewMeta
+	// Fsync selects WAL durability (default SyncAlways); SyncEvery the
+	// interval-policy cadence.
+	Fsync     SyncPolicy
+	SyncEvery time.Duration
+	// SegmentBytes is the WAL rotation threshold (default
+	// DefaultSegmentBytes).
+	SegmentBytes int64
+	// MaxInFlight bounds concurrently admitted batches; excess requests are
+	// shed with 429 (default DefaultMaxInFlight).
+	MaxInFlight int
+	// MaxBatchReports bounds one batch (default DefaultMaxBatchReports).
+	MaxBatchReports int
+	// CompactEvery is the background compaction cadence. Zero or negative
+	// disables the background compactor; compaction then happens only at
+	// startup, on /v1/stats reads, on drain, and via explicit Compact calls
+	// (tests use this for determinism).
+	CompactEvery time.Duration
+	// Tel is the telemetry set (default telemetry.Default()).
+	Tel *telemetry.Set
+
+	// walTap forwards to Options.tapWriter for write-fault injection.
+	walTap func(io.Writer) io.Writer
+}
+
+// Service is the LDP collection endpoint:
+//
+//	POST /v1/report  {"batch_id", "mechanism", "reports": [...]} -> ack after WAL append
+//	GET  /v1/stats   current folded statistics (the `pc stats` JSON format)
+//	GET  /healthz    liveness
+//	GET  /metrics    Prometheus text exposition
+type Service struct {
+	meta     *privacy.ViewMeta
+	mech     string
+	schema   relation.Schema
+	wal      *WAL
+	store    *Store
+	tel      *telemetry.Set
+	sem      chan struct{}
+	maxBatch int
+
+	// cmu serializes compaction (startup replay, ticker, stats reads,
+	// drain).
+	cmu sync.Mutex
+
+	mu          sync.Mutex
+	httpSrv     *http.Server
+	stopCompact chan struct{}
+	compactDone chan struct{}
+
+	// testHook, when set, runs inside /v1/report handling after admission;
+	// tests use it to hold requests in flight deterministically.
+	testHook func()
+}
+
+// SchemaFor derives the collection schema a mechanism induces: every
+// discrete attribute then every numeric attribute, each group in sorted-name
+// order. Deterministic so independent runs (and the batch pipeline's
+// equality test) agree on column order.
+func SchemaFor(meta *privacy.ViewMeta) (relation.Schema, error) {
+	var cols []relation.Column
+	names := make([]string, 0, len(meta.Discrete))
+	for name := range meta.Discrete {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cols = append(cols, relation.Column{Name: name, Kind: relation.Discrete})
+	}
+	names = names[:0]
+	for name := range meta.Numeric {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cols = append(cols, relation.Column{Name: name, Kind: relation.Numeric})
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return relation.Schema{}, faults.Wrap(faults.ErrBadMeta, err)
+	}
+	return schema, nil
+}
+
+// New validates cfg, recovers the WAL and store from Dir, replays any
+// durable-but-unfolded segments, and returns a Service ready to accept
+// reports. Recovery is loud: a corrupt sealed segment or checkpoint refuses
+// to start rather than serving undercounted statistics.
+func New(cfg Config) (*Service, error) {
+	if cfg.Dir == "" {
+		return nil, faults.Errorf(faults.ErrUsage, "collect: need a collection directory")
+	}
+	if cfg.Meta == nil {
+		return nil, faults.Errorf(faults.ErrBadMeta, "collect: nil mechanism metadata")
+	}
+	if err := cfg.Meta.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxBatchReports <= 0 {
+		cfg.MaxBatchReports = DefaultMaxBatchReports
+	}
+	tel := cfg.Tel
+	if tel == nil {
+		tel = telemetry.Default()
+	}
+	// Endpoint paths, policy names, and collect-specific outcome codes
+	// appear as metric labels and log values; all code-chosen, none data.
+	tel.Redact.Allow("/v1/report", "/v1/stats", "/healthz", "/metrics",
+		"collect", "wal_recover", "wal_rotate", "compact", "drain", "shed",
+		"method_not_allowed", "not_found", "mechanism_mismatch", "bad_batch",
+		"always", "interval", "never",
+		"200", "400", "404", "405", "413", "422", "429", "500", "503")
+	schema, err := SchemaFor(cfg.Meta)
+	if err != nil {
+		return nil, err
+	}
+	mech := privacy.MechanismFingerprint(cfg.Meta)
+	wal, err := Open(filepath.Join(cfg.Dir, WALDirName), Options{
+		SegmentBytes: cfg.SegmentBytes,
+		Policy:       cfg.Fsync,
+		SyncEvery:    cfg.SyncEvery,
+		Tel:          tel,
+		tapWriter:    cfg.walTap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	store, err := OpenStore(filepath.Join(cfg.Dir, StoreFileName), schema, mech)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	s := &Service{
+		meta:     cfg.Meta,
+		mech:     mech,
+		schema:   schema,
+		wal:      wal,
+		store:    store,
+		tel:      tel,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		maxBatch: cfg.MaxBatchReports,
+	}
+	// Startup replay: seal whatever the previous process left in the active
+	// segment, then fold every sealed segment. After this the statistics
+	// reflect every acknowledged batch that reached stable storage.
+	if _, err := s.Compact(); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	rec := wal.Recovery()
+	tel.Log.Info("collector recovered", "op", "wal_recover",
+		"segments", rec.Segments, "records", rec.Records,
+		"truncated_bytes", rec.TruncatedBytes, "rows", store.Rows(),
+		"fsync", cfg.Fsync.String())
+	if cfg.CompactEvery > 0 {
+		s.stopCompact = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.compactLoop(cfg.CompactEvery)
+	}
+	return s, nil
+}
+
+// Mechanism returns the pinned mechanism fingerprint.
+func (s *Service) Mechanism() string { return s.mech }
+
+// compactLoop is the background compactor: rotate-if-nonempty then fold, on
+// a fixed cadence, until Shutdown.
+func (s *Service) compactLoop(every time.Duration) {
+	defer close(s.compactDone)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCompact:
+			return
+		case <-ticker.C:
+			if _, err := s.Compact(); err != nil {
+				s.tel.Log.Error("background compaction failed", "op", "compact", telemetry.ErrAttr(err))
+			}
+		}
+	}
+}
+
+// Compact seals the active segment (when nonempty) and folds every sealed
+// segment into the store in sequence order, deleting each segment after its
+// fold checkpoints. Segments at or below the store watermark are deleted
+// without folding — they are the crash window between a checkpoint write and
+// a segment delete. Returns the number of batches folded.
+func (s *Service) Compact() (int, error) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if _, err := s.wal.Rotate(); err != nil {
+		return 0, err
+	}
+	segs, err := s.wal.Sealed()
+	if err != nil {
+		return 0, err
+	}
+	folded := 0
+	for _, seg := range segs {
+		if seg.Seq <= s.store.AppliedSeq() {
+			if err := os.Remove(seg.Path); err != nil && !os.IsNotExist(err) {
+				return folded, faults.Wrap(faults.ErrPartialWrite, err)
+			}
+			continue
+		}
+		payloads, err := ReadSegment(seg.Path)
+		if err != nil {
+			return folded, err
+		}
+		n, err := s.store.Fold(seg.Seq, payloads)
+		if err != nil {
+			return folded, err
+		}
+		folded += n
+		if n < len(payloads) {
+			s.tel.Metrics.Counter("privateclean_collect_duplicate_batches_total",
+				"Batches skipped during folding because their ID already folded.").Add(float64(len(payloads) - n))
+		}
+		if err := os.Remove(seg.Path); err != nil && !os.IsNotExist(err) {
+			return folded, faults.Wrap(faults.ErrPartialWrite, err)
+		}
+		s.tel.Metrics.Counter("privateclean_collect_segments_compacted_total",
+			"WAL segments folded into the statistics store.").Inc()
+	}
+	s.tel.Metrics.Counter("privateclean_collect_compactions_total",
+		"Compaction passes over the WAL.").Inc()
+	return folded, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/report", s.instrument("/v1/report", s.handleReport))
+	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	return mux
+}
+
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+type errorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument mirrors internal/server's request metrics: counter, latency
+// histogram, in-flight gauge; labels carry the route and status only.
+func (s *Service) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		inflight := s.tel.Metrics.Gauge("privateclean_http_inflight",
+			"Requests currently being handled.", telemetry.L("path", path))
+		inflight.Add(1)
+		defer func() {
+			inflight.Add(-1)
+			s.tel.Metrics.Counter("privateclean_http_requests_total",
+				"HTTP requests, by route and status.",
+				telemetry.L("path", path), telemetry.L("status", fmt.Sprintf("%d", rec.status))).Inc()
+			s.tel.Metrics.Histogram("privateclean_http_request_seconds",
+				"Wall time of HTTP request handling.",
+				telemetry.DurationBuckets, telemetry.L("path", path)).Observe(time.Since(start).Seconds())
+		}()
+		h(rec, r)
+	}
+}
+
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		status = http.StatusInternalServerError
+		body, _ = json.MarshalIndent(errorBody{Error: errorInfo{
+			Code:    "internal",
+			Message: "encoding response: " + err.Error(),
+		}}, "", "  ")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+func (s *Service) writeError(w http.ResponseWriter, status int, code, message string) {
+	s.writeJSON(w, status, errorBody{Error: errorInfo{Code: code, Message: message}})
+}
+
+// httpStatusFor maps a classified error to its status and wire code,
+// mirroring internal/server: client-shaped input is 4xx, durability failures
+// are 503 (retryable — the client should repost the batch).
+func httpStatusFor(err error) (int, string) {
+	switch faults.Kind(err) {
+	case faults.ErrUsage, faults.ErrBadQuery:
+		return http.StatusBadRequest, telemetry.FaultCode(err)
+	case faults.ErrBadInput, faults.ErrBadMeta, faults.ErrBadParams:
+		return http.StatusUnprocessableEntity, telemetry.FaultCode(err)
+	case faults.ErrInternal:
+		return http.StatusInternalServerError, "internal"
+	case faults.ErrCorruptCheckpoint, faults.ErrPartialWrite:
+		return http.StatusServiceUnavailable, telemetry.FaultCode(err)
+	default:
+		return http.StatusBadRequest, "bad_batch"
+	}
+}
+
+// reportResponse acknowledges one batch.
+type reportResponse struct {
+	BatchID   string `json:"batch_id"`
+	Reports   int    `json:"reports"`
+	Duplicate bool   `json:"duplicate"`
+}
+
+// validateBatch vets a decoded batch against the pinned mechanism. Only
+// attribute *names* and value shapes are checked; discrete values outside
+// the released domain are accepted (the batch path's domains are
+// data-derived too), but attributes the mechanism does not cover are
+// rejected — they were not randomized under the channel the estimator will
+// invert.
+func (s *Service) validateBatch(b *Batch) (status int, code, msg string) {
+	if b.ID == "" || len(b.ID) > maxBatchIDLen {
+		return http.StatusBadRequest, "bad_batch", fmt.Sprintf("batch_id must be 1..%d bytes", maxBatchIDLen)
+	}
+	if b.Mechanism != s.mech {
+		return http.StatusUnprocessableEntity, "mechanism_mismatch",
+			"batch was randomized under a different mechanism than this collector serves"
+	}
+	if len(b.Reports) == 0 {
+		return http.StatusBadRequest, "bad_batch", "batch has no reports"
+	}
+	if len(b.Reports) > s.maxBatch {
+		return http.StatusRequestEntityTooLarge, "bad_batch",
+			fmt.Sprintf("batch of %d reports exceeds the %d-report bound", len(b.Reports), s.maxBatch)
+	}
+	for i, rep := range b.Reports {
+		for name := range rep.Discrete {
+			if _, ok := s.meta.Discrete[name]; !ok {
+				return http.StatusUnprocessableEntity, "bad_batch",
+					fmt.Sprintf("report %d: unknown discrete attribute %q", i, name)
+			}
+		}
+		for name, x := range rep.Numeric {
+			if _, ok := s.meta.Numeric[name]; !ok {
+				return http.StatusUnprocessableEntity, "bad_batch",
+					fmt.Sprintf("report %d: unknown numeric attribute %q", i, name)
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return http.StatusUnprocessableEntity, "bad_batch",
+					fmt.Sprintf("report %d: non-finite value for %q", i, name)
+			}
+		}
+	}
+	return 0, "", ""
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST a JSON batch to /v1/report")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_batch", "reading request body: "+err.Error())
+		return
+	}
+	var b Batch
+	if err := json.Unmarshal(body, &b); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_batch",
+			`body must be JSON {"batch_id", "mechanism", "reports": [...]}: `+err.Error())
+		return
+	}
+	if status, code, msg := s.validateBatch(&b); status != 0 {
+		s.writeError(w, status, code, msg)
+		return
+	}
+
+	// Bounded admission: a full semaphore sheds immediately with a
+	// Retry-After hint rather than queueing WAL appends unboundedly.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		s.tel.Metrics.Counter("privateclean_http_shed_total",
+			"Requests shed with 429 because MaxInFlight was reached.").Inc()
+		s.writeError(w, http.StatusTooManyRequests, "shed", "collector at capacity; retry")
+		return
+	}
+	defer func() { <-s.sem }()
+	if s.testHook != nil {
+		s.testHook()
+	}
+
+	// A batch that already folded is acknowledged without a second append —
+	// the client is retrying an ack it lost, and the data is already
+	// counted. Duplicates still in the WAL (not yet folded) do get appended
+	// again; the fold path deduplicates them by ID.
+	if s.store.HasBatch(b.ID) {
+		s.tel.Metrics.Counter("privateclean_collect_duplicate_batches_total",
+			"Batches skipped during folding because their ID already folded.").Inc()
+		s.writeJSON(w, http.StatusOK, reportResponse{BatchID: b.ID, Reports: len(b.Reports), Duplicate: true})
+		return
+	}
+
+	// Re-marshal canonically: the WAL stores this struct's rendering, not
+	// the client's raw bytes, so replay decodes exactly what validation saw.
+	payload, err := json.Marshal(Batch{ID: b.ID, Mechanism: b.Mechanism, Reports: b.Reports})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", "encoding batch: "+err.Error())
+		return
+	}
+	if _, err := s.wal.Append(payload); err != nil {
+		status, code := httpStatusFor(err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		s.tel.Log.Error("batch append failed", "op", "collect", telemetry.ErrAttr(err))
+		s.writeError(w, status, code, err.Error())
+		return
+	}
+	s.tel.Metrics.Counter("privateclean_collect_batches_accepted_total",
+		"Batches acknowledged after a durable WAL append.").Inc()
+	s.tel.Metrics.Counter("privateclean_collect_reports_accepted_total",
+		"Reports acknowledged after a durable WAL append.").Add(float64(len(b.Reports)))
+	s.writeJSON(w, http.StatusOK, reportResponse{BatchID: b.ID, Reports: len(b.Reports)})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET /v1/stats")
+		return
+	}
+	// Compact-on-read so the response reflects every acknowledged batch,
+	// not just those the background cadence has folded.
+	if _, err := s.Compact(); err != nil {
+		status, code := httpStatusFor(err)
+		s.tel.Log.Error("stats compaction failed", "op", "compact", telemetry.ErrAttr(err))
+		s.writeError(w, status, code, err.Error())
+		return
+	}
+	body, err := s.store.MarshalStats()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.tel.Metrics.WritePrometheus(w)
+}
+
+// Serve accepts connections on l until Shutdown; http.ErrServerClosed after
+// a clean shutdown.
+func (s *Service) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
+	return srv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown, reporting the
+// bound address through ready (useful with ":0"); pass nil when not needed.
+func (s *Service) ListenAndServe(addr string, ready chan<- net.Addr) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return faults.Wrap(faults.ErrUsage, err)
+	}
+	if ready != nil {
+		ready <- l.Addr()
+	}
+	return s.Serve(l)
+}
+
+// Shutdown is the graceful drain: stop accepting connections and wait out
+// in-flight requests (up to ctx's deadline), stop the background compactor,
+// seal and fold everything in the WAL, and close it. After a nil return
+// every acknowledged batch is folded into the checkpoint on disk.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.mu.Unlock()
+	var httpErr error
+	if srv != nil {
+		httpErr = srv.Shutdown(ctx)
+		if errors.Is(httpErr, http.ErrServerClosed) {
+			httpErr = nil
+		}
+		if httpErr != nil {
+			// The deadline expired with requests in flight: force-close so
+			// the drain cannot hang, and surface a typed fault — aborted
+			// responses are partial writes from the clients' view.
+			srv.Close()
+			httpErr = faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("collect: drain aborted in-flight requests: %w", httpErr))
+			s.tel.Metrics.Counter("privateclean_http_drain_aborts_total",
+				"Graceful drains that hit their deadline and force-closed connections.").Inc()
+			s.tel.Log.Error("drain deadline forced connection abort", "op", "drain", telemetry.ErrAttr(httpErr))
+		}
+	}
+	s.stopCompactor()
+	if _, err := s.Compact(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	s.tel.Log.Info("collector drained", "op", "drain", "rows", s.store.Rows(), "batches", s.store.BatchCount())
+	return httpErr
+}
+
+func (s *Service) stopCompactor() {
+	s.mu.Lock()
+	stop, done := s.stopCompact, s.compactDone
+	s.stopCompact, s.compactDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// abort is the in-process stand-in for kill -9 in tests: stop the compactor
+// goroutine (a real kill would take it down too) and drop the WAL file
+// handle without syncing, folding, or draining anything.
+func (s *Service) abort() {
+	s.stopCompactor()
+	s.wal.abort()
+}

@@ -1,0 +1,379 @@
+package collect
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"privateclean/internal/estimator"
+	"privateclean/internal/privacy"
+	"privateclean/internal/telemetry"
+)
+
+func collectMeta() *privacy.ViewMeta {
+	return &privacy.ViewMeta{
+		Discrete: map[string]privacy.DiscreteMeta{
+			"major": {Name: "major", P: 0.25, Domain: []string{"CS", "EE", "ME"}},
+		},
+		Numeric: map[string]privacy.NumericMeta{
+			"score": {Name: "score", B: 2, Delta: 20},
+		},
+	}
+}
+
+func newTestService(t *testing.T, dir string, mutate func(*Config)) *Service {
+	t.Helper()
+	cfg := Config{Dir: dir, Meta: collectMeta(), Tel: telemetry.Noop()}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// makeBatches privatizes rows client-side with a deterministic per-row RNG,
+// so every test run (and every crash-recovery rerun) ships identical reports.
+func makeBatches(t *testing.T, meta *privacy.ViewMeta, seed int64, nBatches, perBatch int) []Batch {
+	t.Helper()
+	mech := privacy.MechanismFingerprint(meta)
+	majors := []string{"CS", "EE", "ME"}
+	batches := make([]Batch, nBatches)
+	row := 0
+	for i := range batches {
+		batches[i] = Batch{ID: fmt.Sprintf("batch-%03d", i), Mechanism: mech}
+		for j := 0; j < perBatch; j++ {
+			rep, err := privacy.PrivatizeRecord(privacy.StreamRand(seed, row), meta,
+				map[string]string{"major": majors[row%len(majors)]},
+				map[string]float64{"score": float64(50 + row%40)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batches[i].Reports = append(batches[i].Reports, rep)
+			row++
+		}
+	}
+	return batches
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	var r io.Reader
+	if body != nil {
+		r = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, r)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func postBatch(t *testing.T, h http.Handler, b Batch) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return do(t, h, http.MethodPost, "/v1/report", body)
+}
+
+func mustPost(t *testing.T, h http.Handler, b Batch) {
+	t.Helper()
+	if rec := postBatch(t, h, b); rec.Code != http.StatusOK {
+		t.Fatalf("POST %s = %d: %s", b.ID, rec.Code, rec.Body)
+	}
+}
+
+func getStats(t *testing.T, h http.Handler) []byte {
+	t.Helper()
+	rec := do(t, h, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d: %s", rec.Code, rec.Body)
+	}
+	return rec.Body.Bytes()
+}
+
+func TestServiceAcceptAndStats(t *testing.T) {
+	s := newTestService(t, t.TempDir(), nil)
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+	batches := makeBatches(t, collectMeta(), 1, 4, 5)
+	for _, b := range batches {
+		mustPost(t, h, b)
+	}
+	var st estimator.Statistics
+	if err := json.Unmarshal(getStats(t, h), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 20 {
+		t.Fatalf("stats rows = %d, want 20", st.Rows)
+	}
+	if _, ok := st.Numeric["score"]; !ok {
+		t.Fatal("stats missing score moments")
+	}
+	if len(st.Discrete["major"]) == 0 {
+		t.Fatal("stats missing major marginals")
+	}
+
+	// The stats bytes must equal what a direct collector over the same
+	// reports produces — the collected path and the batch path agree exactly.
+	schema, err := SchemaFor(collectMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := estimator.NewCollector()
+	for _, b := range batches {
+		win, err := (&Store{schema: schema}).window(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Add(win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := json.MarshalIndent(coll.Statistics(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := getStats(t, h); !bytes.Equal(got, append(want, '\n')) {
+		t.Fatalf("collected stats differ from direct-collector stats:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestServiceRejections(t *testing.T) {
+	s := newTestService(t, t.TempDir(), func(c *Config) { c.MaxBatchReports = 2 })
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+	mech := s.Mechanism()
+	rep := privacy.Report{Discrete: map[string]string{"major": "CS"}}
+
+	cases := []struct {
+		name string
+		body string
+		code int
+		errc string
+	}{
+		{"not json", `garbage`, 400, "bad_batch"},
+		{"no id", `{"mechanism":"` + mech + `","reports":[{}]}`, 400, "bad_batch"},
+		{"long id", `{"batch_id":"` + strings.Repeat("x", 300) + `","mechanism":"` + mech + `","reports":[{}]}`, 400, "bad_batch"},
+		{"wrong mechanism", `{"batch_id":"b","mechanism":"nope","reports":[{}]}`, 422, "mechanism_mismatch"},
+		{"empty batch", `{"batch_id":"b","mechanism":"` + mech + `","reports":[]}`, 400, "bad_batch"},
+		{"unknown discrete", `{"batch_id":"b","mechanism":"` + mech + `","reports":[{"discrete":{"ssn":"x"}}]}`, 422, "bad_batch"},
+		{"unknown numeric", `{"batch_id":"b","mechanism":"` + mech + `","reports":[{"numeric":{"salary":1}}]}`, 422, "bad_batch"},
+		{"non-finite", `{"batch_id":"b","mechanism":"` + mech + `","reports":[{"numeric":{"score":1e999}}]}`, 400, "bad_batch"},
+	}
+	for _, tc := range cases {
+		rec := do(t, h, http.MethodPost, "/v1/report", []byte(tc.body))
+		if rec.Code != tc.code {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.code, rec.Body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+			t.Fatalf("%s: non-JSON error body %q", tc.name, rec.Body)
+		}
+		if eb.Error.Code != tc.errc {
+			t.Fatalf("%s: code %q, want %q", tc.name, eb.Error.Code, tc.errc)
+		}
+	}
+
+	// Over the report bound -> 413.
+	big := Batch{ID: "big", Mechanism: mech, Reports: []privacy.Report{rep, rep, rep}}
+	if rec := postBatch(t, h, big); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch = %d, want 413", rec.Code)
+	}
+	// Wrong methods.
+	if rec := do(t, h, http.MethodGet, "/v1/report", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/report = %d, want 405", rec.Code)
+	}
+	if rec := do(t, h, http.MethodPost, "/v1/stats", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats = %d, want 405", rec.Code)
+	}
+}
+
+// TestServiceShed: with MaxInFlight=1 and one request parked inside the
+// handler, the next is shed with 429 and a Retry-After hint.
+func TestServiceShed(t *testing.T) {
+	s := newTestService(t, t.TempDir(), func(c *Config) { c.MaxInFlight = 1 })
+	defer s.Shutdown(context.Background())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHook = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	h := s.Handler()
+	batches := makeBatches(t, collectMeta(), 2, 2, 1)
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postBatch(t, h, batches[0]) }()
+	<-entered
+
+	rec := postBatch(t, h, batches[1])
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429 (%s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	close(release)
+	if rec := <-done; rec.Code != http.StatusOK {
+		t.Fatalf("parked request = %d, want 200 (%s)", rec.Code, rec.Body)
+	}
+	// Capacity freed: the shed batch succeeds on retry.
+	mustPost(t, h, batches[1])
+}
+
+// TestServiceDuplicates: a duplicate before compaction is re-appended but
+// folds once; a duplicate after folding is acknowledged without an append.
+func TestServiceDuplicates(t *testing.T) {
+	s := newTestService(t, t.TempDir(), nil)
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+	b := makeBatches(t, collectMeta(), 3, 1, 4)[0]
+
+	mustPost(t, h, b)
+	mustPost(t, h, b) // retry before any fold: lands in the WAL twice
+	var st estimator.Statistics
+	if err := json.Unmarshal(getStats(t, h), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 4 {
+		t.Fatalf("rows = %d after a pre-fold duplicate, want 4", st.Rows)
+	}
+
+	rec := postBatch(t, h, b) // retry after folding
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-fold duplicate = %d (%s)", rec.Code, rec.Body)
+	}
+	var resp reportResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Duplicate {
+		t.Fatal("post-fold duplicate must be acknowledged with duplicate=true")
+	}
+	if err := json.Unmarshal(getStats(t, h), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 4 {
+		t.Fatalf("rows = %d after a post-fold duplicate, want 4", st.Rows)
+	}
+}
+
+func TestServiceConfigErrors(t *testing.T) {
+	if _, err := New(Config{Meta: collectMeta()}); err == nil {
+		t.Fatal("missing Dir must fail")
+	}
+	if _, err := New(Config{Dir: t.TempDir()}); err == nil {
+		t.Fatal("missing Meta must fail")
+	}
+	bad := collectMeta()
+	d := bad.Discrete["major"]
+	d.Domain = []string{"ZZ", "AA"} // unsorted
+	bad.Discrete["major"] = d
+	if _, err := New(Config{Dir: t.TempDir(), Meta: bad, Tel: telemetry.Noop()}); err == nil {
+		t.Fatal("invalid meta must fail")
+	}
+}
+
+// syncBuffer is a race-safe bytes.Buffer for capturing log output written
+// from handler goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServiceRedactionBoundary is the satellite-6 proof: report values (the
+// privatized cells) must never reach a telemetry sink — not the metrics
+// exposition, not the logs — while the collector's own counters do.
+func TestServiceRedactionBoundary(t *testing.T) {
+	const sentinelDiscrete = "XQZ_SENTINEL_VALUE"
+	const sentinelNumeric = "31337.25"
+
+	logBuf := &syncBuffer{}
+	red := telemetry.NewRedactor()
+	tel := &telemetry.Set{
+		Log:     telemetry.NewLogger(logBuf, slog.LevelDebug, "text", red),
+		Metrics: telemetry.NewRegistry(red),
+		Redact:  red,
+	}
+	s := newTestService(t, t.TempDir(), func(c *Config) { c.Tel = tel })
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	meta := collectMeta()
+	b := Batch{ID: "redaction-probe", Mechanism: privacy.MechanismFingerprint(meta), Reports: []privacy.Report{{
+		Discrete: map[string]string{"major": sentinelDiscrete},
+		Numeric:  map[string]float64{"score": 31337.25},
+	}}}
+	mustPost(t, h, b)
+	_ = getStats(t, h) // force a fold so compaction paths log too
+
+	metrics := do(t, h, http.MethodGet, "/metrics", nil).Body.String()
+	for _, want := range []string{
+		"privateclean_collect_batches_accepted_total",
+		"privateclean_collect_reports_accepted_total",
+		"privateclean_collect_wal_fsync_seconds",
+		"privateclean_collect_compactions_total",
+		"privateclean_http_requests_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+	logs := logBuf.String()
+	for _, leak := range []string{sentinelDiscrete, sentinelNumeric, "redaction-probe"} {
+		if strings.Contains(metrics, leak) {
+			t.Errorf("metrics exposition leaks %q", leak)
+		}
+		if strings.Contains(logs, leak) {
+			t.Errorf("log output leaks %q", leak)
+		}
+	}
+	if logs == "" {
+		t.Error("expected recovery/drain log lines at debug level")
+	}
+}
+
+// TestServiceMetricsCount sanity-checks the counters' arithmetic.
+func TestServiceMetricsCount(t *testing.T) {
+	s := newTestService(t, t.TempDir(), nil)
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+	batches := makeBatches(t, collectMeta(), 4, 3, 2)
+	for _, b := range batches {
+		mustPost(t, h, b)
+	}
+	metrics := do(t, h, http.MethodGet, "/metrics", nil).Body.String()
+	if !strings.Contains(metrics, "privateclean_collect_batches_accepted_total 3") {
+		t.Fatalf("batches counter wrong:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "privateclean_collect_reports_accepted_total 6") {
+		t.Fatalf("reports counter wrong:\n%s", metrics)
+	}
+}

@@ -1,0 +1,238 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"privateclean/internal/atomicio"
+	"privateclean/internal/estimator"
+	"privateclean/internal/faults"
+	"privateclean/internal/privacy"
+	"privateclean/internal/relation"
+)
+
+// storeVersion guards the checkpoint schema.
+const storeVersion = 1
+
+// Batch is the unit of ingestion and of WAL logging: one client-submitted
+// group of locally randomized reports under one batch ID. The canonical JSON
+// rendering of this struct is exactly what a WAL record holds, so replay
+// decodes what ingestion encoded.
+type Batch struct {
+	ID        string           `json:"batch_id"`
+	Mechanism string           `json:"mechanism"`
+	Reports   []privacy.Report `json:"reports"`
+}
+
+// checkpointFile is the at-rest form of the store: the folded sufficient
+// statistics, the highest WAL segment folded into them, and the IDs of every
+// folded batch. It is written atomically (temp + fsync + rename) after each
+// segment folds, so the pair (statistics, watermark) moves together — a
+// crash never observes statistics from segment N with a watermark of N-1 or
+// vice versa.
+type checkpointFile struct {
+	Version    int                   `json:"version"`
+	Mechanism  string                `json:"mechanism,omitempty"`
+	AppliedSeq uint64                `json:"applied_seq"`
+	Batches    []string              `json:"batches"`
+	Stats      *estimator.Statistics `json:"stats"`
+}
+
+// Store accumulates sufficient statistics from WAL segments with
+// exactly-once accounting. Fold(seq, ...) is idempotent two ways: a segment
+// at or below the applied watermark is skipped wholesale (the crash window
+// between checkpoint write and segment delete), and a batch ID that already
+// folded is skipped individually (the same batch logged in two segments by a
+// client retry). The set of folded IDs grows with the number of batches;
+// that is the price of exactly-once without client cooperation.
+type Store struct {
+	path      string
+	schema    relation.Schema
+	mechanism string
+
+	mu      sync.Mutex
+	applied uint64
+	batches map[string]struct{}
+	coll    *estimator.Collector
+}
+
+// OpenStore loads (or initializes) the store checkpoint at path. schema is
+// the collection schema derived from the mechanism metadata; mechanism its
+// fingerprint. An existing checkpoint must match both — folding reports from
+// a different channel or shape into old statistics corrupts them silently,
+// so a mismatch refuses loudly instead.
+func OpenStore(path string, schema relation.Schema, mechanism string) (*Store, error) {
+	s := &Store{path: path, schema: schema, mechanism: mechanism, batches: make(map[string]struct{})}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		coll, cerr := estimator.NewCollectorFrom(nil)
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.coll = coll
+		return s, nil
+	}
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadInput, fmt.Errorf("collect: store checkpoint: %w", err))
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, faults.Wrap(faults.ErrCorruptCheckpoint, fmt.Errorf("collect: store checkpoint %s: %w", path, err))
+	}
+	if ck.Version != storeVersion {
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "collect: store checkpoint version %d, want %d", ck.Version, storeVersion)
+	}
+	if ck.Mechanism != "" && ck.Mechanism != mechanism {
+		return nil, faults.Errorf(faults.ErrBadMeta, "collect: store was collected under a different mechanism (fingerprint mismatch)")
+	}
+	if ck.Stats != nil && len(ck.Stats.Columns) > 0 {
+		ckSchema, err := relation.NewSchema(ck.Stats.Columns...)
+		if err != nil {
+			return nil, faults.Wrap(faults.ErrCorruptCheckpoint, err)
+		}
+		if ckSchema.String() != schema.String() {
+			return nil, faults.Errorf(faults.ErrBadMeta, "collect: store schema %q does not match mechanism schema %q", ckSchema, schema)
+		}
+	}
+	coll, err := estimator.NewCollectorFrom(ck.Stats)
+	if err != nil {
+		return nil, err
+	}
+	s.applied = ck.AppliedSeq
+	s.coll = coll
+	for _, id := range ck.Batches {
+		s.batches[id] = struct{}{}
+	}
+	return s, nil
+}
+
+// AppliedSeq returns the highest WAL segment folded into the statistics.
+func (s *Store) AppliedSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// HasBatch reports whether a batch ID has already been folded. Ingestion
+// uses it to short-circuit duplicates cheaply; it is advisory only — the
+// fold path re-checks under its own lock.
+func (s *Store) HasBatch(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.batches[id]
+	return ok
+}
+
+// decodeBatch decodes one WAL payload. The payload passed a CRC check, so a
+// decode failure is not line noise — it is a version skew or a bug, and it
+// poisons the segment as corrupt.
+func decodeBatch(payload []byte) (Batch, error) {
+	var b Batch
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return Batch{}, faults.Wrap(faults.ErrCorruptCheckpoint, fmt.Errorf("collect: wal record: %w", err))
+	}
+	if b.ID == "" {
+		return Batch{}, faults.Errorf(faults.ErrCorruptCheckpoint, "collect: wal record with empty batch id")
+	}
+	return b, nil
+}
+
+// window builds the relation window one batch folds as: one row per report,
+// absent attributes as missing (relation.Null / NaN), under the collection
+// schema so every window agrees with the collector.
+func (s *Store) window(b Batch) (*relation.Relation, error) {
+	builder := relation.NewBuilder(s.schema)
+	for _, rep := range b.Reports {
+		builder.Append(rep.Numeric, rep.Discrete)
+	}
+	win, err := builder.Relation()
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrCorruptCheckpoint, fmt.Errorf("collect: batch %q: %w", b.ID, err))
+	}
+	return win, nil
+}
+
+// Fold folds one sealed segment's payloads into the statistics and advances
+// the watermark to seq, writing the checkpoint atomically before returning.
+// Payloads whose batch ID already folded are skipped. After a nil return the
+// segment file is safe to delete; if the process dies first, the next Fold
+// call (or Open) sees seq <= AppliedSeq and skips it — exactly-once either
+// way.
+func (s *Store) Fold(seq uint64, payloads [][]byte) (folded int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.applied {
+		return 0, nil
+	}
+	for _, payload := range payloads {
+		b, err := decodeBatch(payload)
+		if err != nil {
+			return folded, err
+		}
+		if _, ok := s.batches[b.ID]; ok {
+			continue
+		}
+		win, err := s.window(b)
+		if err != nil {
+			return folded, err
+		}
+		if err := s.coll.Add(win); err != nil {
+			return folded, err
+		}
+		s.batches[b.ID] = struct{}{}
+		folded++
+	}
+	s.applied = seq
+	if err := s.checkpointLocked(); err != nil {
+		return folded, err
+	}
+	return folded, nil
+}
+
+// checkpointLocked writes the checkpoint file atomically. Batch IDs are
+// sorted so the file is deterministic for a given state.
+func (s *Store) checkpointLocked() error {
+	ids := make([]string, 0, len(s.batches))
+	for id := range s.batches {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ck := checkpointFile{
+		Version:    storeVersion,
+		Mechanism:  s.mechanism,
+		AppliedSeq: s.applied,
+		Batches:    ids,
+		Stats:      s.coll.Statistics(),
+	}
+	return atomicio.WriteJSON(s.path, ck)
+}
+
+// MarshalStats renders the current statistics as JSON under the store lock,
+// in exactly the format `privateclean stats` writes, so the bytes can be
+// saved to a file and fed to `query -stats` / `serve -stats` directly.
+func (s *Store) MarshalStats() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := json.MarshalIndent(s.coll.Statistics(), "", "  ")
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrInternal, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Rows returns the number of folded report rows.
+func (s *Store) Rows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coll.Statistics().Rows
+}
+
+// BatchCount returns the number of distinct folded batches.
+func (s *Store) BatchCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.batches)
+}

@@ -1,0 +1,145 @@
+package collect
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/privacy"
+	"privateclean/internal/relation"
+)
+
+func storeFixture(t *testing.T) (string, relation.Schema, string) {
+	t.Helper()
+	schema, err := relation.NewSchema(
+		relation.Column{Name: "major", Kind: relation.Discrete},
+		relation.Column{Name: "score", Kind: relation.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(t.TempDir(), "store.json"), schema, "mech-fingerprint"
+}
+
+func batchPayload(t *testing.T, id string, rows int) []byte {
+	t.Helper()
+	b := Batch{ID: id, Mechanism: "mech-fingerprint"}
+	for i := 0; i < rows; i++ {
+		b.Reports = append(b.Reports, privacy.Report{
+			Discrete: map[string]string{"major": "CS"},
+			Numeric:  map[string]float64{"score": float64(10 + i)},
+		})
+	}
+	payload, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+func TestStoreFoldAndReload(t *testing.T) {
+	path, schema, mech := storeFixture(t)
+	s, err := OpenStore(path, schema, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Fold(1, [][]byte{batchPayload(t, "b1", 3), batchPayload(t, "b2", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || s.Rows() != 5 || s.AppliedSeq() != 1 {
+		t.Fatalf("fold = %d batches, %d rows, seq %d", n, s.Rows(), s.AppliedSeq())
+	}
+
+	// The checkpoint is on disk: a fresh store resumes exactly.
+	s2, err := OpenStore(path, schema, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Rows() != 5 || s2.AppliedSeq() != 1 || !s2.HasBatch("b1") || !s2.HasBatch("b2") {
+		t.Fatalf("reload lost state: rows %d seq %d", s2.Rows(), s2.AppliedSeq())
+	}
+	// And the reloaded collector keeps accumulating (regression for the
+	// omitempty nil-map reload hazard).
+	if _, err := s2.Fold(2, [][]byte{batchPayload(t, "b3", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Rows() != 6 {
+		t.Fatalf("post-reload fold: rows %d, want 6", s2.Rows())
+	}
+}
+
+// TestStoreFoldIdempotence covers both exactly-once layers: a segment at or
+// below the watermark is skipped wholesale, and a batch ID that appears in
+// two segments folds only once.
+func TestStoreFoldIdempotence(t *testing.T) {
+	path, schema, mech := storeFixture(t)
+	s, err := OpenStore(path, schema, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fold(1, [][]byte{batchPayload(t, "dup", 3)}); err != nil {
+		t.Fatal(err)
+	}
+	// Same segment replayed (crash between checkpoint and segment delete).
+	n, err := s.Fold(1, [][]byte{batchPayload(t, "dup", 3)})
+	if err != nil || n != 0 {
+		t.Fatalf("replayed segment folded %d batches (err %v), want 0", n, err)
+	}
+	// Same batch ID in a later segment (client retry crossed a rotation).
+	n, err = s.Fold(2, [][]byte{batchPayload(t, "dup", 3), batchPayload(t, "fresh", 1)})
+	if err != nil || n != 1 {
+		t.Fatalf("cross-segment duplicate folded %d batches (err %v), want 1", n, err)
+	}
+	if s.Rows() != 4 || s.BatchCount() != 2 {
+		t.Fatalf("rows %d batches %d, want 4 rows from 2 batches", s.Rows(), s.BatchCount())
+	}
+}
+
+func TestStoreRefusesMismatches(t *testing.T) {
+	path, schema, mech := storeFixture(t)
+	s, err := OpenStore(path, schema, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fold(1, [][]byte{batchPayload(t, "b1", 1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenStore(path, schema, "other-mechanism"); faults.Kind(err) != faults.ErrBadMeta {
+		t.Fatalf("mechanism mismatch must be ErrBadMeta, got %v", err)
+	}
+	otherSchema, _ := relation.NewSchema(relation.Column{Name: "major", Kind: relation.Discrete})
+	if _, err := OpenStore(path, otherSchema, mech); faults.Kind(err) != faults.ErrBadMeta {
+		t.Fatalf("schema mismatch must be ErrBadMeta, got %v", err)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path, schema, mech); faults.Kind(err) != faults.ErrCorruptCheckpoint {
+		t.Fatalf("version skew must be ErrCorruptCheckpoint, got %v", err)
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path, schema, mech); faults.Kind(err) != faults.ErrCorruptCheckpoint {
+		t.Fatalf("garbage checkpoint must be ErrCorruptCheckpoint, got %v", err)
+	}
+}
+
+func TestStoreRejectsCorruptPayload(t *testing.T) {
+	path, schema, mech := storeFixture(t)
+	s, err := OpenStore(path, schema, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fold(1, [][]byte{[]byte("not a batch")}); faults.Kind(err) != faults.ErrCorruptCheckpoint {
+		t.Fatalf("undecodable payload must be ErrCorruptCheckpoint, got %v", err)
+	}
+	if _, err := s.Fold(2, [][]byte{[]byte(`{"mechanism":"m","reports":[]}`)}); faults.Kind(err) != faults.ErrCorruptCheckpoint {
+		t.Fatalf("empty batch id must be ErrCorruptCheckpoint, got %v", err)
+	}
+}

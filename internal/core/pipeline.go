@@ -739,18 +739,29 @@ func (cc *chunkCommitter) commit(sp *telemetry.Span, chunk, rows int, data []byt
 	return nil
 }
 
-// loadInput reads the input CSV under the job's row policy.
+// loadInput reads the input CSV under the job's row policy. The quarantine
+// sidecar is written atomically (temp + fsync + rename): a crash mid-load
+// cannot leave a torn sidecar, and a failed load leaves any pre-existing
+// sidecar untouched instead of truncating it.
 func (job *PrivatizeJob) loadInput() (*relation.Relation, *csvio.Report, error) {
 	opts := csvio.Options{ForceKinds: job.ForceKinds, OnRowError: job.OnRowError}
-	if job.OnRowError == csvio.RowErrorQuarantine {
-		q, err := os.Create(job.quarantinePath())
-		if err != nil {
-			return nil, nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: quarantine sidecar: %w", err))
-		}
-		defer q.Close()
-		opts.Quarantine = q
+	if job.OnRowError != csvio.RowErrorQuarantine {
+		return csvio.ReadFileWithReport(job.In, opts)
 	}
-	return csvio.ReadFileWithReport(job.In, opts)
+	var (
+		r   *relation.Relation
+		rep *csvio.Report
+	)
+	err := atomicio.WriteFileKeep(job.quarantinePath(), func(w io.Writer) error {
+		opts.Quarantine = w
+		var rerr error
+		r, rep, rerr = csvio.ReadFileWithReport(job.In, opts)
+		return rerr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, rep, nil
 }
 
 // viewMetaFor computes the release metadata without consuming randomness:

@@ -327,6 +327,32 @@ func TestPipelineRowPolicies(t *testing.T) {
 	}
 }
 
+// TestPipelineQuarantineSidecarAtomic: the sidecar is written atomically, so
+// a load that fails partway neither tears it nor truncates a previous run's
+// sidecar — and the failure keeps its own taxonomy kind (the atomic-write
+// wrapper must not reclassify a bad input as a partial write).
+func TestPipelineQuarantineSidecarAtomic(t *testing.T) {
+	job, dir := testJob(t, "major,major\n1,2\n") // duplicate header: load fails
+	job.OnRowError = csvio.RowErrorQuarantine
+	prev := "rows quarantined by a previous run\n"
+	if err := os.WriteFile(job.quarantinePath(), []byte(prev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(); !errors.Is(err, faults.ErrBadInput) {
+		t.Fatalf("duplicate-header load: %v, want ErrBadInput", err)
+	}
+	if got := readFile(t, job.quarantinePath()); string(got) != prev {
+		t.Errorf("failed load clobbered the previous sidecar: %q", got)
+	}
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Errorf("failed load leaked temp files: %v", tmps)
+	}
+}
+
 // TestPipelineRejectsUnsafeParams: the pipeline is the strict boundary — a
 // non-randomizing parameter that the library tolerates must be rejected here
 // before any bytes are written.

@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"time"
 
+	"privateclean/internal/atomicio"
 	"privateclean/internal/csvio"
 	"privateclean/internal/faults"
 	"privateclean/internal/privacy"
@@ -69,18 +69,23 @@ func chunkSizeForBudget(budget int64, prof *csvio.Profile) int {
 }
 
 // profileInput runs the two profile scans under the job's row policy,
-// creating the quarantine sidecar exactly as loadInput would.
+// writing the quarantine sidecar atomically exactly as loadInput does.
 func (job *PrivatizeJob) profileInput() (*csvio.Profile, error) {
 	opts := csvio.Options{ForceKinds: job.ForceKinds, OnRowError: job.OnRowError}
-	if job.OnRowError == csvio.RowErrorQuarantine {
-		q, err := os.Create(job.quarantinePath())
-		if err != nil {
-			return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("core: quarantine sidecar: %w", err))
-		}
-		defer q.Close()
-		opts.Quarantine = q
+	if job.OnRowError != csvio.RowErrorQuarantine {
+		return csvio.ProfileFile(job.In, opts)
 	}
-	return csvio.ProfileFile(job.In, opts)
+	var prof *csvio.Profile
+	err := atomicio.WriteFileKeep(job.quarantinePath(), func(w io.Writer) error {
+		opts.Quarantine = w
+		var perr error
+		prof, perr = csvio.ProfileFile(job.In, opts)
+		return perr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return prof, nil
 }
 
 // viewMetaFromProfile mirrors viewMetaFor over a streaming profile: the same

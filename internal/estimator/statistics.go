@@ -163,6 +163,47 @@ type Collector struct {
 // NewCollector creates an empty collector; the first Add fixes the schema.
 func NewCollector() *Collector { return &Collector{} }
 
+// NewCollectorFrom resumes accumulation from previously collected statistics
+// (e.g. a store checkpoint reloaded from JSON). A nil or schema-less st
+// behaves like NewCollector; otherwise later windows must match the schema
+// recorded in st.Columns. Reload normalization: maps dropped by omitempty
+// when empty (a value all of whose aggregate cells were missing) are
+// reallocated so Add can keep accumulating into them.
+func NewCollectorFrom(st *Statistics) (*Collector, error) {
+	if st == nil || len(st.Columns) == 0 {
+		return NewCollector(), nil
+	}
+	schema, err := relation.NewSchema(st.Columns...)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadMeta, err)
+	}
+	c := &Collector{
+		st:       st,
+		schema:   schema,
+		discrete: schema.DiscreteNames(),
+		numeric:  schema.NumericNames(),
+	}
+	if st.Discrete == nil {
+		st.Discrete = make(map[string]map[string]*ValueStats, len(c.discrete))
+	}
+	for _, a := range c.discrete {
+		if st.Discrete[a] == nil {
+			st.Discrete[a] = make(map[string]*ValueStats)
+		}
+		if len(c.numeric) > 0 {
+			for _, s := range st.Discrete[a] {
+				if s.Sums == nil {
+					s.Sums = make(map[string]float64, len(c.numeric))
+				}
+			}
+		}
+	}
+	if st.Numeric == nil {
+		st.Numeric = make(map[string]Moments, len(c.numeric))
+	}
+	return c, nil
+}
+
 // Add folds one window into the running statistics.
 func (c *Collector) Add(win *relation.Relation) error {
 	if c.st == nil {

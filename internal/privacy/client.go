@@ -1,0 +1,199 @@
+package privacy
+
+// Client-side GRR: the inverse deployment of Privatize. Instead of the data
+// provider randomizing a resident relation, each client randomizes its own
+// record locally (the local-differential-privacy model of Kairouz et al.)
+// and ships only the randomized report to a collector. The mechanism — the
+// per-attribute randomization probability, domain, and Laplace scale — is
+// public and must be identical across every client feeding one collection,
+// so reports carry a fingerprint of it and the collector rejects mismatches.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/relation"
+	"privateclean/internal/stats"
+)
+
+// Report is one locally randomized record as it travels to a collector.
+// Discrete attributes always carry a (randomized) value; numeric attributes
+// are absent when the client's cell was missing (the batch pipeline's NaN),
+// because JSON has no NaN and the estimators skip missing cells anyway.
+type Report struct {
+	Discrete map[string]string  `json:"discrete,omitempty"`
+	Numeric  map[string]float64 `json:"numeric,omitempty"`
+}
+
+// DiscreteMechanism is the public disclosure of the randomized-response
+// channel for one discrete attribute: with probability P the true value is
+// resampled uniformly from the N-value domain, so any particular alternative
+// is reported with probability Q = P/N and the true value survives with
+// probability Keep = 1-P+P/N. Epsilon is the Lemma 1 accounting constant.
+type DiscreteMechanism struct {
+	P       float64 `json:"p"`
+	Q       float64 `json:"q"`
+	Keep    float64 `json:"keep"`
+	N       int     `json:"n"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// NumericMechanism is the public disclosure of the Laplace channel for one
+// numeric attribute.
+type NumericMechanism struct {
+	B       float64 `json:"b"`
+	Delta   float64 `json:"delta"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// Mechanism is the full public description of the GRR channel a ViewMeta
+// induces, plus its fingerprint. Clients disclose it alongside their reports;
+// a collector pins one fingerprint and rejects batches randomized under any
+// other mechanism, because mixing channels silently corrupts the estimator's
+// inversion.
+type Mechanism struct {
+	Fingerprint string                       `json:"fingerprint"`
+	Discrete    map[string]DiscreteMechanism `json:"discrete,omitempty"`
+	Numeric     map[string]NumericMechanism  `json:"numeric,omitempty"`
+}
+
+// MechanismFor derives the public mechanism disclosure from view metadata.
+func MechanismFor(meta *ViewMeta) Mechanism {
+	m := Mechanism{
+		Fingerprint: MechanismFingerprint(meta),
+		Discrete:    make(map[string]DiscreteMechanism, len(meta.Discrete)),
+		Numeric:     make(map[string]NumericMechanism, len(meta.Numeric)),
+	}
+	for name, dm := range meta.Discrete {
+		n := dm.N()
+		q := 0.0
+		if n > 0 {
+			q = dm.P / float64(n)
+		}
+		m.Discrete[name] = DiscreteMechanism{P: dm.P, Q: q, Keep: 1 - dm.P + q, N: n, Epsilon: dm.Epsilon()}
+	}
+	for name, nm := range meta.Numeric {
+		m.Numeric[name] = NumericMechanism{B: nm.B, Delta: nm.Delta, Epsilon: nm.Epsilon()}
+	}
+	return m
+}
+
+// MechanismFingerprint returns the SHA-256 of a canonical rendering of the
+// mechanism parameters: attributes in sorted order, discrete attributes with
+// (p, domain), numeric attributes with (b, delta). Rows is excluded — it
+// describes one dataset, not the channel. Two metas fingerprint equal iff
+// they induce the same randomization channel.
+func MechanismFingerprint(meta *ViewMeta) string {
+	var sb strings.Builder
+	names := make([]string, 0, len(meta.Discrete))
+	for name := range meta.Discrete {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dm := meta.Discrete[name]
+		sb.WriteString("d|")
+		sb.WriteString(name)
+		sb.WriteByte('|')
+		sb.WriteString(strconv.FormatFloat(dm.P, 'g', -1, 64))
+		for _, v := range dm.Domain {
+			sb.WriteByte('|')
+			sb.WriteString(v)
+		}
+		sb.WriteByte('\n')
+	}
+	names = names[:0]
+	for name := range meta.Numeric {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nm := meta.Numeric[name]
+		fmt.Fprintf(&sb, "n|%s|%s|%s\n", name,
+			strconv.FormatFloat(nm.B, 'g', -1, 64),
+			strconv.FormatFloat(nm.Delta, 'g', -1, 64))
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// PrivatizeRecord randomizes one client record under the mechanism meta
+// describes, returning the report to ship. Attributes are processed in
+// sorted-name order (discrete first, then numeric), so the RNG consumption
+// for a record is a pure function of the mechanism — per-record seeded
+// streams (StreamRand) reproduce reports exactly.
+//
+// Every discrete attribute of the mechanism is randomized: a missing cell is
+// treated as relation.Null and still flips to a domain value with
+// probability p, exactly like a NULL cell in the batch path. Numeric cells
+// receive Laplace(b) noise; missing (absent or NaN) numeric cells stay
+// missing and consume no draw. Attributes in the input that the mechanism
+// does not cover are an error — shipping an un-randomized value would breach
+// the local-DP contract.
+func PrivatizeRecord(rng Rand, meta *ViewMeta, discrete map[string]string, numeric map[string]float64) (Report, error) {
+	for name := range discrete {
+		if _, ok := meta.Discrete[name]; !ok {
+			return Report{}, faults.Errorf(faults.ErrBadParams, "privacy: no mechanism for discrete attribute %q; refusing to ship it raw", name)
+		}
+	}
+	for name := range numeric {
+		if _, ok := meta.Numeric[name]; !ok {
+			return Report{}, faults.Errorf(faults.ErrBadParams, "privacy: no mechanism for numeric attribute %q; refusing to ship it raw", name)
+		}
+	}
+	rep := Report{}
+	if len(meta.Discrete) > 0 {
+		rep.Discrete = make(map[string]string, len(meta.Discrete))
+	}
+	names := make([]string, 0, len(meta.Discrete))
+	for name := range meta.Discrete {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dm := meta.Discrete[name]
+		if dm.P < 0 || dm.P > 1 || math.IsNaN(dm.P) {
+			return Report{}, faults.Errorf(faults.ErrBadParams, "privacy: randomization probability %v out of [0,1]", dm.P)
+		}
+		if len(dm.Domain) == 0 {
+			return Report{}, faults.Errorf(faults.ErrBadMeta, "privacy: empty domain for discrete attribute %q", name)
+		}
+		v, ok := discrete[name]
+		if !ok {
+			v = relation.Null
+		}
+		if dm.P > 0 && rng.Float64() < dm.P {
+			v = dm.Domain[rng.Intn(len(dm.Domain))]
+		}
+		rep.Discrete[name] = v
+	}
+	names = names[:0]
+	for name := range meta.Numeric {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nm := meta.Numeric[name]
+		if nm.B < 0 || math.IsNaN(nm.B) || math.IsInf(nm.B, 0) {
+			return Report{}, faults.Errorf(faults.ErrBadParams, "privacy: laplace scale %v must be finite and >= 0", nm.B)
+		}
+		x, ok := numeric[name]
+		if !ok || math.IsNaN(x) {
+			continue
+		}
+		if math.IsInf(x, 0) {
+			return Report{}, faults.Errorf(faults.ErrBadInput, "privacy: non-finite numeric cell for attribute %q", name)
+		}
+		if rep.Numeric == nil {
+			rep.Numeric = make(map[string]float64, len(meta.Numeric))
+		}
+		rep.Numeric[name] = stats.Laplace(rng, x, nm.B)
+	}
+	return rep, nil
+}

@@ -1,0 +1,164 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/relation"
+)
+
+func clientMeta() *ViewMeta {
+	return &ViewMeta{
+		Discrete: map[string]DiscreteMeta{
+			"major": {Name: "major", P: 0.5, Domain: []string{"CS", "EE", "ME"}},
+		},
+		Numeric: map[string]NumericMeta{
+			"score": {Name: "score", B: 5, Delta: 50},
+		},
+		Rows: 100,
+	}
+}
+
+func TestPrivatizeRecordDeterministic(t *testing.T) {
+	meta := clientMeta()
+	disc := map[string]string{"major": "CS"}
+	num := map[string]float64{"score": 42}
+	a, err := PrivatizeRecord(StreamRand(7, 3), meta, disc, num)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrivatizeRecord(StreamRand(7, 3), meta, disc, num)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Discrete["major"] != b.Discrete["major"] || a.Numeric["score"] != b.Numeric["score"] {
+		t.Fatalf("same stream produced different reports: %+v vs %+v", a, b)
+	}
+	if a.Numeric["score"] == 42 {
+		t.Fatalf("score survived Laplace(5) unperturbed — suspicious draw")
+	}
+}
+
+func TestPrivatizeRecordNoNoiseCorner(t *testing.T) {
+	meta := &ViewMeta{
+		Discrete: map[string]DiscreteMeta{"major": {P: 0, Domain: []string{"CS", "EE"}}},
+		Numeric:  map[string]NumericMeta{"score": {B: 0}},
+	}
+	rep, err := PrivatizeRecord(StreamRand(1, 0), meta, map[string]string{"major": "EE"}, map[string]float64{"score": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Discrete["major"] != "EE" {
+		t.Fatalf("p=0 must keep the value, got %q", rep.Discrete["major"])
+	}
+	if rep.Numeric["score"] != 3 {
+		t.Fatalf("b=0 must keep the value, got %v", rep.Numeric["score"])
+	}
+}
+
+func TestPrivatizeRecordMissingCells(t *testing.T) {
+	meta := clientMeta()
+	rep, err := PrivatizeRecord(StreamRand(1, 0), meta, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A missing discrete cell is treated as NULL and still randomized; with
+	// p=0.5 it either stays NULL or lands in the domain.
+	v := rep.Discrete["major"]
+	if v != relation.Null && v != "CS" && v != "EE" && v != "ME" {
+		t.Fatalf("missing discrete randomized to %q, outside NULL+domain", v)
+	}
+	if _, ok := rep.Numeric["score"]; ok {
+		t.Fatalf("missing numeric cell must stay missing, got %v", rep.Numeric["score"])
+	}
+	// NaN behaves like absent.
+	rep, err = PrivatizeRecord(StreamRand(1, 0), meta, nil, map[string]float64{"score": math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Numeric["score"]; ok {
+		t.Fatalf("NaN numeric cell must stay missing")
+	}
+}
+
+func TestPrivatizeRecordRejectsUncoveredAttr(t *testing.T) {
+	meta := clientMeta()
+	if _, err := PrivatizeRecord(StreamRand(1, 0), meta, map[string]string{"ssn": "123"}, nil); faults.Kind(err) != faults.ErrBadParams {
+		t.Fatalf("raw discrete attribute must be refused, got %v", err)
+	}
+	if _, err := PrivatizeRecord(StreamRand(1, 0), meta, nil, map[string]float64{"salary": 1}); faults.Kind(err) != faults.ErrBadParams {
+		t.Fatalf("raw numeric attribute must be refused, got %v", err)
+	}
+	if _, err := PrivatizeRecord(StreamRand(1, 0), meta, nil, map[string]float64{"score": math.Inf(1)}); faults.Kind(err) != faults.ErrBadInput {
+		t.Fatalf("infinite cell must be refused, got %v", err)
+	}
+}
+
+// TestPrivatizeRecordFlipRate checks the randomized-response channel: over
+// many records with p=0.5 on a 2-value domain, the true value must survive
+// with probability 1-p+p/N = 0.75 (within 3 sigma).
+func TestPrivatizeRecordFlipRate(t *testing.T) {
+	meta := &ViewMeta{
+		Discrete: map[string]DiscreteMeta{"bit": {P: 0.5, Domain: []string{"a", "b"}}},
+	}
+	const n = 20000
+	kept := 0
+	for i := 0; i < n; i++ {
+		rep, err := PrivatizeRecord(StreamRand(11, i), meta, map[string]string{"bit": "a"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Discrete["bit"] == "a" {
+			kept++
+		}
+	}
+	want, sigma := 0.75, math.Sqrt(0.75*0.25/float64(n))
+	if got := float64(kept) / n; math.Abs(got-want) > 3*sigma {
+		t.Fatalf("keep rate %v, want %v +/- %v", got, want, 3*sigma)
+	}
+}
+
+func TestMechanismFingerprint(t *testing.T) {
+	a, b := clientMeta(), clientMeta()
+	if MechanismFingerprint(a) != MechanismFingerprint(b) {
+		t.Fatal("identical mechanisms must fingerprint equal")
+	}
+	b.Rows = 9999
+	if MechanismFingerprint(a) != MechanismFingerprint(b) {
+		t.Fatal("Rows is not part of the channel and must not change the fingerprint")
+	}
+	cases := []func(*ViewMeta){
+		func(m *ViewMeta) { d := m.Discrete["major"]; d.P = 0.6; m.Discrete["major"] = d },
+		func(m *ViewMeta) { d := m.Discrete["major"]; d.Domain = []string{"CS", "EE"}; m.Discrete["major"] = d },
+		func(m *ViewMeta) { nm := m.Numeric["score"]; nm.B = 6; m.Numeric["score"] = nm },
+		func(m *ViewMeta) { nm := m.Numeric["score"]; nm.Delta = 51; m.Numeric["score"] = nm },
+	}
+	for i, mutate := range cases {
+		m := clientMeta()
+		mutate(m)
+		if MechanismFingerprint(m) == MechanismFingerprint(a) {
+			t.Fatalf("case %d: channel change did not change the fingerprint", i)
+		}
+	}
+}
+
+func TestMechanismFor(t *testing.T) {
+	m := MechanismFor(clientMeta())
+	dm := m.Discrete["major"]
+	if dm.N != 3 || dm.P != 0.5 {
+		t.Fatalf("bad discrete mechanism: %+v", dm)
+	}
+	if got, want := dm.Q, 0.5/3; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Q = %v, want %v", got, want)
+	}
+	if got, want := dm.Keep, 1-0.5+0.5/3; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Keep = %v, want %v", got, want)
+	}
+	if m.Numeric["score"].Epsilon != 10 {
+		t.Fatalf("numeric epsilon = %v, want 10", m.Numeric["score"].Epsilon)
+	}
+	if m.Fingerprint == "" || m.Fingerprint != MechanismFingerprint(clientMeta()) {
+		t.Fatal("mechanism fingerprint mismatch")
+	}
+}

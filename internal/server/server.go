@@ -52,6 +52,10 @@ const DefaultMaxInFlight = 64
 // DefaultTimeout bounds one query estimation when Config.Timeout is zero.
 const DefaultTimeout = 10 * time.Second
 
+// DefaultDrainTimeout bounds the graceful drain when Config.DrainTimeout is
+// zero.
+const DefaultDrainTimeout = 5 * time.Second
+
 // maxBodyBytes caps a request body; a query string has no business being
 // larger.
 const maxBodyBytes = 1 << 20
@@ -78,6 +82,10 @@ type Config struct {
 	// MaxInFlight bounds concurrently executing queries; excess requests
 	// are shed with 429 (default DefaultMaxInFlight).
 	MaxInFlight int
+	// DrainTimeout bounds the graceful drain: Drain stops accepting
+	// connections and waits up to this long for in-flight requests before
+	// force-closing them (default DefaultDrainTimeout).
+	DrainTimeout time.Duration
 	// Tel is the telemetry set requests report through (default
 	// telemetry.Default()).
 	Tel *telemetry.Set
@@ -92,6 +100,7 @@ type Server struct {
 	udfs    query.UDFs
 	tel     *telemetry.Set
 	timeout time.Duration
+	drain   time.Duration
 	sem     chan struct{}
 
 	mu      sync.Mutex
@@ -125,6 +134,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
 	tel := cfg.Tel
 	if tel == nil {
 		tel = telemetry.Default()
@@ -133,7 +145,7 @@ func New(cfg Config) (*Server, error) {
 	// labels; they are code-chosen strings, not data, so they join the safe
 	// vocabulary.
 	tel.Redact.Allow("/v1/query", "/v1/describe", "/healthz", "/metrics",
-		"timeout", "shed", "method_not_allowed", "not_found", "serve", "serve_query",
+		"timeout", "shed", "method_not_allowed", "not_found", "serve", "serve_query", "drain",
 		"200", "400", "404", "405", "408", "422", "429", "500", "503")
 	return &Server{
 		rel:   cfg.Rel,
@@ -147,6 +159,7 @@ func New(cfg Config) (*Server, error) {
 		udfs:    make(query.UDFs),
 		tel:     tel,
 		timeout: cfg.Timeout,
+		drain:   cfg.DrainTimeout,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}, nil
 }
@@ -464,5 +477,36 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
+	return err
+}
+
+// Drain is the deadline-bounded graceful shutdown: stop accepting
+// connections, wait up to the configured DrainTimeout for in-flight
+// requests, and when the deadline forces the issue, close the remaining
+// connections and report it as a typed fault — an aborted response is a
+// partial write from the client's point of view, and it must not pass for a
+// clean exit.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.drain)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	if err == nil {
+		return nil
+	}
+	srv.Close()
+	err = faults.Wrap(faults.ErrPartialWrite,
+		fmt.Errorf("server: drain aborted in-flight requests after %s: %w", s.drain, err))
+	s.tel.Metrics.Counter("privateclean_http_drain_aborts_total",
+		"Graceful drains that hit their deadline and force-closed connections.").Inc()
+	s.tel.Log.Error("drain deadline forced connection abort", "op", "drain", telemetry.ErrAttr(err))
 	return err
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"privateclean/internal/estimator"
+	"privateclean/internal/faults"
 	"privateclean/internal/privacy"
 	"privateclean/internal/relation"
 	"privateclean/internal/telemetry"
@@ -515,6 +516,88 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 	if err := <-shutdownDone; err != nil {
 		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// A drain whose deadline expires while a query is still in flight must
+// force-close the connection, return a typed partial-write fault, and count
+// the abort — the satellite for `serve -drain-timeout`.
+func TestDrainDeadlineAbortsInFlight(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Timeout = 5 * time.Second // query deadline far beyond the drain
+		c.DrainTimeout = 30 * time.Millisecond
+	})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHook = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	defer close(release)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	first := make(chan error, 1)
+	go func() {
+		body, _ := json.Marshal(map[string]string{"query": "SELECT count(1) FROM R WHERE category = 'a'"})
+		_, perr := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+		first <- perr
+	}()
+	<-entered
+
+	derr := s.Drain()
+	if derr == nil {
+		t.Fatal("Drain returned nil with a query parked past the deadline")
+	}
+	if faults.Kind(derr) != faults.ErrPartialWrite {
+		t.Fatalf("Drain fault kind = %v, want ErrPartialWrite (%v)", faults.Kind(derr), derr)
+	}
+
+	// The aborted client sees a transport error, not a clean response.
+	if perr := <-first; perr == nil {
+		t.Fatal("in-flight request completed cleanly despite forced abort")
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.tel.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "privateclean_http_drain_aborts_total 1") {
+		t.Fatalf("drain abort not counted:\n%s", buf.String())
+	}
+}
+
+// A drain with no in-flight work finishes within the deadline and reports no
+// fault.
+func TestDrainCleanUnderDeadline(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.DrainTimeout = time.Second })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	resp, body := postQuery(t, "http://"+l.Addr().String(), "SELECT count(1) FROM R WHERE category = 'a'")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up query status = %d (%s)", resp.StatusCode, body)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
 	}
 	if err := <-serveErr; err != http.ErrServerClosed {
 		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
