@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -12,6 +14,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"strconv"
 	"syscall"
@@ -129,16 +132,23 @@ func cmdCollect(args []string) (err error) {
 // cmdReport is the client side of collection: read a raw CSV, randomize each
 // row locally under the mechanism (privacy.PrivatizeRecord with a per-row
 // seeded stream), and POST the reports to a collector in batches. Batch IDs
-// are derived from the batch content, so rerunning the same command after a
-// crash re-posts byte-identical batches that the collector deduplicates —
-// the client-side half of exactly-once.
+// are derived from the client identity plus the batch content, so rerunning
+// the same command with the same -seed after a crash re-posts byte-identical
+// batches that the collector deduplicates — the client-side half of
+// exactly-once — while two clients shipping identical rows never collide.
+//
+// The randomization seed defaults to fresh crypto/rand entropy: a seed known
+// outside the client lets anyone replay the RNG stream and invert
+// PrivatizeRecord, voiding the local-DP guarantee. Pass -seed only for tests
+// and reproduction (it also makes reruns idempotent, at that privacy cost).
 func cmdReport(args []string) (err error) {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	in := fs.String("in", "", "raw CSV to randomize and ship (required; never leaves this process un-randomized)")
 	metaPath := fs.String("meta", "", "mechanism metadata JSON (required; must match the collector's)")
 	url := fs.String("url", "", "collector base URL, e.g. http://127.0.0.1:8081 (required)")
 	batchSize := fs.Int("batch", 64, "reports per POST")
-	seed := fs.Int64("seed", 1, "base seed for the per-row randomization streams")
+	seed := fs.Int64("seed", 0, "base seed for the per-row randomization streams; 0 (default) draws fresh entropy from crypto/rand — set only for tests/repro, a known seed voids the local-DP guarantee")
+	clientID := fs.String("client", "", "client identifier mixed into batch IDs (default: hostname); keeps distinct clients' identical rows from deduplicating against each other")
 	retries := fs.Int("retries", 8, "attempts per batch when the collector sheds (429) or reports transient failure (5xx)")
 	cf := addCSVFlags(fs)
 	tf := addTelFlags(fs)
@@ -167,6 +177,19 @@ func cmdReport(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	baseSeed := *seed
+	if baseSeed == 0 {
+		if baseSeed, err = entropySeed(); err != nil {
+			return err
+		}
+	}
+	if *clientID == "" {
+		host, herr := os.Hostname()
+		if herr != nil || host == "" {
+			host = "client"
+		}
+		*clientID = host
+	}
 
 	reports := make([]privacy.Report, 0, r.NumRows())
 	for i := 0; i < r.NumRows(); i++ {
@@ -174,7 +197,7 @@ func cmdReport(args []string) (err error) {
 		if rerr != nil {
 			return faults.Wrap(faults.ErrInternal, rerr)
 		}
-		rep, rerr := privacy.PrivatizeRecord(privacy.StreamRand(*seed, i), meta, row.Discrete, row.Numeric)
+		rep, rerr := privacy.PrivatizeRecord(privacy.StreamRand(baseSeed, i), meta, row.Discrete, row.Numeric)
 		if rerr != nil {
 			return rerr
 		}
@@ -189,7 +212,7 @@ func cmdReport(args []string) (err error) {
 			end = len(reports)
 		}
 		batch := collect.Batch{
-			ID:        batchID(mech.Fingerprint, start, reports[start:end]),
+			ID:        batchID(mech.Fingerprint, *clientID, start, reports[start:end]),
 			Mechanism: mech.Fingerprint,
 			Reports:   reports[start:end],
 		}
@@ -209,14 +232,30 @@ func cmdReport(args []string) (err error) {
 	return nil
 }
 
+// entropySeed draws a nonzero randomization seed from crypto/rand.
+func entropySeed() (int64, error) {
+	var buf [8]byte
+	if _, err := crand.Read(buf[:]); err != nil {
+		return 0, faults.Wrap(faults.ErrInternal, fmt.Errorf("report: seeding from crypto/rand: %w", err))
+	}
+	s := int64(binary.LittleEndian.Uint64(buf[:]))
+	if s == 0 {
+		s = 1
+	}
+	return s, nil
+}
+
 // batchID derives a deterministic batch identifier from the mechanism, the
-// batch's position, and its exact report content. The same input CSV, seed,
-// and batch size always reproduce the same IDs, so a rerun after a client or
-// collector crash is deduplicated instead of double-counted.
-func batchID(fingerprint string, start int, reports []privacy.Report) string {
+// client identity, the batch's position, and its exact report content. The
+// same client, input CSV, seed, and batch size always reproduce the same
+// IDs, so a rerun after a client or collector crash is deduplicated instead
+// of double-counted — while the client component keeps two clients that
+// happen to ship identical reports (e.g. both under an explicit test seed)
+// from colliding and being silently undercounted. Components are
+// length-prefixed so no choice of client ID can collide with content.
+func batchID(fingerprint, client string, start int, reports []privacy.Report) string {
 	h := sha256.New()
-	io.WriteString(h, fingerprint)
-	fmt.Fprintf(h, "|%d|", start)
+	fmt.Fprintf(h, "%d:%s%d:%s|%d|", len(fingerprint), fingerprint, len(client), client, start)
 	enc := json.NewEncoder(h)
 	for _, rep := range reports {
 		enc.Encode(rep)

@@ -94,6 +94,17 @@ func TestCollectReportRoundtrip(t *testing.T) {
 		t.Fatalf("rerun report output %q", out)
 	}
 
+	// Without -seed the client draws fresh crypto/rand entropy per run, so
+	// two runs are independent contributions — none of them may collide with
+	// each other (or with the seeded runs) and be silently deduplicated.
+	entropyArgs := []string{"report", "-in", data, "-meta", meta, "-url", base, "-batch", "64"}
+	for i := 0; i < 2; i++ {
+		out = captureStdout(t, func() error { return run(entropyArgs) })
+		if !strings.Contains(out, "(0 already known to the collector)") {
+			t.Fatalf("entropy-seeded run %d was deduplicated: %q", i, out)
+		}
+	}
+
 	stopCollector(t, done)
 
 	// After the drain, the checkpoint matches what the endpoint served and is

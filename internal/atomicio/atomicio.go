@@ -72,7 +72,24 @@ func writeFile(path string, write func(io.Writer) error, classify bool) (err err
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("atomicio: %w", err)
 	}
+	// fsync the directory so the rename itself is durable: without it a
+	// power loss can forget the new directory entry even though the file's
+	// contents were synced.
+	if err := syncDir(dir); err != nil {
+		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("atomicio: dir sync %s: %w", path, err))
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames and file creations in it
+// durable against power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // WriteFileBytes atomically writes a byte slice.

@@ -354,8 +354,12 @@ func (s *Service) writeError(w http.ResponseWriter, status int, code, message st
 }
 
 // httpStatusFor maps a classified error to its status and wire code,
-// mirroring internal/server: client-shaped input is 4xx, durability failures
-// are 503 (retryable — the client should repost the batch).
+// mirroring internal/server: client-shaped input is 4xx, transient
+// durability failures (disk full, torn write) are 503 (retryable — the
+// client should repost the batch). Corruption of a sealed segment or the
+// checkpoint is NOT transient — no retry fixes bit rot — so it maps to a
+// plain 500, and clients fail fast instead of spinning down their retry
+// budget against a permanently failing collector.
 func httpStatusFor(err error) (int, string) {
 	switch faults.Kind(err) {
 	case faults.ErrUsage, faults.ErrBadQuery:
@@ -364,7 +368,9 @@ func httpStatusFor(err error) (int, string) {
 		return http.StatusUnprocessableEntity, telemetry.FaultCode(err)
 	case faults.ErrInternal:
 		return http.StatusInternalServerError, "internal"
-	case faults.ErrCorruptCheckpoint, faults.ErrPartialWrite:
+	case faults.ErrCorruptCheckpoint:
+		return http.StatusInternalServerError, telemetry.FaultCode(err)
+	case faults.ErrPartialWrite:
 		return http.StatusServiceUnavailable, telemetry.FaultCode(err)
 	default:
 		return http.StatusBadRequest, "bad_batch"

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"privateclean/internal/estimator"
+	"privateclean/internal/faults"
 	"privateclean/internal/privacy"
 	"privateclean/internal/telemetry"
 )
@@ -286,6 +287,27 @@ func TestServiceConfigErrors(t *testing.T) {
 	bad.Discrete["major"] = d
 	if _, err := New(Config{Dir: t.TempDir(), Meta: bad, Tel: telemetry.Noop()}); err == nil {
 		t.Fatal("invalid meta must fail")
+	}
+}
+
+// TestHTTPStatusMapping: transient durability failures (partial writes,
+// backpressure) are retryable 503s, but corruption is permanent — a client
+// retrying a 503 against a corrupt collector would just burn its retry
+// budget, so ErrCorruptCheckpoint must map to a non-retryable 500.
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+	}{
+		{faults.Errorf(faults.ErrPartialWrite, "disk full"), http.StatusServiceUnavailable},
+		{faults.Errorf(faults.ErrCorruptCheckpoint, "sealed segment bit rot"), http.StatusInternalServerError},
+		{faults.Errorf(faults.ErrInternal, "bug"), http.StatusInternalServerError},
+		{faults.Errorf(faults.ErrBadMeta, "mismatch"), http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		if status, _ := httpStatusFor(c.err); status != c.status {
+			t.Errorf("httpStatusFor(%v) = %d, want %d", c.err, status, c.status)
+		}
 	}
 }
 

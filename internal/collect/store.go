@@ -161,53 +161,86 @@ func (s *Store) window(b Batch) (*relation.Relation, error) {
 // segment file is safe to delete; if the process dies first, the next Fold
 // call (or Open) sees seq <= AppliedSeq and skips it — exactly-once either
 // way.
+//
+// The fold is staged: payloads accumulate into a clone of the statistics,
+// and the in-memory watermark, batch set, and collector swap over only after
+// the checkpoint rename lands. On any error nothing moves — Compact cannot
+// watermark-delete a segment no durable checkpoint covers, and retrying the
+// same Fold neither loses nor double-counts a batch.
 func (s *Store) Fold(seq uint64, payloads [][]byte) (folded int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if seq <= s.applied {
 		return 0, nil
 	}
+	staged, err := cloneCollector(s.coll)
+	if err != nil {
+		return 0, err
+	}
+	newIDs := make(map[string]struct{})
 	for _, payload := range payloads {
 		b, err := decodeBatch(payload)
 		if err != nil {
-			return folded, err
+			return 0, err
 		}
 		if _, ok := s.batches[b.ID]; ok {
 			continue
 		}
+		if _, ok := newIDs[b.ID]; ok {
+			continue
+		}
 		win, err := s.window(b)
 		if err != nil {
-			return folded, err
+			return 0, err
 		}
-		if err := s.coll.Add(win); err != nil {
-			return folded, err
+		if err := staged.Add(win); err != nil {
+			return 0, err
 		}
-		s.batches[b.ID] = struct{}{}
-		folded++
+		newIDs[b.ID] = struct{}{}
 	}
-	s.applied = seq
-	if err := s.checkpointLocked(); err != nil {
-		return folded, err
-	}
-	return folded, nil
-}
-
-// checkpointLocked writes the checkpoint file atomically. Batch IDs are
-// sorted so the file is deterministic for a given state.
-func (s *Store) checkpointLocked() error {
-	ids := make([]string, 0, len(s.batches))
+	ids := make([]string, 0, len(s.batches)+len(newIDs))
 	for id := range s.batches {
+		ids = append(ids, id)
+	}
+	for id := range newIDs {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	ck := checkpointFile{
 		Version:    storeVersion,
 		Mechanism:  s.mechanism,
-		AppliedSeq: s.applied,
+		AppliedSeq: seq,
 		Batches:    ids,
-		Stats:      s.coll.Statistics(),
+		Stats:      staged.Statistics(),
 	}
-	return atomicio.WriteJSON(s.path, ck)
+	if err := atomicio.WriteJSON(s.path, ck); err != nil {
+		return 0, err
+	}
+	s.coll = staged
+	s.applied = seq
+	for id := range newIDs {
+		s.batches[id] = struct{}{}
+	}
+	return len(newIDs), nil
+}
+
+// cloneCollector deep-copies a collector via its JSON form — the same
+// round-trip a checkpoint reload takes, so the clone accumulates exactly
+// like the original.
+func cloneCollector(c *estimator.Collector) (*estimator.Collector, error) {
+	st := c.Statistics()
+	if len(st.Columns) == 0 {
+		return estimator.NewCollectorFrom(nil)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrInternal, err)
+	}
+	var copied estimator.Statistics
+	if err := json.Unmarshal(data, &copied); err != nil {
+		return nil, faults.Wrap(faults.ErrInternal, err)
+	}
+	return estimator.NewCollectorFrom(&copied)
 }
 
 // MarshalStats renders the current statistics as JSON under the store lock,

@@ -98,6 +98,52 @@ func TestStoreFoldIdempotence(t *testing.T) {
 	}
 }
 
+// TestStoreFoldCheckpointFailure: a failed checkpoint write must leave the
+// store exactly where it was — watermark, batch set, and statistics. If the
+// watermark advanced anyway, Compact would delete the segment with no durable
+// checkpoint covering it and a later crash would silently lose acknowledged
+// batches.
+func TestStoreFoldCheckpointFailure(t *testing.T) {
+	_, schema, mech := storeFixture(t)
+	// A checkpoint path in a directory that does not exist yet: every write
+	// fails until the directory appears, without touching permissions (which
+	// root ignores).
+	dir := filepath.Join(t.TempDir(), "missing")
+	path := filepath.Join(dir, "store.json")
+	s, err := OpenStore(path, schema, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{batchPayload(t, "b1", 3), batchPayload(t, "b2", 2)}
+	if _, err := s.Fold(1, payloads); err == nil {
+		t.Fatal("fold with an unwritable checkpoint must fail")
+	}
+	if s.AppliedSeq() != 0 || s.Rows() != 0 || s.BatchCount() != 0 || s.HasBatch("b1") {
+		t.Fatalf("failed checkpoint mutated the store: seq %d rows %d batches %d",
+			s.AppliedSeq(), s.Rows(), s.BatchCount())
+	}
+
+	// Once the write can land, the identical retry folds everything exactly
+	// once.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Fold(1, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || s.Rows() != 5 || s.AppliedSeq() != 1 {
+		t.Fatalf("retry fold = %d batches, %d rows, seq %d", n, s.Rows(), s.AppliedSeq())
+	}
+	reloaded, err := OpenStore(path, schema, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Rows() != 5 || reloaded.AppliedSeq() != 1 {
+		t.Fatalf("checkpoint after retry: rows %d seq %d", reloaded.Rows(), reloaded.AppliedSeq())
+	}
+}
+
 func TestStoreRefusesMismatches(t *testing.T) {
 	path, schema, mech := storeFixture(t)
 	s, err := OpenStore(path, schema, mech)

@@ -6,8 +6,11 @@
 // `serve -stats` consume.
 //
 // Durability contract: once a batch is acknowledged with 200 under the
-// "always" fsync policy, it survives kill -9 — restart replays the WAL and
-// folds it exactly once (batch IDs deduplicate replays). A torn tail on the
+// "always" fsync policy, it survives kill -9 and power loss — records are
+// fsynced before the ack, the WAL directory is fsynced when a segment is
+// created (so the directory entry cannot vanish out from under synced
+// records), and restart replays the WAL and folds every record exactly once
+// (batch IDs deduplicate replays). A torn tail on the
 // active segment (the record being appended when the process died) is
 // truncated on recovery: that record was never acknowledged, so dropping it
 // loses nothing. Corruption anywhere else is refused loudly rather than
@@ -323,15 +326,32 @@ func truncateTo(path string, n int64) error {
 // Recovery returns what Open found and repaired.
 func (w *WAL) Recovery() RecoveryStats { return w.recov }
 
-// openSegmentLocked creates the active segment file for w.seq. Callers hold
-// w.mu (or are inside Open before the WAL escapes).
+// openSegmentLocked creates the active segment file for w.seq and fsyncs the
+// WAL directory so the new directory entry is itself durable — without that,
+// a power loss after record fsyncs could drop the whole segment by losing its
+// name. Callers hold w.mu (or are inside Open before the WAL escapes).
 func (w *WAL) openSegmentLocked() error {
 	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seq)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("collect: wal segment: %w", err))
 	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("collect: wal dir sync: %w", err))
+	}
 	w.f, w.size = f, 0
 	return nil
+}
+
+// syncDir fsyncs a directory, making its entries (file creations and
+// renames) durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Append durably logs one payload and returns the sequence number of the

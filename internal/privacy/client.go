@@ -11,7 +11,6 @@ package privacy
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"math"
 	"sort"
 	"strconv"
@@ -89,8 +88,21 @@ func MechanismFor(meta *ViewMeta) Mechanism {
 // (p, domain), numeric attributes with (b, delta). Rows is excluded — it
 // describes one dataset, not the channel. Two metas fingerprint equal iff
 // they induce the same randomization channel.
+//
+// Every component is length-prefixed ("<len>:<bytes>"), which makes the
+// rendering injective: a domain ["a|b"] cannot canonicalize like ["a","b"],
+// and names or values containing any delimiter byte cannot forge another
+// mechanism's rendering. Without that, two channels that randomize
+// differently could share a fingerprint, and the collector's mechanism
+// pinning would let them mix — corrupting the estimator inversion the
+// pinning exists to protect.
 func MechanismFingerprint(meta *ViewMeta) string {
 	var sb strings.Builder
+	comp := func(s string) {
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
+	}
 	names := make([]string, 0, len(meta.Discrete))
 	for name := range meta.Discrete {
 		names = append(names, name)
@@ -99,12 +111,10 @@ func MechanismFingerprint(meta *ViewMeta) string {
 	for _, name := range names {
 		dm := meta.Discrete[name]
 		sb.WriteString("d|")
-		sb.WriteString(name)
-		sb.WriteByte('|')
-		sb.WriteString(strconv.FormatFloat(dm.P, 'g', -1, 64))
+		comp(name)
+		comp(strconv.FormatFloat(dm.P, 'g', -1, 64))
 		for _, v := range dm.Domain {
-			sb.WriteByte('|')
-			sb.WriteString(v)
+			comp(v)
 		}
 		sb.WriteByte('\n')
 	}
@@ -115,9 +125,11 @@ func MechanismFingerprint(meta *ViewMeta) string {
 	sort.Strings(names)
 	for _, name := range names {
 		nm := meta.Numeric[name]
-		fmt.Fprintf(&sb, "n|%s|%s|%s\n", name,
-			strconv.FormatFloat(nm.B, 'g', -1, 64),
-			strconv.FormatFloat(nm.Delta, 'g', -1, 64))
+		sb.WriteString("n|")
+		comp(name)
+		comp(strconv.FormatFloat(nm.B, 'g', -1, 64))
+		comp(strconv.FormatFloat(nm.Delta, 'g', -1, 64))
+		sb.WriteByte('\n')
 	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])

@@ -143,6 +143,36 @@ func TestMechanismFingerprint(t *testing.T) {
 	}
 }
 
+// TestMechanismFingerprintInjective: the canonical rendering length-prefixes
+// every component, so mechanisms whose names or domain values embed delimiter
+// bytes cannot collide. These pairs randomize differently and collided under
+// a naive '|'-joined rendering.
+func TestMechanismFingerprintInjective(t *testing.T) {
+	pairs := [][2]*ViewMeta{
+		{ // one two-valued domain vs two values glued with the old separator
+			{Discrete: map[string]DiscreteMeta{"x": {P: 0.5, Domain: []string{"a|b"}}}},
+			{Discrete: map[string]DiscreteMeta{"x": {P: 0.5, Domain: []string{"a", "b"}}}},
+		},
+		{ // domain value vs attribute name absorbing the delimiter
+			{Discrete: map[string]DiscreteMeta{"x|0.5": {P: 0.5, Domain: []string{"a"}}}},
+			{Discrete: map[string]DiscreteMeta{"x": {P: 0.5, Domain: []string{"a"}}}},
+		},
+		{ // record separator embedded in a domain value
+			{Discrete: map[string]DiscreteMeta{"x": {P: 0.5, Domain: []string{"a\n"}}}},
+			{Discrete: map[string]DiscreteMeta{"x": {P: 0.5, Domain: []string{"a"}}}},
+		},
+		{ // two domains whose concatenations agree
+			{Discrete: map[string]DiscreteMeta{"x": {P: 0.5, Domain: []string{"ab", "c"}}}},
+			{Discrete: map[string]DiscreteMeta{"x": {P: 0.5, Domain: []string{"a", "bc"}}}},
+		},
+	}
+	for i, pair := range pairs {
+		if MechanismFingerprint(pair[0]) == MechanismFingerprint(pair[1]) {
+			t.Fatalf("pair %d: distinct mechanisms share a fingerprint", i)
+		}
+	}
+}
+
 func TestMechanismFor(t *testing.T) {
 	m := MechanismFor(clientMeta())
 	dm := m.Discrete["major"]
