@@ -24,6 +24,7 @@ import (
 	"privateclean/internal/collect"
 	"privateclean/internal/faults"
 	"privateclean/internal/privacy"
+	"privateclean/internal/telemetry"
 )
 
 // collectNotify, when set by a test, receives the bound listener address once
@@ -48,6 +49,7 @@ func cmdCollect(args []string) (err error) {
 	maxBatch := fs.Int("max-batch", collect.DefaultMaxBatchReports, "maximum reports per batch")
 	compactEvery := fs.Duration("compact-every", 5*time.Second, "background compaction cadence (0 disables; compaction still runs at startup, on stats reads, and on drain)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline; expiry force-closes in-flight requests (the WAL still flushes)")
+	pprofAddr := fs.String("pprof-addr", "", "serve Go pprof endpoints on this loopback host:port (e.g. 127.0.0.1:6060; default off)")
 	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
@@ -84,6 +86,14 @@ func cmdCollect(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	stopPprof, _, err := startPprof(*pprofAddr, tel)
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
+	// Runtime health + WAL/backlog gauges refresh on one sampling tick.
+	stopRuntime := telemetry.StartRuntimeMetrics(tel.Metrics, 10*time.Second, svc.UpdateGauges)
+	defer stopRuntime()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -191,44 +201,59 @@ func cmdReport(args []string) (err error) {
 		*clientID = host
 	}
 
-	reports := make([]privacy.Report, 0, r.NumRows())
+	recs := make([]privacy.Record, 0, r.NumRows())
 	for i := 0; i < r.NumRows(); i++ {
 		row, rerr := r.Row(i)
 		if rerr != nil {
 			return faults.Wrap(faults.ErrInternal, rerr)
 		}
-		rep, rerr := privacy.PrivatizeRecord(privacy.StreamRand(baseSeed, i), meta, row.Discrete, row.Numeric)
-		if rerr != nil {
-			return rerr
-		}
-		reports = append(reports, rep)
+		recs = append(recs, privacy.Record{Discrete: row.Discrete, Numeric: row.Numeric})
 	}
 
+	// Each batch runs under its own root span covering randomize + POST, and
+	// its trace ID travels twice: in the traceparent header (adopted by the
+	// collector's report-handler span) and in the batch body (into the WAL,
+	// so the eventual compaction fold links back to it). Randomizing inside
+	// the batch loop keeps the span honest about what one batch cost;
+	// StreamRand's global row indexing keeps the reports byte-identical to
+	// the one-loop layout.
 	client := &http.Client{Timeout: 30 * time.Second}
-	posted, duplicates := 0, 0
-	for start := 0; start < len(reports); start += *batchSize {
+	posted, duplicates, rows := 0, 0, 0
+	for start := 0; start < len(recs); start += *batchSize {
 		end := start + *batchSize
-		if end > len(reports) {
-			end = len(reports)
+		if end > len(recs) {
+			end = len(recs)
+		}
+		sp := tel.Trace.StartSpan(nil, "report_batch", telemetry.A("rows", end-start))
+		reports, rerr := privacy.PrivatizeRecords(tel, sp, baseSeed, start, meta, recs[start:end])
+		if rerr != nil {
+			sp.End()
+			return rerr
 		}
 		batch := collect.Batch{
-			ID:        batchID(mech.Fingerprint, *clientID, start, reports[start:end]),
+			ID:        batchID(mech.Fingerprint, *clientID, start, reports),
 			Mechanism: mech.Fingerprint,
-			Reports:   reports[start:end],
+			Reports:   reports,
+			TraceID:   sp.Trace(),
 		}
-		dup, perr := postBatch(client, *url, batch, *retries)
+		dup, perr := postBatch(client, *url, batch, sp.Traceparent(), *retries)
 		if perr != nil {
+			sp.Set("err", perr)
+			sp.End()
 			return perr
 		}
+		sp.Set("duplicate", dup)
+		sp.End()
 		posted++
+		rows += end - start
 		if dup {
 			duplicates++
 		}
 		tel.Log.Debug("batch acked", "op", "report", "reports", end-start, "duplicate", dup)
 	}
 	fmt.Printf("reported %d rows in %d batches (%d already known to the collector)\n",
-		len(reports), posted, duplicates)
-	tel.Log.Info("report finished", "op", "report", "rows", len(reports), "batches", posted, "duplicates", duplicates)
+		rows, posted, duplicates)
+	tel.Log.Info("report finished", "op", "report", "rows", rows, "batches", posted, "duplicates", duplicates)
 	return nil
 }
 
@@ -263,15 +288,24 @@ func batchID(fingerprint, client string, start int, reports []privacy.Report) st
 	return "r-" + hex.EncodeToString(h.Sum(nil))[:40]
 }
 
-// postBatch POSTs one batch, honoring Retry-After on 429/503 shedding.
-// Anything other than 200/accepted after the retry budget is a hard error.
-func postBatch(client *http.Client, base string, batch collect.Batch, retries int) (duplicate bool, err error) {
+// postBatch POSTs one batch, propagating the caller's trace context via the
+// traceparent header and honoring Retry-After on 429/503 shedding. Anything
+// other than 200/accepted after the retry budget is a hard error.
+func postBatch(client *http.Client, base string, batch collect.Batch, traceparent string, retries int) (duplicate bool, err error) {
 	payload, err := json.Marshal(batch)
 	if err != nil {
 		return false, faults.Wrap(faults.ErrInternal, err)
 	}
 	for attempt := 0; ; attempt++ {
-		resp, perr := client.Post(base+"/v1/report", "application/json", bytes.NewReader(payload))
+		req, perr := http.NewRequest(http.MethodPost, base+"/v1/report", bytes.NewReader(payload))
+		if perr != nil {
+			return false, faults.Wrap(faults.ErrUsage, perr)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, perr := client.Do(req)
 		if perr != nil {
 			return false, faults.Wrap(faults.ErrPartialWrite, perr)
 		}

@@ -11,20 +11,23 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"privateclean/internal/telemetry"
 )
 
 // startCollector runs `privateclean collect` against dir in a goroutine and
 // returns its base URL plus the exit channel. The caller SIGTERMs the process
 // to stop it.
-func startCollector(t *testing.T, dir, meta string) (string, chan error) {
+func startCollector(t *testing.T, dir, meta string, extra ...string) (string, chan error) {
 	t.Helper()
 	addrCh := make(chan net.Addr, 1)
 	collectNotify = func(a net.Addr) { addrCh <- a }
 	t.Cleanup(func() { collectNotify = nil })
 	done := make(chan error, 1)
+	args := append([]string{"collect", "-dir", dir, "-meta", meta,
+		"-addr", "127.0.0.1:0", "-fsync", "never", "-compact-every", "0"}, extra...)
 	go func() {
-		done <- run([]string{"collect", "-dir", dir, "-meta", meta,
-			"-addr", "127.0.0.1:0", "-fsync", "never", "-compact-every", "0"})
+		done <- run(args)
 	}()
 	select {
 	case a := <-addrCh:
@@ -132,6 +135,129 @@ func TestCollectReportRoundtrip(t *testing.T) {
 	})
 	if cliEstimate(t, qout) == "" {
 		t.Fatalf("no estimate from collected stats: %q", qout)
+	}
+}
+
+// TestCollectTraceRoundtrip is the ISSUE-7 acceptance path: one `pc report`
+// run's trace IDs must appear (a) as report_batch roots in the client's trace
+// JSONL, (b) as collect_report spans in the collector's trace JSONL (context
+// propagated over HTTP), and (c) exactly once in the collector's fold
+// span-link set — with /v1/statusz showing the drained pipeline.
+func TestCollectTraceRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTempCSV(t, dir)
+	meta := filepath.Join(dir, "meta.json")
+	if err := run([]string{"privatize", "-in", data, "-out", filepath.Join(dir, "private.csv"),
+		"-meta", meta, "-p", "0.2", "-b", "0.5", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+
+	clientTrace := filepath.Join(dir, "client-trace.jsonl")
+	collTrace := filepath.Join(dir, "collect-trace.jsonl")
+	cdir := filepath.Join(dir, "collect")
+	base, done := startCollector(t, cdir, meta, "-trace-out", collTrace)
+
+	if err := run([]string{"report", "-in", data, "-meta", meta, "-url", base,
+		"-batch", "64", "-seed", "5", "-trace-out", clientTrace}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fold everything, then read the pipeline-health summary while live.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Get(base + "/v1/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statusBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var status struct {
+		Service        string  `json:"service"`
+		SealedBacklog  int     `json:"sealed_backlog"`
+		SeqLag         uint64  `json:"seq_lag"`
+		Rows           int     `json:"rows"`
+		FreshnessCount uint64  `json:"freshness_count"`
+		LastFoldAge    float64 `json:"last_fold_age_seconds"`
+	}
+	if err := json.Unmarshal(statusBody, &status); err != nil {
+		t.Fatalf("statusz: %v\n%s", err, statusBody)
+	}
+	if status.Service != "collect" || status.Rows != 600 {
+		t.Fatalf("statusz after drain: %s", statusBody)
+	}
+	if status.SealedBacklog != 0 || status.SeqLag != 0 {
+		t.Fatalf("statusz backlog after fold: %s", statusBody)
+	}
+	if status.FreshnessCount < 10 || status.LastFoldAge < 0 {
+		t.Fatalf("statusz freshness after fold: %s", statusBody)
+	}
+
+	stopCollector(t, done)
+
+	// Client side: 10 report_batch roots, each with a distinct valid trace ID
+	// and a client_randomize child.
+	clientLines, err := telemetry.ReadTraceLines(clientTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchTraces := map[string]bool{}
+	randomized := map[string]bool{}
+	for _, ln := range clientLines {
+		switch ln.Name {
+		case "report_batch":
+			if !telemetry.ValidTraceID(ln.Trace) {
+				t.Fatalf("report_batch span has bad trace ID %q", ln.Trace)
+			}
+			batchTraces[ln.Trace] = true
+		case "client_randomize":
+			randomized[ln.Trace] = true
+		}
+	}
+	if len(batchTraces) != 10 {
+		t.Fatalf("client trace has %d report_batch traces, want 10", len(batchTraces))
+	}
+	for tr := range batchTraces {
+		if !randomized[tr] {
+			t.Fatalf("trace %s has no client_randomize span", tr)
+		}
+	}
+
+	// Collector side: every client trace continues into a collect_report span
+	// (with its wal_append child), and the fold links cover every batch trace
+	// exactly once.
+	collLines, err := telemetry.ReadTraceLines(collTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reported := map[string]bool{}
+	appended := map[string]bool{}
+	linkCount := map[string]int{}
+	for _, ln := range collLines {
+		switch ln.Name {
+		case "collect_report":
+			reported[ln.Trace] = true
+		case "wal_append":
+			appended[ln.Trace] = true
+		case "fold":
+			for _, l := range ln.Links {
+				linkCount[l]++
+			}
+		}
+	}
+	for tr := range batchTraces {
+		if !reported[tr] {
+			t.Errorf("client trace %s has no collect_report span on the collector", tr)
+		}
+		if !appended[tr] {
+			t.Errorf("client trace %s has no wal_append span on the collector", tr)
+		}
+		if linkCount[tr] != 1 {
+			t.Errorf("client trace %s linked by fold spans %d times, want exactly 1", tr, linkCount[tr])
+		}
 	}
 }
 

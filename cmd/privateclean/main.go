@@ -116,11 +116,13 @@ run 'privateclean <subcommand> -h' for flags`)
 }
 
 // telFlags bundles the observability flags every subcommand shares:
-// structured-log level and format, plus metrics and trace snapshot outputs.
+// structured-log level and format, a metrics snapshot output, and the
+// durable JSONL trace sink.
 type telFlags struct {
 	level, format        *string
 	metricsOut, traceOut *string
 	set                  *telemetry.Set
+	sink                 *telemetry.TraceSink
 }
 
 func addTelFlags(fs *flag.FlagSet) *telFlags {
@@ -128,13 +130,15 @@ func addTelFlags(fs *flag.FlagSet) *telFlags {
 		level:      fs.String("log-level", "warn", "log level: debug | info | warn | error"),
 		format:     fs.String("log-format", "text", "log format: text | json"),
 		metricsOut: fs.String("metrics-out", "", "write a metrics snapshot on exit (Prometheus text; a .json path gets expvar-style JSON)"),
-		traceOut:   fs.String("trace-out", "", "write the pipeline span tree on exit (JSON for .json paths, text outline otherwise)"),
+		traceOut:   fs.String("trace-out", "", "append completed spans to this JSONL trace sink (one span per line with trace/span/parent IDs; survives crashes and accumulates across runs)"),
 	}
 }
 
 // setup builds the telemetry set from the flags and installs it as the
 // process default, so instrumentation inside csvio/cleaning/query reports
-// through it too.
+// through it too. When -trace-out is set, the JSONL sink is opened up front
+// so spans export as they complete — a later crash loses at most the spans
+// still open at that instant, and Flush covers even those at exit.
 func (tf *telFlags) setup() (*telemetry.Set, error) {
 	lvl, err := telemetry.ParseLevel(*tf.level)
 	if err != nil {
@@ -151,6 +155,14 @@ func (tf *telFlags) setup() (*telemetry.Set, error) {
 		Trace:   telemetry.NewTracer(red),
 		Redact:  red,
 	}
+	if *tf.traceOut != "" {
+		sink, err := telemetry.OpenTraceSink(*tf.traceOut)
+		if err != nil {
+			return nil, err
+		}
+		tf.sink = sink
+		tf.set.Trace.SetSink(sink)
+	}
 	telemetry.SetDefault(tf.set)
 	return tf.set, nil
 }
@@ -163,8 +175,9 @@ func (tf *telFlags) finish(err *error) {
 	}
 }
 
-// flush writes the metrics and trace snapshots. It runs on failure too —
-// the diagnostics matter most when a run dies.
+// flush writes the metrics snapshot and drains the trace sink (exporting
+// any spans still open, then fsync+close). It runs on failure too — the
+// diagnostics matter most when a run dies.
 func (tf *telFlags) flush() error {
 	if tf.set == nil {
 		return nil
@@ -174,9 +187,14 @@ func (tf *telFlags) flush() error {
 			return err
 		}
 	}
-	if *tf.traceOut != "" {
-		if err := tf.set.Trace.SnapshotTo(*tf.traceOut); err != nil {
-			return err
+	if tf.sink != nil {
+		ferr := tf.set.Trace.Flush()
+		if cerr := tf.sink.Close(); ferr == nil {
+			ferr = cerr
+		}
+		tf.sink = nil
+		if ferr != nil {
+			return ferr
 		}
 	}
 	return nil

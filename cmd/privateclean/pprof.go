@@ -1,0 +1,51 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/telemetry"
+)
+
+// startPprof serves the Go profiling endpoints on their own listener when
+// addr is nonempty. Deliberately opt-in and loopback-only: pprof exposes
+// heap contents, and the collector's heap holds report payloads, so binding
+// it to a routable interface would undo the redaction boundary. An explicit
+// mux (rather than net/http/pprof's DefaultServeMux registration) keeps the
+// profiling surface off the service handlers.
+//
+// Returns a stop function and the bound address (empty when disabled).
+func startPprof(addr string, tel *telemetry.Set) (stop func(), bound string, err error) {
+	if addr == "" {
+		return func() {}, "", nil
+	}
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, "", faults.Errorf(faults.ErrUsage, "pprof: -pprof-addr %q must be host:port", addr)
+	}
+	if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+		return nil, "", faults.Errorf(faults.ErrUsage,
+			"pprof: -pprof-addr %q must bind a loopback IP (e.g. 127.0.0.1:6060); profiles expose process memory", addr)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", faults.Wrap(faults.ErrUsage, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if serr := srv.Serve(l); serr != nil && serr != http.ErrServerClosed {
+			tel.Log.Warn("pprof server exited", "op", "serve", telemetry.ErrAttr(serr))
+		}
+	}()
+	tel.Log.Info("pprof listening", "op", "serve")
+	return func() { _ = srv.Close() }, l.Addr().String(), nil
+}

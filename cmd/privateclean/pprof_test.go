@@ -1,0 +1,48 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/telemetry"
+)
+
+// TestStartPprofLoopbackGuard: the profiling listener is opt-in and refuses
+// routable bindings — heap profiles expose report payloads.
+func TestStartPprofLoopbackGuard(t *testing.T) {
+	stop, bound, err := startPprof("", telemetry.Noop())
+	if err != nil || bound != "" {
+		t.Fatalf("empty addr must be a no-op: bound=%q err=%v", bound, err)
+	}
+	stop()
+
+	for _, addr := range []string{"0.0.0.0:0", "8.8.8.8:6060", "example.com:6060", "nonsense"} {
+		if _, _, err := startPprof(addr, telemetry.Noop()); err == nil {
+			t.Errorf("startPprof(%q) accepted a non-loopback binding", addr)
+		} else if faults.Kind(err) != faults.ErrUsage {
+			t.Errorf("startPprof(%q) = %v, want a usage fault", addr, err)
+		}
+	}
+}
+
+// TestStartPprofServes: a loopback binding serves the pprof index on its own
+// listener, away from the service handlers.
+func TestStartPprofServes(t *testing.T) {
+	stop, bound, err := startPprof("127.0.0.1:0", telemetry.Noop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + bound + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d body %q", resp.StatusCode, body)
+	}
+}

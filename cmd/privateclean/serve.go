@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"privateclean/internal/atomicio"
 	"privateclean/internal/estimator"
@@ -16,6 +17,7 @@ import (
 	"privateclean/internal/provenance"
 	"privateclean/internal/relation"
 	"privateclean/internal/server"
+	"privateclean/internal/telemetry"
 )
 
 // serveNotify, when set by a test, receives the bound listener address once
@@ -37,6 +39,7 @@ func cmdServe(args []string) (err error) {
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInFlight, "concurrent query bound; excess requests get 429")
 	drainTimeout := fs.Duration("drain-timeout", server.DefaultDrainTimeout, "graceful-shutdown drain deadline; expiry force-closes in-flight requests")
 	drain := fs.Duration("drain", 0, "deprecated alias for -drain-timeout")
+	pprofAddr := fs.String("pprof-addr", "", "serve Go pprof endpoints on this loopback host:port (e.g. 127.0.0.1:6060; default off)")
 	cf := addCSVFlags(fs)
 	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +92,13 @@ func cmdServe(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	stopPprof, _, err := startPprof(*pprofAddr, tel)
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
+	stopRuntime := telemetry.StartRuntimeMetrics(tel.Metrics, 10*time.Second, nil)
+	defer stopRuntime()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -120,28 +120,42 @@ func TestPrivatizeTelemetryAcceptance(t *testing.T) {
 		}
 	}
 
-	// Trace snapshot: root privatize span with the pipeline stages beneath.
+	// Trace sink: JSONL, one span per line, all sharing the root privatize
+	// span's trace ID, with the pipeline stages parented beneath it.
+	lines, err := telemetry.ReadTraceLines(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
 	traceData, err := os.ReadFile(tracePath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	type spanT struct {
-		Name     string  `json:"name"`
-		Children []spanT `json:"children"`
-	}
-	var roots []spanT
-	if err := json.Unmarshal(traceData, &roots); err != nil {
-		t.Fatalf("trace is not JSON: %v\n%s", err, traceData)
-	}
-	if len(roots) != 1 || roots[0].Name != "privatize" {
-		t.Fatalf("trace roots: %s", traceData)
-	}
+	var root *telemetry.TraceLine
 	stages := map[string]int{}
-	for _, c := range roots[0].Children {
-		stages[c.Name]++
+	for i := range lines {
+		ln := &lines[i]
+		if !telemetry.ValidTraceID(ln.Trace) || !telemetry.ValidSpanID(ln.Span) {
+			t.Fatalf("span %q has malformed IDs: trace=%q span=%q", ln.Name, ln.Trace, ln.Span)
+		}
+		if ln.Name == "privatize" {
+			if root != nil {
+				t.Fatalf("multiple privatize roots in trace sink")
+			}
+			root = ln
+			continue
+		}
+		stages[ln.Name]++
+	}
+	if root == nil || root.Parent != "" {
+		t.Fatalf("no root privatize span in trace sink:\n%s", traceData)
+	}
+	for i := range lines {
+		if lines[i].Trace != root.Trace {
+			t.Fatalf("span %q trace %s does not match root trace %s", lines[i].Name, lines[i].Trace, root.Trace)
+		}
 	}
 	if stages["csv_load"] != 1 || stages["finalize"] != 1 || stages["chunk"] < 1 {
-		t.Fatalf("span tree missing stages: %v", stages)
+		t.Fatalf("trace sink missing stages: %v", stages)
 	}
 
 	// Ledger: the composed epsilon must match the Theorem 1 composition of

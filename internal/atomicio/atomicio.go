@@ -106,6 +106,25 @@ func WriteFileBytes(path string, data []byte) error {
 	})
 }
 
+// OpenAppend opens path for appending (creating it if needed) and fsyncs
+// the parent directory so the new directory entry survives power loss. It is
+// the door into the one non-atomic write shape this package sanctions:
+// append-only sinks (WAL-style logs, JSONL exporters) where each record is
+// written in a single Write call and a torn tail is detectable by the
+// reader.
+func OpenAppend(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: open append %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, faults.Wrap(faults.ErrPartialWrite, fmt.Errorf("atomicio: dir sync %s: %w", path, err))
+	}
+	return f, nil
+}
+
 // WriteJSON atomically writes v as indented JSON with a trailing newline —
 // the sidecar format shared by meta.json, provenance, and checkpoints.
 func WriteJSON(path string, v any) error {

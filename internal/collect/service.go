@@ -76,12 +76,20 @@ type Config struct {
 	walTap func(io.Writer) io.Writer
 }
 
+// maxAckTimes caps the ack-time map behind the freshness histogram: each
+// entry lives only until its batch folds, so the cap matters only when
+// compaction stalls — at which point freshness sampling degrades gracefully
+// (new batches go unsampled) instead of the map growing with the backlog.
+const maxAckTimes = 65536
+
 // Service is the LDP collection endpoint:
 //
-//	POST /v1/report  {"batch_id", "mechanism", "reports": [...]} -> ack after WAL append
-//	GET  /v1/stats   current folded statistics (the `pc stats` JSON format)
-//	GET  /healthz    liveness
-//	GET  /metrics    Prometheus text exposition
+//	POST /v1/report   {"batch_id", "mechanism", "reports": [...]} -> ack after WAL append
+//	GET  /v1/stats    current folded statistics (the `pc stats` JSON format)
+//	GET  /v1/statusz  pipeline-health summary (watermark, backlog, freshness)
+//	GET  /v1/tracez   recently completed traces from the in-memory ring
+//	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text exposition
 type Service struct {
 	meta     *privacy.ViewMeta
 	mech     string
@@ -91,6 +99,7 @@ type Service struct {
 	tel      *telemetry.Set
 	sem      chan struct{}
 	maxBatch int
+	start    time.Time
 
 	// cmu serializes compaction (startup replay, ticker, stats reads,
 	// drain).
@@ -100,6 +109,14 @@ type Service struct {
 	httpSrv     *http.Server
 	stopCompact chan struct{}
 	compactDone chan struct{}
+
+	// obsMu guards the observability state: ack times awaiting their fold
+	// (feeding the freshness histogram) and the last fold/compact stamps
+	// surfaced by /v1/statusz.
+	obsMu       sync.Mutex
+	ackTimes    map[string]time.Time
+	lastFold    time.Time
+	lastCompact time.Time
 
 	// testHook, when set, runs inside /v1/report handling after admission;
 	// tests use it to hold requests in flight deterministically.
@@ -161,7 +178,8 @@ func New(cfg Config) (*Service, error) {
 	}
 	// Endpoint paths, policy names, and collect-specific outcome codes
 	// appear as metric labels and log values; all code-chosen, none data.
-	tel.Redact.Allow("/v1/report", "/v1/stats", "/healthz", "/metrics",
+	tel.Redact.Allow("/v1/report", "/v1/stats", "/v1/statusz", "/v1/tracez",
+		"/healthz", "/metrics",
 		"collect", "wal_recover", "wal_rotate", "compact", "drain", "shed",
 		"method_not_allowed", "not_found", "mechanism_mismatch", "bad_batch",
 		"always", "interval", "never",
@@ -195,6 +213,8 @@ func New(cfg Config) (*Service, error) {
 		tel:      tel,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		maxBatch: cfg.MaxBatchReports,
+		start:    time.Now(),
+		ackTimes: make(map[string]time.Time),
 	}
 	// Startup replay: seal whatever the previous process left in the active
 	// segment, then fold every sealed segment. After this the statistics
@@ -242,6 +262,11 @@ func (s *Service) compactLoop(every time.Duration) {
 // fold checkpoints. Segments at or below the store watermark are deleted
 // without folding — they are the crash window between a checkpoint write and
 // a segment delete. Returns the number of batches folded.
+//
+// Each segment's fold runs under its own "fold" span linked to the trace ID
+// of every batch it newly applies — the asynchronous half of following a
+// batch: the client's trace ends at the ack, and the fold span's links pick
+// the story back up at checkpoint commit.
 func (s *Service) Compact() (int, error) {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
@@ -260,18 +285,10 @@ func (s *Service) Compact() (int, error) {
 			}
 			continue
 		}
-		payloads, err := ReadSegment(seg.Path)
-		if err != nil {
-			return folded, err
-		}
-		n, err := s.store.Fold(seg.Seq, payloads)
-		if err != nil {
-			return folded, err
-		}
+		n, err := s.foldSegment(seg)
 		folded += n
-		if n < len(payloads) {
-			s.tel.Metrics.Counter("privateclean_collect_duplicate_batches_total",
-				"Batches skipped during folding because their ID already folded.").Add(float64(len(payloads) - n))
+		if err != nil {
+			return folded, err
 		}
 		if err := os.Remove(seg.Path); err != nil && !os.IsNotExist(err) {
 			return folded, faults.Wrap(faults.ErrPartialWrite, err)
@@ -281,7 +298,125 @@ func (s *Service) Compact() (int, error) {
 	}
 	s.tel.Metrics.Counter("privateclean_collect_compactions_total",
 		"Compaction passes over the WAL.").Inc()
+	s.obsMu.Lock()
+	s.lastCompact = time.Now()
+	s.obsMu.Unlock()
+	s.UpdateGauges()
 	return folded, nil
+}
+
+// foldSegment folds one sealed segment under a traced span, observing the
+// fold latency and, for every newly applied batch, the ack-to-commit
+// freshness. Callers hold cmu.
+func (s *Service) foldSegment(seg SegmentInfo) (int, error) {
+	sp := s.tel.Trace.StartSpan(nil, "fold", telemetry.A("segment", int(seg.Seq)))
+	defer sp.End()
+	start := time.Now()
+	defer func() {
+		s.tel.Metrics.Histogram("privateclean_collect_fold_seconds",
+			"Wall time of folding one sealed WAL segment into the checkpoint.",
+			telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
+	}()
+	payloads, err := ReadSegment(seg.Path)
+	if err != nil {
+		sp.Set("err", err)
+		return 0, err
+	}
+	refs, err := s.store.Fold(seg.Seq, payloads)
+	if err != nil {
+		sp.Set("err", err)
+		return 0, err
+	}
+	sp.Set("records", len(payloads))
+	sp.Set("batches", len(refs))
+	for _, ref := range refs {
+		if ref.TraceID != "" {
+			sp.Link(ref.TraceID)
+		}
+	}
+	if len(refs) < len(payloads) {
+		s.tel.Metrics.Counter("privateclean_collect_duplicate_batches_total",
+			"Batches skipped during folding because their ID already folded.").Add(float64(len(payloads) - len(refs)))
+	}
+	s.observeFreshness(refs)
+	return len(refs), nil
+}
+
+// observeFreshness turns recorded ack times into end-to-end freshness
+// observations (batch ack -> checkpoint commit) for the newly folded
+// batches, and stamps the fold time for /v1/statusz.
+func (s *Service) observeFreshness(refs []FoldedBatch) {
+	now := time.Now()
+	hist := s.tel.Metrics.Histogram("privateclean_collect_freshness_seconds",
+		"End-to-end pipeline freshness: time from a batch's durable ack to the checkpoint commit that folded it.",
+		telemetry.FreshnessBuckets)
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	if len(refs) > 0 {
+		s.lastFold = now
+	}
+	for _, ref := range refs {
+		if acked, ok := s.ackTimes[ref.ID]; ok {
+			hist.Observe(now.Sub(acked).Seconds())
+			delete(s.ackTimes, ref.ID)
+		}
+	}
+}
+
+// recordAck stamps a batch's ack time so its eventual fold can observe
+// freshness. Best-effort: bounded by maxAckTimes, lost on restart (a
+// restarted collector cannot know when a pre-crash batch was acked).
+func (s *Service) recordAck(id string) {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	if len(s.ackTimes) >= maxAckTimes {
+		return
+	}
+	s.ackTimes[id] = time.Now()
+}
+
+// UpdateGauges refreshes the pipeline-lag gauges: applied/active sequence
+// watermarks, the sealed-segment backlog awaiting a fold, WAL disk usage,
+// and admission-queue depth. Called after every compaction and from the
+// runtime-metrics sampling tick.
+func (s *Service) UpdateGauges() {
+	applied, active := s.store.AppliedSeq(), s.wal.ActiveSeq()
+	s.tel.Metrics.Gauge("privateclean_collect_applied_seq",
+		"Highest WAL segment folded into the statistics checkpoint.").Set(float64(applied))
+	s.tel.Metrics.Gauge("privateclean_collect_active_seq",
+		"Sequence number of the active WAL segment.").Set(float64(active))
+	s.tel.Metrics.Gauge("privateclean_collect_seq_lag",
+		"Applied-sequence lag: sealed segments not yet folded (active_seq - 1 - applied_seq, floored at 0).").Set(float64(seqLag(applied, active)))
+	s.tel.Metrics.Gauge("privateclean_collect_sealed_backlog",
+		"Sealed WAL segments on disk awaiting compaction.").Set(float64(s.sealedBacklog()))
+	s.tel.Metrics.Gauge("privateclean_collect_wal_disk_bytes",
+		"Total bytes of WAL segment files on disk.").Set(float64(s.wal.DiskBytes()))
+	s.tel.Metrics.Gauge("privateclean_collect_wal_segments",
+		"WAL segment files on disk (sealed + active).").Set(float64(s.wal.SegmentCount()))
+	s.tel.Metrics.Gauge("privateclean_collect_admission_inflight",
+		"Batches currently admitted past the /v1/report semaphore.").Set(float64(len(s.sem)))
+}
+
+func seqLag(applied, active uint64) uint64 {
+	if active <= applied+1 {
+		return 0
+	}
+	return active - 1 - applied
+}
+
+func (s *Service) sealedBacklog() int {
+	segs, err := s.wal.Sealed()
+	if err != nil {
+		return 0
+	}
+	n := 0
+	applied := s.store.AppliedSeq()
+	for _, seg := range segs {
+		if seg.Seq > applied {
+			n++
+		}
+	}
+	return n
 }
 
 // Handler returns the service's HTTP handler.
@@ -289,6 +424,8 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/report", s.instrument("/v1/report", s.handleReport))
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("/v1/statusz", s.instrument("/v1/statusz", s.handleStatusz))
+	mux.HandleFunc("/v1/tracez", s.instrument("/v1/tracez", s.handleTracez))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
@@ -427,6 +564,16 @@ func (s *Service) validateBatch(b *Batch) (status int, code, msg string) {
 }
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	// Adopt the client's trace context (strictly validated) so the report
+	// handler's span shares the trace that randomized the batch, and echo it
+	// on the ack so the client can correlate. A missing or malformed header
+	// just starts a fresh trace.
+	remoteTrace, remoteSpan, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+	sp := s.tel.Trace.StartRemoteSpan(remoteTrace, remoteSpan, "collect_report")
+	defer sp.End()
+	if tp := sp.Traceparent(); tp != "" {
+		w.Header().Set("traceparent", tp)
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST a JSON batch to /v1/report")
@@ -447,6 +594,16 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, code, msg)
 		return
 	}
+	// The trace ID that rides into the WAL (and later into fold span links)
+	// must be shape-valid: prefer the batch's own, fall back to the header's,
+	// drop anything malformed.
+	if !telemetry.ValidTraceID(b.TraceID) {
+		b.TraceID = ""
+	}
+	if b.TraceID == "" && remoteTrace != "" {
+		b.TraceID = remoteTrace
+	}
+	sp.Set("reports", len(b.Reports))
 
 	// Bounded admission: a full semaphore sheds immediately with a
 	// Retry-After hint rather than queueing WAL appends unboundedly.
@@ -471,31 +628,122 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	if s.store.HasBatch(b.ID) {
 		s.tel.Metrics.Counter("privateclean_collect_duplicate_batches_total",
 			"Batches skipped during folding because their ID already folded.").Inc()
+		sp.Set("duplicate", true)
 		s.writeJSON(w, http.StatusOK, reportResponse{BatchID: b.ID, Reports: len(b.Reports), Duplicate: true})
 		return
 	}
 
 	// Re-marshal canonically: the WAL stores this struct's rendering, not
 	// the client's raw bytes, so replay decodes exactly what validation saw.
-	payload, err := json.Marshal(Batch{ID: b.ID, Mechanism: b.Mechanism, Reports: b.Reports})
+	payload, err := json.Marshal(Batch{ID: b.ID, Mechanism: b.Mechanism, Reports: b.Reports, TraceID: b.TraceID})
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "internal", "encoding batch: "+err.Error())
 		return
 	}
-	if _, err := s.wal.Append(payload); err != nil {
+	wsp := s.tel.Trace.StartSpan(sp, "wal_append")
+	seq, err := s.wal.Append(payload)
+	wsp.End()
+	if err != nil {
 		status, code := httpStatusFor(err)
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
 		}
+		sp.Set("err", err)
 		s.tel.Log.Error("batch append failed", "op", "collect", telemetry.ErrAttr(err))
 		s.writeError(w, status, code, err.Error())
 		return
 	}
+	s.recordAck(b.ID)
+	sp.Set("segment", int(seq))
 	s.tel.Metrics.Counter("privateclean_collect_batches_accepted_total",
 		"Batches acknowledged after a durable WAL append.").Inc()
 	s.tel.Metrics.Counter("privateclean_collect_reports_accepted_total",
 		"Reports acknowledged after a durable WAL append.").Add(float64(len(b.Reports)))
 	s.writeJSON(w, http.StatusOK, reportResponse{BatchID: b.ID, Reports: len(b.Reports)})
+}
+
+// statuszResponse is the /v1/statusz pipeline-health summary. Everything in
+// it is an aggregate, sequence number, or timestamp — no cell values, IDs,
+// or payload bytes.
+type statuszResponse struct {
+	Service       string  `json:"service"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Mechanism     string  `json:"mechanism"`
+	TotalEpsilon  float64 `json:"total_epsilon"`
+
+	AppliedSeq    uint64 `json:"applied_seq"`
+	ActiveSeq     uint64 `json:"active_seq"`
+	SeqLag        uint64 `json:"seq_lag"`
+	SealedBacklog int    `json:"sealed_backlog"`
+	WALDiskBytes  int64  `json:"wal_disk_bytes"`
+
+	Rows    int `json:"rows"`
+	Batches int `json:"batches"`
+
+	// LastFoldUnix is 0 when nothing has folded since start; the ages are
+	// -1 then, so "never" cannot be confused with "just now".
+	LastFoldUnix          int64   `json:"last_fold_unix"`
+	LastFoldAgeSeconds    float64 `json:"last_fold_age_seconds"`
+	LastCompactUnix       int64   `json:"last_compact_unix"`
+	LastCompactAgeSeconds float64 `json:"last_compact_age_seconds"`
+
+	FreshnessCount      uint64  `json:"freshness_count"`
+	FreshnessSumSeconds float64 `json:"freshness_sum_seconds"`
+	PendingAcks         int     `json:"pending_acks"`
+	Inflight            int     `json:"inflight"`
+}
+
+func stampAge(t, now time.Time) (unix int64, age float64) {
+	if t.IsZero() {
+		return 0, -1
+	}
+	return t.Unix(), now.Sub(t).Seconds()
+}
+
+func (s *Service) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET /v1/statusz")
+		return
+	}
+	s.UpdateGauges()
+	now := time.Now()
+	fresh := s.tel.Metrics.Histogram("privateclean_collect_freshness_seconds",
+		"End-to-end pipeline freshness: time from a batch's durable ack to the checkpoint commit that folded it.",
+		telemetry.FreshnessBuckets)
+	s.obsMu.Lock()
+	lastFold, lastCompact, pending := s.lastFold, s.lastCompact, len(s.ackTimes)
+	s.obsMu.Unlock()
+	resp := statuszResponse{
+		Service:       "collect",
+		UptimeSeconds: now.Sub(s.start).Seconds(),
+		Mechanism:     s.mech,
+		TotalEpsilon:  s.meta.TotalEpsilon(),
+		AppliedSeq:    s.store.AppliedSeq(),
+		ActiveSeq:     s.wal.ActiveSeq(),
+		WALDiskBytes:  s.wal.DiskBytes(),
+		SealedBacklog: s.sealedBacklog(),
+		Rows:          s.store.Rows(),
+		Batches:       s.store.BatchCount(),
+
+		FreshnessCount:      fresh.Count(),
+		FreshnessSumSeconds: fresh.Sum(),
+		PendingAcks:         pending,
+		Inflight:            len(s.sem),
+	}
+	resp.SeqLag = seqLag(resp.AppliedSeq, resp.ActiveSeq)
+	resp.LastFoldUnix, resp.LastFoldAgeSeconds = stampAge(lastFold, now)
+	resp.LastCompactUnix, resp.LastCompactAgeSeconds = stampAge(lastCompact, now)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET /v1/tracez")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"traces": s.tel.Trace.RecentJSON()})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,8 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -332,16 +334,25 @@ func (b *syncBuffer) String() string {
 
 // TestServiceRedactionBoundary is the satellite-6 proof: report values (the
 // privatized cells) must never reach a telemetry sink — not the metrics
-// exposition, not the logs — while the collector's own counters do.
+// exposition, not the logs, not the trace JSONL, not /v1/tracez or
+// /v1/statusz — while the collector's own counters do.
 func TestServiceRedactionBoundary(t *testing.T) {
 	const sentinelDiscrete = "XQZ_SENTINEL_VALUE"
 	const sentinelNumeric = "31337.25"
 
 	logBuf := &syncBuffer{}
 	red := telemetry.NewRedactor()
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	sink, err := telemetry.OpenTraceSink(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := telemetry.NewTracer(red)
+	tracer.SetSink(sink)
 	tel := &telemetry.Set{
 		Log:     telemetry.NewLogger(logBuf, slog.LevelDebug, "text", red),
 		Metrics: telemetry.NewRegistry(red),
+		Trace:   tracer,
 		Redact:  red,
 	}
 	s := newTestService(t, t.TempDir(), func(c *Config) { c.Tel = tel })
@@ -349,12 +360,16 @@ func TestServiceRedactionBoundary(t *testing.T) {
 	h := s.Handler()
 
 	meta := collectMeta()
-	b := Batch{ID: "redaction-probe", Mechanism: privacy.MechanismFingerprint(meta), Reports: []privacy.Report{{
-		Discrete: map[string]string{"major": sentinelDiscrete},
-		Numeric:  map[string]float64{"score": 31337.25},
-	}}}
+	b := Batch{ID: "redaction-probe", Mechanism: privacy.MechanismFingerprint(meta),
+		// A forged trace_id carrying a cell value is shape-invalid and must
+		// be dropped before it can ride into spans or fold links.
+		TraceID: sentinelDiscrete,
+		Reports: []privacy.Report{{
+			Discrete: map[string]string{"major": sentinelDiscrete},
+			Numeric:  map[string]float64{"score": 31337.25},
+		}}}
 	mustPost(t, h, b)
-	_ = getStats(t, h) // force a fold so compaction paths log too
+	_ = getStats(t, h) // force a fold so compaction paths log and trace too
 
 	metrics := do(t, h, http.MethodGet, "/metrics", nil).Body.String()
 	for _, want := range []string{
@@ -368,13 +383,34 @@ func TestServiceRedactionBoundary(t *testing.T) {
 			t.Errorf("metrics exposition missing %s", want)
 		}
 	}
+	tracez := do(t, h, http.MethodGet, "/v1/tracez", nil).Body.String()
+	statusz := do(t, h, http.MethodGet, "/v1/statusz", nil).Body.String()
+	if err := tel.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traceData) == 0 {
+		t.Error("trace sink is empty; the boundary check would be vacuous")
+	}
 	logs := logBuf.String()
-	for _, leak := range []string{sentinelDiscrete, sentinelNumeric, "redaction-probe"} {
-		if strings.Contains(metrics, leak) {
-			t.Errorf("metrics exposition leaks %q", leak)
-		}
-		if strings.Contains(logs, leak) {
-			t.Errorf("log output leaks %q", leak)
+	sinks := map[string]string{
+		"metrics": metrics,
+		"logs":    logs,
+		"tracez":  tracez,
+		"statusz": statusz,
+		"trace":   string(traceData),
+	}
+	for name, content := range sinks {
+		for _, leak := range []string{sentinelDiscrete, sentinelNumeric, "redaction-probe"} {
+			if strings.Contains(content, leak) {
+				t.Errorf("%s sink leaks %q", name, leak)
+			}
 		}
 	}
 	if logs == "" {

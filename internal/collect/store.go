@@ -25,6 +25,12 @@ type Batch struct {
 	ID        string           `json:"batch_id"`
 	Mechanism string           `json:"mechanism"`
 	Reports   []privacy.Report `json:"reports"`
+	// TraceID carries the client's trace context through the WAL so the
+	// asynchronous compaction fold can link back to the trace that shipped
+	// the batch. Optional (omitted when clients don't trace), and restricted
+	// to the 32-hex trace-ID shape by ingestion — an arbitrary string here
+	// would otherwise ride into telemetry sinks.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // checkpointFile is the at-rest form of the store: the folded sufficient
@@ -155,33 +161,42 @@ func (s *Store) window(b Batch) (*relation.Relation, error) {
 	return win, nil
 }
 
+// FoldedBatch identifies one batch a Fold call newly applied: its ID and the
+// trace ID it carried (empty when the client did not trace). The compactor
+// uses these to link its fold span to the shipping traces and to observe the
+// ack-to-commit freshness of each batch.
+type FoldedBatch struct {
+	ID      string
+	TraceID string
+}
+
 // Fold folds one sealed segment's payloads into the statistics and advances
 // the watermark to seq, writing the checkpoint atomically before returning.
 // Payloads whose batch ID already folded are skipped. After a nil return the
 // segment file is safe to delete; if the process dies first, the next Fold
 // call (or Open) sees seq <= AppliedSeq and skips it — exactly-once either
-// way.
+// way. The returned slice holds the newly folded batches in segment order.
 //
 // The fold is staged: payloads accumulate into a clone of the statistics,
 // and the in-memory watermark, batch set, and collector swap over only after
 // the checkpoint rename lands. On any error nothing moves — Compact cannot
 // watermark-delete a segment no durable checkpoint covers, and retrying the
 // same Fold neither loses nor double-counts a batch.
-func (s *Store) Fold(seq uint64, payloads [][]byte) (folded int, err error) {
+func (s *Store) Fold(seq uint64, payloads [][]byte) (folded []FoldedBatch, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if seq <= s.applied {
-		return 0, nil
+		return nil, nil
 	}
 	staged, err := cloneCollector(s.coll)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	newIDs := make(map[string]struct{})
 	for _, payload := range payloads {
 		b, err := decodeBatch(payload)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		if _, ok := s.batches[b.ID]; ok {
 			continue
@@ -191,12 +206,13 @@ func (s *Store) Fold(seq uint64, payloads [][]byte) (folded int, err error) {
 		}
 		win, err := s.window(b)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		if err := staged.Add(win); err != nil {
-			return 0, err
+			return nil, err
 		}
 		newIDs[b.ID] = struct{}{}
+		folded = append(folded, FoldedBatch{ID: b.ID, TraceID: b.TraceID})
 	}
 	ids := make([]string, 0, len(s.batches)+len(newIDs))
 	for id := range s.batches {
@@ -214,14 +230,14 @@ func (s *Store) Fold(seq uint64, payloads [][]byte) (folded int, err error) {
 		Stats:      staged.Statistics(),
 	}
 	if err := atomicio.WriteJSON(s.path, ck); err != nil {
-		return 0, err
+		return nil, err
 	}
 	s.coll = staged
 	s.applied = seq
 	for id := range newIDs {
 		s.batches[id] = struct{}{}
 	}
-	return len(newIDs), nil
+	return folded, nil
 }
 
 // cloneCollector deep-copies a collector via its JSON form — the same

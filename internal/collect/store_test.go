@@ -49,8 +49,8 @@ func TestStoreFoldAndReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 || s.Rows() != 5 || s.AppliedSeq() != 1 {
-		t.Fatalf("fold = %d batches, %d rows, seq %d", n, s.Rows(), s.AppliedSeq())
+	if len(n) != 2 || s.Rows() != 5 || s.AppliedSeq() != 1 {
+		t.Fatalf("fold = %d batches, %d rows, seq %d", len(n), s.Rows(), s.AppliedSeq())
 	}
 
 	// The checkpoint is on disk: a fresh store resumes exactly.
@@ -85,13 +85,13 @@ func TestStoreFoldIdempotence(t *testing.T) {
 	}
 	// Same segment replayed (crash between checkpoint and segment delete).
 	n, err := s.Fold(1, [][]byte{batchPayload(t, "dup", 3)})
-	if err != nil || n != 0 {
-		t.Fatalf("replayed segment folded %d batches (err %v), want 0", n, err)
+	if err != nil || len(n) != 0 {
+		t.Fatalf("replayed segment folded %d batches (err %v), want 0", len(n), err)
 	}
 	// Same batch ID in a later segment (client retry crossed a rotation).
 	n, err = s.Fold(2, [][]byte{batchPayload(t, "dup", 3), batchPayload(t, "fresh", 1)})
-	if err != nil || n != 1 {
-		t.Fatalf("cross-segment duplicate folded %d batches (err %v), want 1", n, err)
+	if err != nil || len(n) != 1 || n[0].ID != "fresh" {
+		t.Fatalf("cross-segment duplicate folded %v (err %v), want just \"fresh\"", n, err)
 	}
 	if s.Rows() != 4 || s.BatchCount() != 2 {
 		t.Fatalf("rows %d batches %d, want 4 rows from 2 batches", s.Rows(), s.BatchCount())
@@ -132,8 +132,8 @@ func TestStoreFoldCheckpointFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 || s.Rows() != 5 || s.AppliedSeq() != 1 {
-		t.Fatalf("retry fold = %d batches, %d rows, seq %d", n, s.Rows(), s.AppliedSeq())
+	if len(n) != 2 || s.Rows() != 5 || s.AppliedSeq() != 1 {
+		t.Fatalf("retry fold = %d batches, %d rows, seq %d", len(n), s.Rows(), s.AppliedSeq())
 	}
 	reloaded, err := OpenStore(path, schema, mech)
 	if err != nil {

@@ -364,6 +364,12 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	if len(payload) == 0 || len(payload) > maxRecordBytes {
 		return 0, faults.Errorf(faults.ErrBadInput, "collect: record payload of %d bytes out of (0, %d]", len(payload), maxRecordBytes)
 	}
+	start := time.Now()
+	defer func() {
+		w.tel.Metrics.Histogram("privateclean_collect_wal_append_seconds",
+			"Wall time of one WAL append, including any fsync the policy demands.",
+			telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
+	}()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -519,6 +525,33 @@ func (w *WAL) ActiveSize() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.size
+}
+
+// DiskBytes returns the total on-disk size of every WAL segment, and
+// SegmentCount the number of segment files — the raw material for the
+// wal_disk_bytes and wal_segments gauges. Both tolerate races with the
+// compactor deleting segments (a vanished file counts as zero).
+func (w *WAL) DiskBytes() int64 {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, s := range segs {
+		if info, err := os.Stat(s.Path); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// SegmentCount returns the number of on-disk WAL segment files.
+func (w *WAL) SegmentCount() int {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
 }
 
 // Close syncs and closes the active segment. The WAL is unusable after.

@@ -15,10 +15,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"privateclean/internal/faults"
 	"privateclean/internal/relation"
 	"privateclean/internal/stats"
+	"privateclean/internal/telemetry"
 )
 
 // Report is one locally randomized record as it travels to a collector.
@@ -148,6 +150,43 @@ func MechanismFingerprint(meta *ViewMeta) string {
 // missing and consume no draw. Attributes in the input that the mechanism
 // does not cover are an error — shipping an un-randomized value would breach
 // the local-DP contract.
+// Record is one raw client row awaiting local randomization.
+type Record struct {
+	Discrete map[string]string
+	Numeric  map[string]float64
+}
+
+// PrivatizeRecords randomizes a batch of records under a "client_randomize"
+// span (a child of parent when given) and a latency histogram — the first
+// hop of the traced pipeline. Record i draws from StreamRand(baseSeed,
+// start+i), so the output is byte-identical to calling PrivatizeRecord in a
+// loop with the same global row indices: batching is an observability
+// boundary, not a randomness one. The span records only counts and
+// durations; raw cells, seeds, and reports never touch it.
+func PrivatizeRecords(tel *telemetry.Set, parent *telemetry.Span, baseSeed int64, start int, meta *ViewMeta, recs []Record) ([]Report, error) {
+	if tel == nil {
+		tel = telemetry.Default()
+	}
+	sp := tel.Trace.StartSpan(parent, "client_randomize", telemetry.A("rows", len(recs)))
+	defer sp.End()
+	t0 := time.Now()
+	defer func() {
+		tel.Metrics.Histogram("privateclean_client_randomize_seconds",
+			"Wall time of locally randomizing one batch of records.",
+			telemetry.DurationBuckets).Observe(time.Since(t0).Seconds())
+	}()
+	reports := make([]Report, 0, len(recs))
+	for i, rec := range recs {
+		rep, err := PrivatizeRecord(StreamRand(baseSeed, start+i), meta, rec.Discrete, rec.Numeric)
+		if err != nil {
+			sp.Set("err", err)
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
 func PrivatizeRecord(rng Rand, meta *ViewMeta, discrete map[string]string, numeric map[string]float64) (Report, error) {
 	for name := range discrete {
 		if _, ok := meta.Discrete[name]; !ok {

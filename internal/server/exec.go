@@ -43,19 +43,20 @@ type queryResponse struct {
 	Groups     []groupEstimate `json:"groups,omitempty"`
 }
 
-// execute parses and estimates one query against the resident view. The
-// aggregate dispatch mirrors the `privateclean query` CLI exactly — same
-// estimator entry points, same restrictions — so a served estimate is
-// byte-identical to the CLI's for the same view and query.
-func (s *Server) execute(sql string) (*queryResponse, error) {
+// execute parses and estimates one query against the resident view, under
+// the handler's "serve_query" span (which may continue a remote trace; the
+// caller ends it). The aggregate dispatch mirrors the `privateclean query`
+// CLI exactly — same estimator entry points, same restrictions — so a
+// served estimate is byte-identical to the CLI's for the same view and
+// query.
+func (s *Server) execute(sp *telemetry.Span, sql string) (*queryResponse, error) {
 	q, err := query.Parse(sql)
 	if err != nil {
 		return nil, faults.Wrap(faults.ErrBadQuery, err)
 	}
-	sp := s.tel.Trace.StartSpan(nil, "serve_query", telemetry.A("agg", q.Agg.String()))
+	sp.Set("agg", q.Agg.String())
 	start := time.Now()
 	defer func() {
-		sp.End()
 		s.tel.Metrics.Counter("privateclean_queries_total", "Estimated queries, by aggregate.",
 			telemetry.L("agg", q.Agg.String())).Inc()
 		s.tel.Metrics.Histogram("privateclean_query_seconds", "Wall time of query estimation.",

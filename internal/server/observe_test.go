@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"privateclean/internal/telemetry"
+)
+
+func newTracedServer(t *testing.T) (*Server, *telemetry.Set) {
+	t.Helper()
+	red := telemetry.NewRedactor()
+	tel := &telemetry.Set{
+		Log:     telemetry.NopLogger(),
+		Metrics: telemetry.NewRegistry(red),
+		Trace:   telemetry.NewTracer(red),
+		Redact:  red,
+	}
+	r, meta := testView(t)
+	s, err := New(Config{Rel: r, Meta: meta, Tel: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tel
+}
+
+// TestServeTracePropagation: a traceparent on POST /v1/query is adopted by
+// the serve_query span, echoed on the response, and rejected when malformed.
+func TestServeTracePropagation(t *testing.T) {
+	s, tel := newTracedServer(t)
+	h := s.Handler()
+
+	clientTrace, clientSpan := telemetry.NewTraceID(), telemetry.NewSpanID()
+	body, _ := json.Marshal(map[string]string{"query": "SELECT count(1) FROM view"})
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+	req.Header.Set("traceparent", telemetry.FormatTraceparent(clientTrace, clientSpan))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /v1/query = %d: %s", rec.Code, rec.Body)
+	}
+
+	echoTrace, _, ok := telemetry.ParseTraceparent(rec.Header().Get("traceparent"))
+	if !ok || echoTrace != clientTrace {
+		t.Fatalf("response traceparent %q does not continue client trace %s",
+			rec.Header().Get("traceparent"), clientTrace)
+	}
+
+	var found *telemetry.Span
+	for _, root := range tel.Trace.Roots() {
+		if root.Name == "serve_query" {
+			found = root
+		}
+	}
+	if found == nil {
+		t.Fatal("no serve_query span recorded")
+	}
+	if found.TraceID != clientTrace || found.ParentID != clientSpan {
+		t.Fatalf("serve_query context (trace=%s parent=%s), want (%s, %s)",
+			found.TraceID, found.ParentID, clientTrace, clientSpan)
+	}
+	var agg string
+	for _, a := range found.Attrs {
+		if a.Key == "agg" {
+			agg = a.Value.(string)
+		}
+	}
+	if agg != "count" {
+		t.Fatalf("serve_query span attrs missing agg=count: %+v", found.Attrs)
+	}
+
+	// Malformed context: the query still answers, under a fresh valid trace.
+	req = httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+	req.Header.Set("traceparent", "not-a-traceparent")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query with malformed traceparent = %d", rec.Code)
+	}
+	gotTrace, _, ok := telemetry.ParseTraceparent(rec.Header().Get("traceparent"))
+	if !ok || gotTrace == clientTrace || !telemetry.ValidTraceID(gotTrace) {
+		t.Fatalf("malformed header must yield a fresh valid trace, got %q", rec.Header().Get("traceparent"))
+	}
+}
+
+// TestServeStatusz: the query service's health summary carries mode, rows,
+// and admission state — and never query text or cell values.
+func TestServeStatusz(t *testing.T) {
+	s, _ := newTracedServer(t)
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/statusz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/statusz = %d: %s", rec.Code, rec.Body)
+	}
+	var resp statuszResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("statusz body: %v\n%s", err, rec.Body)
+	}
+	if resp.Service != "serve" || resp.Mode != "relation" || resp.Rows != 100 {
+		t.Fatalf("statusz: %+v", resp)
+	}
+	if resp.MaxInFlight != DefaultMaxInFlight || resp.Inflight != 0 {
+		t.Fatalf("statusz admission state: %+v", resp)
+	}
+	if resp.UptimeSeconds < 0 || resp.Confidence != 0.95 {
+		t.Fatalf("statusz config: %+v", resp)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/v1/statusz", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/statusz = %d, want 405", rec.Code)
+	}
+}
+
+// TestServeTracez: completed query traces are served from the ring. The
+// serve_query span ends in the worker goroutine after the response is
+// written, so the check polls briefly.
+func TestServeTracez(t *testing.T) {
+	s, _ := newTracedServer(t)
+	h := s.Handler()
+
+	body, _ := json.Marshal(map[string]string{"query": "SELECT count(1) FROM view"})
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d", rec.Code)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		req = httptest.NewRequest(http.MethodGet, "/v1/tracez", nil)
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /v1/tracez = %d: %s", rec.Code, rec.Body)
+		}
+		var resp struct {
+			Traces []struct {
+				Name string `json:"name"`
+			} `json:"traces"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("tracez body: %v\n%s", err, rec.Body)
+		}
+		for _, tr := range resp.Traces {
+			if tr.Name == "serve_query" {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tracez missing serve_query trace: %s", rec.Body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -102,6 +102,7 @@ type Server struct {
 	timeout time.Duration
 	drain   time.Duration
 	sem     chan struct{}
+	start   time.Time
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -144,10 +145,12 @@ func New(cfg Config) (*Server, error) {
 	// The endpoint paths and server-specific outcome codes appear as metric
 	// labels; they are code-chosen strings, not data, so they join the safe
 	// vocabulary.
-	tel.Redact.Allow("/v1/query", "/v1/describe", "/healthz", "/metrics",
+	tel.Redact.Allow("/v1/query", "/v1/describe", "/v1/statusz", "/v1/tracez",
+		"/healthz", "/metrics",
 		"timeout", "shed", "method_not_allowed", "not_found", "serve", "serve_query", "drain",
 		"200", "400", "404", "405", "408", "422", "429", "500", "503")
 	return &Server{
+		start: time.Now(),
 		rel:   cfg.Rel,
 		stats: cfg.Stats,
 		est: &estimator.Estimator{
@@ -177,6 +180,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.instrument("/v1/query", s.handleQuery))
 	mux.HandleFunc("/v1/describe", s.instrument("/v1/describe", s.handleDescribe))
+	mux.HandleFunc("/v1/statusz", s.instrument("/v1/statusz", s.handleStatusz))
+	mux.HandleFunc("/v1/tracez", s.instrument("/v1/tracez", s.handleTracez))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
@@ -312,6 +317,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Adopt the caller's trace context (strictly validated) so the query
+	// span joins the trace that issued the request, and echo the server's
+	// context back for correlation. The span lives in the worker goroutine —
+	// on a timeout it still ends when the estimation finishes.
+	remoteTrace, remoteSpan, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+	sp := s.tel.Trace.StartRemoteSpan(remoteTrace, remoteSpan, "serve_query")
+	if tp := sp.Traceparent(); tp != "" {
+		w.Header().Set("traceparent", tp)
+	}
+
 	type outcome struct {
 		resp *queryResponse
 		err  error
@@ -319,6 +334,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	done := make(chan outcome, 1)
 	go func() {
 		defer func() { <-s.sem }()
+		defer sp.End()
 		defer func() {
 			if p := recover(); p != nil {
 				done <- outcome{err: faults.Recover(p)}
@@ -327,7 +343,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if s.testHook != nil {
 			s.testHook()
 		}
-		resp, err := s.execute(req.Query)
+		resp, err := s.execute(sp, req.Query)
 		done <- outcome{resp: resp, err: err}
 	}()
 
@@ -428,6 +444,52 @@ func jsonSafe(v float64) float64 {
 		return -1
 	}
 	return v
+}
+
+// statuszResponse is the /v1/statusz health summary for the query service:
+// aggregates and configuration only, never cell values or query text.
+type statuszResponse struct {
+	Service       string  `json:"service"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Mode          string  `json:"mode"`
+	Rows          int     `json:"rows"`
+	TotalEpsilon  float64 `json:"total_epsilon"`
+	Confidence    float64 `json:"confidence"`
+	Inflight      int     `json:"inflight"`
+	MaxInFlight   int     `json:"max_inflight"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET /v1/statusz")
+		return
+	}
+	resp := statuszResponse{
+		Service:       "serve",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Mode:          "relation",
+		TotalEpsilon:  jsonSafe(s.est.Meta.TotalEpsilon()),
+		Confidence:    s.est.Confidence,
+		Inflight:      len(s.sem),
+		MaxInFlight:   cap(s.sem),
+	}
+	if s.stats != nil {
+		resp.Mode = "stats"
+		resp.Rows = s.stats.Rows
+	} else {
+		resp.Rows = s.rel.NumRows()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET /v1/tracez")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"traces": s.tel.Trace.RecentJSON()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -245,6 +245,12 @@ func formatFloat(v float64) string {
 // and chunk latencies (100µs .. 30s).
 var DurationBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}
 
+// FreshnessBuckets are histogram bounds, in seconds, for end-to-end
+// pipeline freshness (batch ack to checkpoint commit). Compaction cadences
+// run from milliseconds (tests) to many minutes (production), so the range
+// is wider and coarser than DurationBuckets.
+var FreshnessBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300, 900, 3600}
+
 // RowBuckets are the default histogram bounds for per-chunk and per-load row
 // counts.
 var RowBuckets = []float64{1, 8, 64, 256, 512, 1024, 4096, 16384, 65536, 262144, 1048576}

@@ -112,6 +112,9 @@ var baseline = buildBaseline(
 	"resume_truncate", "rebuild", "finalize", "ledger_append",
 	"clean", "clean_op", "write_view", "provenance_save",
 	"query_parse", "query_estimate", "explain", "describe", "tune", "minsize", "epsilon",
+	// distributed-collection span names and pipeline stages
+	"client_randomize", "report_batch", "collect_report", "wal_append",
+	"fold", "compact", "serve_query",
 	// row-error policies and malformed-row reason codes
 	"fail", "skip", "quarantine", "arity", "syntax", "bad_numeric",
 	// fault taxonomy codes

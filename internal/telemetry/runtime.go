@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// StartRuntimeMetrics samples Go runtime health into reg on a fixed tick:
+// goroutine count, heap bytes, cumulative GC pause seconds, and GC cycles.
+// extra (optional) runs on the same tick so callers can refresh their own
+// gauges (e.g. the collector's open-WAL-segment count) without running a
+// second ticker. One synchronous sample is taken before returning, so the
+// gauges exist in the exposition even if the process exits within the first
+// interval. The returned stop function halts the sampler; it is safe to
+// call more than once.
+func StartRuntimeMetrics(reg *Registry, every time.Duration, extra func()) (stop func()) {
+	if reg == nil {
+		if extra != nil {
+			extra()
+		}
+		return func() {}
+	}
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	goroutines := reg.Gauge("privateclean_go_goroutines", "Current number of goroutines.")
+	heap := reg.Gauge("privateclean_go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	gcPause := reg.Gauge("privateclean_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause seconds.")
+	gcs := reg.Gauge("privateclean_go_gcs_total", "Completed GC cycles.")
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heap.Set(float64(ms.HeapAlloc))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcs.Set(float64(ms.NumGC))
+		if extra != nil {
+			extra()
+		}
+	}
+	sample()
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(done)
+		<-stopped
+	}
+}

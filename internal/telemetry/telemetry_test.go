@@ -306,8 +306,15 @@ func TestTracerNilSafe(t *testing.T) {
 	if err := tr.WriteJSON(&buf); err != nil || buf.String() != "[]\n" {
 		t.Fatalf("nil WriteJSON = %q, %v", buf.String(), err)
 	}
-	if err := tr.SnapshotTo(filepath.Join(t.TempDir(), "t.json")); err != nil {
+	if err := tr.Flush(); err != nil {
 		t.Fatal(err)
+	}
+	if sp.Traceparent() != "" || sp.Trace() != "" {
+		t.Fatal("nil span carries trace context")
+	}
+	sp.Link("deadbeefdeadbeefdeadbeefdeadbeef")
+	if got := tr.RecentJSON(); got != nil {
+		t.Fatalf("RecentJSON = %v", got)
 	}
 }
 

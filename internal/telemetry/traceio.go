@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync"
+
+	"privateclean/internal/atomicio"
+	"privateclean/internal/faults"
+)
+
+// TraceLine is one span as it appears in the durable JSONL trace sink: one
+// JSON object per line, flat (parent/child structure is carried by the span
+// and parent IDs, not by nesting), so the file can be appended to by
+// successive process runs and grepped by trace ID.
+type TraceLine struct {
+	Trace      string         `json:"trace"`
+	Span       string         `json:"span"`
+	Parent     string         `json:"parent,omitempty"`
+	Name       string         `json:"name"`
+	Start      string         `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Open       bool           `json:"open,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Links      []string       `json:"links,omitempty"`
+}
+
+// TraceSink is the durable trace exporter behind -trace-out: an append-only
+// JSONL file. A whole trace is written in a single Write call, so once the
+// exporting process has acked (returned from End), the spans survive a
+// kill -9 of the process; Close additionally fsyncs for power-loss
+// durability. Appending (rather than snapshot-rewriting) means a client, a
+// collector, and a restarted collector can all land spans in their own
+// sinks without losing history — which is what makes a batch followable
+// across a crash.
+type TraceSink struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenTraceSink opens (creating if needed) the JSONL sink at path.
+func OpenTraceSink(path string) (*TraceSink, error) {
+	f, err := atomicio.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceSink{f: f}, nil
+}
+
+// writeLines appends the lines as one contiguous write.
+func (s *TraceSink) writeLines(lines []TraceLine) error {
+	if s == nil || len(lines) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, l := range lines {
+		if err := enc.Encode(l); err != nil {
+			return faults.Wrap(faults.ErrInternal, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	if _, err := s.f.Write(buf.Bytes()); err != nil {
+		return faults.Wrap(faults.ErrPartialWrite, err)
+	}
+	return nil
+}
+
+// Sync flushes the sink to stable storage.
+func (s *TraceSink) Sync() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return faults.Wrap(faults.ErrPartialWrite, err)
+	}
+	return nil
+}
+
+// Close syncs and closes the sink. Further exports become no-ops.
+func (s *TraceSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return faults.Wrap(faults.ErrPartialWrite, err)
+}
+
+// ReadTraceLines decodes a JSONL trace sink. A final unparsable line is
+// tolerated (a process killed mid-append can leave a torn tail — the same
+// contract as the WAL's active segment); an unparsable line anywhere else is
+// corruption and errors.
+func ReadTraceLines(path string) ([]TraceLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadInput, err)
+	}
+	defer f.Close()
+	var out []TraceLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pendingErr error
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The bad line was not the last one: real corruption.
+			return nil, pendingErr
+		}
+		var tl TraceLine
+		if err := json.Unmarshal(line, &tl); err != nil {
+			pendingErr = faults.Wrap(faults.ErrBadInput, err)
+			continue
+		}
+		out = append(out, tl)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, faults.Wrap(faults.ErrBadInput, err)
+	}
+	return out, nil
+}

@@ -35,10 +35,13 @@ go build -o "$tmp/pc" ./cmd/privateclean
 # start_collector <dir> <log>: bind port 0 and read the bound address from
 # -addr-file (written atomically once the listener is up). -compact-every 0
 # keeps folding deterministic: only startup replay and /v1/stats reads fold.
+# The trace sink lives in the collection dir and is append-only, so spans
+# accumulate across the kill -9 restart.
 start_collector() {
 	rm -f "$tmp/addr"
 	"$tmp/pc" collect -dir "$1" -meta "$tmp/meta.json" \
 		-addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+		-trace-out "$1-trace.jsonl" \
 		-fsync always -compact-every 0 >"$2" 2>&1 &
 	pid=$!
 	addr=""
@@ -53,13 +56,29 @@ start_collector() {
 
 report() {
 	"$tmp/pc" report -in "$tmp/data.csv" -meta "$tmp/meta.json" \
-		-url "$base" -batch 10 -seed 7
+		-url "$base" -batch 10 -seed 7 -trace-out "$tmp/client-trace.jsonl"
 }
 
 # --- Baseline: uninterrupted run. ---
 start_collector "$tmp/base" "$tmp/base.log"
 report
 curl -fs "$base/v1/stats" >"$tmp/stats-baseline.json"
+
+# Freshness: every batch this run acked just folded on the /v1/stats read,
+# so the ack-to-commit histogram has observations and statusz shows a fully
+# drained pipeline.
+metrics=$(curl -fs "$base/metrics")
+fresh_total=$(echo "$metrics" | sed -n 's/^privateclean_collect_freshness_seconds_count //p')
+[ "${fresh_total:-0}" -gt 0 ] || {
+	echo "freshness histogram has no observations after baseline drain"; exit 1; }
+statusz=$(curl -fs "$base/v1/statusz")
+echo "$statusz" | grep -q '"sealed_backlog": 0' || {
+	echo "statusz reports unfolded backlog after drain:"; echo "$statusz"; exit 1; }
+echo "$statusz" | grep -q '"seq_lag": 0' || {
+	echo "statusz reports sequence lag after drain:"; echo "$statusz"; exit 1; }
+echo "$statusz" | grep -q '"freshness_count": 0' && {
+	echo "statusz freshness has no observations:"; echo "$statusz"; exit 1; }
+
 kill -TERM "$pid"
 wait "$pid" || { echo "baseline collector exited non-zero"; cat "$tmp/base.log"; exit 1; }
 pid=""
@@ -98,9 +117,30 @@ echo "$metrics" | grep -q 'privateclean_http_requests_total' || {
 	echo "metrics missing request counter"; exit 1; }
 echo "$metrics" | grep -qE 'privateclean_collect_(batches_accepted|duplicate_batches)_total' || {
 	echo "metrics missing batch accounting"; exit 1; }
-# Report values must never leak into metrics.
-if echo "$metrics" | grep -q 'Math'; then
-	echo "metrics leak report values"; exit 1
+# /v1/statusz after the recovery fold: zero backlog again. (The re-ship may
+# have been fully deduplicated, so freshness is only asserted on the
+# baseline run above.)
+statusz=$(curl -fs "$base/v1/statusz")
+echo "$statusz" | grep -q '"sealed_backlog": 0' || {
+	echo "statusz reports unfolded backlog after recovery:"; echo "$statusz"; exit 1; }
+tracez=$(curl -fs "$base/v1/tracez")
+
+# Report values must never leak into any observability surface: metrics,
+# statusz, tracez, or the durable trace sinks.
+for surface in "$metrics" "$statusz" "$tracez"; do
+	if echo "$surface" | grep -q 'Math'; then
+		echo "observability surface leaks report values"; exit 1
+	fi
+done
+if grep -q 'Math' "$tmp"/*trace.jsonl; then
+	echo "trace sink leaks report values"; exit 1
+fi
+
+# CI sets SMOKE_TRACE_DIR to keep the trace JSONL past the tmp cleanup so
+# the workflow can upload it as an artifact next to the benchmark JSON.
+if [ -n "${SMOKE_TRACE_DIR:-}" ]; then
+	mkdir -p "$SMOKE_TRACE_DIR"
+	cp "$tmp"/*trace.jsonl "$SMOKE_TRACE_DIR"/
 fi
 
 kill -TERM "$pid"
