@@ -1,14 +1,14 @@
 GO ?= go
 
-# Per-target budget for the fuzz smoke; six targets keep the whole pass
-# around 30 seconds.
+# Per-target budget for the fuzz smoke; seven targets keep the whole pass
+# around 35 seconds.
 FUZZ_TIME ?= 5s
 
 # Minimum total statement coverage; CI fails below this. Raise it when
 # coverage durably improves, never lower it to make a PR pass.
 COVER_BASELINE ?= 78.0
 
-.PHONY: build vet test race faults check bench bench-json bench-smoke serve-smoke collect-smoke fuzz-smoke cover
+.PHONY: build vet test race faults check debug-assert bench bench-json bench-smoke bench-gate serve-smoke collect-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test ./internal/csvio/ -run '^$$' -fuzz '^FuzzReadPolicies$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/csvio/ -run '^$$' -fuzz '^FuzzMetaJSON$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/csvio/ -run '^$$' -fuzz '^FuzzProvenanceJSON$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/colstore/ -run '^$$' -fuzz '^FuzzColstoreRead$$' -fuzztime $(FUZZ_TIME)
 
 # Full-suite statement coverage, gated against COVER_BASELINE.
 cover:
@@ -62,16 +63,23 @@ cover:
 		echo "coverage $$total% is below the $(COVER_BASELINE)% baseline"; exit 1; \
 	fi
 
+# Re-run the packages that read cached dictionary encodings with the
+# pcdebug build tag, which turns every cache hit into a full staleness
+# assertion (see internal/relation/debug_on.go).
+debug-assert:
+	$(GO) test -tags pcdebug ./internal/relation/ ./internal/cleaning/ ./internal/estimator/ ./internal/colstore/
+
 # What CI runs.
-check: build vet race fuzz-smoke
+check: build vet race fuzz-smoke debug-assert
 
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Machine-readable pipeline benchmarks: the figure reproductions plus the
-# end-to-end privatize job, as JSON (raw benchstat-compatible lines included).
+# Machine-readable pipeline benchmarks: the figure reproductions, the
+# end-to-end privatize job, and the CSV-vs-.pcol load/query pairs, as JSON
+# (raw benchstat-compatible lines included).
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFigure|BenchmarkPrivatizeJob' -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure|BenchmarkPrivatizeJob|BenchmarkLoadCSV|BenchmarkLoadColstore|BenchmarkQueryCSV$$|BenchmarkQueryColstore' -benchmem . \
 		| $(GO) run ./tools/benchjson > BENCH_pipeline.json
 
 # Quick regression check against the committed baseline: a short-mode run of
@@ -81,3 +89,15 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrivatize' -benchmem -benchtime 10x -short . \
 		| $(GO) run ./tools/benchjson \
 		| $(GO) run ./tools/benchdiff -baseline BENCH_pipeline.json -current - -ignore-missing
+
+# Hard benchmark gate: re-run the Figure-2 pipeline benchmarks at full
+# benchtime, three times each, and fail when the best of the three
+# regresses ns/op by more than 10% against the committed
+# BENCH_pipeline.json (benchdiff keeps the minimum per benchmark, so one
+# descheduled run cannot fail the build). Figure 2 is the hot query loop
+# (privatize + estimate sweep), so it is the one gated hard; the noisier
+# end-to-end jobs stay report-only in bench-smoke.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure2' -benchmem -count 3 . \
+		| $(GO) run ./tools/benchjson \
+		| $(GO) run ./tools/benchdiff -baseline BENCH_pipeline.json -current - -ignore-missing -max-regress 0.10

@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"privateclean/internal/cleaning"
+	"privateclean/internal/colstore"
 	"privateclean/internal/core"
 	"privateclean/internal/csvio"
 	"privateclean/internal/dist"
@@ -626,6 +627,104 @@ func BenchmarkPrivatizeJobWorkers(b *testing.B) {
 			b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
+}
+
+// ---- Columnar store vs CSV (docs/PERFORMANCE.md load/query table) ---------
+
+// benchViewFiles privatizes a synthetic view once and materializes it as
+// both CSV and .pcol, returning the two paths plus the release metadata.
+func benchViewFiles(b *testing.B, rows int) (csvPath, colPath string, meta *privacy.ViewMeta) {
+	b.Helper()
+	dir := b.TempDir()
+	r := benchSynthetic(b, rows)
+	rng := rand.New(rand.NewSource(17))
+	v, meta, err := privacy.Privatize(rng, r, privacy.Uniform(r.Schema(), 0.1, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	csvPath = filepath.Join(dir, "view.csv")
+	if err := csvio.WriteFile(csvPath, v); err != nil {
+		b.Fatal(err)
+	}
+	colPath = filepath.Join(dir, "view.pcol")
+	if _, err := colstore.WriteFile(colPath, v); err != nil {
+		b.Fatal(err)
+	}
+	return csvPath, colPath, meta
+}
+
+// BenchmarkLoadCSV measures the query/serve startup cost on the CSV path:
+// parse, type-infer, and materialize a 100k-row view.
+func BenchmarkLoadCSV(b *testing.B) {
+	csvPath, _, _ := benchViewFiles(b, 100000)
+	opts := csvio.Options{ForceKinds: map[string]relation.Kind{"category": relation.Discrete}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := csvio.ReadFile(csvPath, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(100000*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkLoadColstore is the same startup on the .pcol path: mmap the
+// file and adopt its columns and dictionary encodings without parsing.
+func BenchmarkLoadColstore(b *testing.B) {
+	_, colPath, _ := benchViewFiles(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view, err := colstore.Open(colPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if view.Relation().NumRows() != 100000 {
+			b.Fatal("short view")
+		}
+		if err := view.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(100000*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// benchQueryBackend runs the corrected count+sum workload of the estimator
+// micro-benchmarks against an already-loaded relation.
+func benchQueryBackend(b *testing.B, r *relation.Relation, meta *privacy.ViewMeta) {
+	b.Helper()
+	est := &estimator.Estimator{Meta: meta}
+	pred := estimator.In("category", workload.CategoryValue(0), workload.CategoryValue(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Count(r, pred); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := est.Sum(r, "value", pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryCSV / BenchmarkQueryColstore pin the per-query cost on the
+// two backings. The estimates are bit-identical (see
+// colstore_identity_test.go); the pair exists so a regression on either
+// backing is visible in BENCH_pipeline.json.
+func BenchmarkQueryCSV(b *testing.B) {
+	csvPath, _, meta := benchViewFiles(b, 100000)
+	r, err := csvio.ReadFile(csvPath, csvio.Options{ForceKinds: map[string]relation.Kind{"category": relation.Discrete}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchQueryBackend(b, r, meta)
+}
+
+func BenchmarkQueryColstore(b *testing.B) {
+	_, colPath, meta := benchViewFiles(b, 100000)
+	view, err := colstore.Open(colPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer view.Close()
+	benchQueryBackend(b, view.Relation(), meta)
 }
 
 // BenchmarkLevenshteinBounded exercises the banded DP on a far pair (early

@@ -24,6 +24,7 @@ import (
 
 	"privateclean/internal/atomicio"
 	"privateclean/internal/cleaning"
+	"privateclean/internal/colstore"
 	"privateclean/internal/core"
 	"privateclean/internal/csvio"
 	"privateclean/internal/estimator"
@@ -78,6 +79,8 @@ func run(args []string) (err error) {
 		return cmdClean(args[1:])
 	case "stats":
 		return cmdStats(args[1:])
+	case "pack":
+		return cmdPack(args[1:])
 	case "query":
 		return cmdQuery(args[1:])
 	case "serve":
@@ -105,6 +108,7 @@ subcommands:
   epsilon    allocate a total epsilon budget across attributes (Sec. 4.2.3)
   clean      apply cleaning operations to a private CSV, recording provenance
   stats      stream a private CSV into sufficient statistics for count/sum/avg
+  pack       convert a CSV to the .pcol binary columnar format for -col loading
   query      estimate a sum/count/avg query on a (cleaned) private CSV
   serve      run a long-lived HTTP query service over one private view
   collect    run a crash-safe WAL-backed ingestion service for LDP reports
@@ -479,6 +483,18 @@ func streamSchema(path string, cf *csvFlags) (relation.Schema, error) {
 		return relation.Schema{}, err
 	}
 	return prof.Schema()
+}
+
+// countSet counts the non-empty strings among the mutually exclusive input
+// flags.
+func countSet(vals ...string) int {
+	n := 0
+	for _, v := range vals {
+		if v != "" {
+			n++
+		}
+	}
+	return n
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -932,10 +948,11 @@ func readStats(path string) (*estimator.Statistics, error) {
 
 func cmdQuery(args []string) (err error) {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
-	in := fs.String("in", "", "cleaned private CSV (required unless -stats)")
+	in := fs.String("in", "", "cleaned private CSV (required unless -stats or -col)")
 	metaPath := fs.String("meta", "", "view metadata JSON (required)")
 	provPath := fs.String("prov", "", "provenance JSON (optional)")
 	statsPath := fs.String("stats", "", "sufficient-statistics JSON from 'privateclean stats' (alternative to -in)")
+	colPath := fs.String("col", "", ".pcol columnar file from 'privateclean pack' (alternative to -in; opened via mmap, no parsing)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for intervals")
 	cf := addCSVFlags(fs)
 	tf := addTelFlags(fs)
@@ -943,23 +960,33 @@ func cmdQuery(args []string) (err error) {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
 	sql := strings.Join(fs.Args(), " ")
-	if (*in == "") == (*statsPath == "") || *metaPath == "" || sql == "" {
-		return faults.Errorf(faults.ErrUsage, "query: -meta, a SQL string, and exactly one of -in or -stats are required")
+	if countSet(*in, *statsPath, *colPath) != 1 || *metaPath == "" || sql == "" {
+		return faults.Errorf(faults.ErrUsage, "query: -meta, a SQL string, and exactly one of -in, -stats, or -col are required")
 	}
 	tel, err := tf.setup()
 	if err != nil {
 		return err
 	}
 	defer tf.finish(&err)
-	tel.Redact.Allow(*in, *metaPath, *provPath, *statsPath)
+	tel.Redact.Allow(*in, *metaPath, *provPath, *statsPath, *colPath)
 	var r *relation.Relation
 	var st *estimator.Statistics
-	if *statsPath != "" {
+	switch {
+	case *statsPath != "":
 		if st, err = readStats(*statsPath); err != nil {
 			return err
 		}
-	} else if r, err = cf.load(*in); err != nil {
-		return err
+	case *colPath != "":
+		view, verr := colstore.Open(*colPath)
+		if verr != nil {
+			return verr
+		}
+		defer view.Close()
+		r = view.Relation()
+	default:
+		if r, err = cf.load(*in); err != nil {
+			return err
+		}
 	}
 	meta, err := readMeta(*metaPath)
 	if err != nil {

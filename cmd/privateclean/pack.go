@@ -1,0 +1,47 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"privateclean/internal/colstore"
+	"privateclean/internal/faults"
+	"privateclean/internal/telemetry"
+)
+
+// cmdPack converts a CSV (raw, privatized, or cleaned) to the .pcol binary
+// columnar format, which serve -col and query -col open without parsing.
+func cmdPack(args []string) (err error) {
+	fs := flag.NewFlagSet("pack", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV (required)")
+	out := fs.String("out", "", "output .pcol file (required)")
+	cf := addCSVFlags(fs)
+	tf := addTelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return faults.Wrap(faults.ErrUsage, err)
+	}
+	if *in == "" || *out == "" {
+		return faults.Errorf(faults.ErrUsage, "pack: -in and -out are required")
+	}
+	tel, err := tf.setup()
+	if err != nil {
+		return err
+	}
+	defer tf.finish(&err)
+	tel.Redact.Allow(*in, *out)
+	sp := tel.Trace.StartSpan(nil, "pack")
+	defer sp.End()
+	r, err := cf.load(*in)
+	if err != nil {
+		return err
+	}
+	wsp := tel.Trace.StartSpan(sp, "pack_write", telemetry.A("rows", r.NumRows()))
+	n, err := colstore.WriteFile(*out, r)
+	wsp.End()
+	if err != nil {
+		return err
+	}
+	tel.Log.Info("pack finished", "rows", r.NumRows(), "cols", r.Schema().Len(), "bytes", n)
+	fmt.Printf("pack ok: rows=%d cols=%d bytes=%d\n", r.NumRows(), r.Schema().Len(), n)
+	return nil
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGoldenQueryColstore is the byte-identity gate for the columnar path:
+// pack the golden CSV view into a .pcol file and run the exact golden query
+// suite through `query -col`. The output must match the same golden files
+// the CSV path produced — estimates, intervals, and rendering, byte for
+// byte.
+func TestGoldenQueryColstore(t *testing.T) {
+	view := filepath.Join("testdata", "golden", "view.csv.golden")
+	meta := filepath.Join("testdata", "golden", "meta.json.golden")
+	if _, err := os.Stat(view); err != nil {
+		t.Fatalf("golden view missing (run TestGoldenPrivatize with -update first): %v", err)
+	}
+	col := filepath.Join(t.TempDir(), "view.pcol")
+	packOut := captureStdout(t, func() error {
+		return run([]string{"pack", "-in", view, "-out", col})
+	})
+	if !strings.HasPrefix(packOut, "pack ok:") {
+		t.Fatalf("unexpected pack output %q", packOut)
+	}
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"query_count.golden", "SELECT count(1) FROM R WHERE major = 'Math'"},
+		{"query_sum_in.golden", "SELECT sum(score) FROM R WHERE major IN ('Math', 'Mech. Eng.')"},
+		{"query_avg.golden", "SELECT avg(score) FROM R WHERE major = 'History'"},
+		{"query_groupby.golden", "SELECT count(1) FROM R GROUP BY major"},
+	}
+	for _, c := range cases {
+		out := captureStdout(t, func() error {
+			return run([]string{"query", "-col", col, "-meta", meta, c.sql})
+		})
+		golden(t, c.name, []byte(out))
+	}
+}
+
+// TestServeColMatchesQueryCLI privatizes a view, packs it, serves the .pcol
+// file with `serve -col`, and requires the served estimates to be
+// byte-identical to the one-shot CLI reading the CSV directly.
+func TestServeColMatchesQueryCLI(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTempCSV(t, dir)
+	private := filepath.Join(dir, "private.csv")
+	meta := filepath.Join(dir, "meta.json")
+	col := filepath.Join(dir, "private.pcol")
+
+	for _, step := range [][]string{
+		{"privatize", "-in", data, "-out", private, "-meta", meta, "-p", "0.2", "-b", "0.5", "-seed", "7"},
+		{"pack", "-in", private, "-out", col},
+	} {
+		if err := run(step); err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+	}
+
+	queries := []string{
+		"SELECT count(1) FROM R WHERE major = 'Math'",
+		"SELECT sum(score) FROM R WHERE major = 'Math'",
+		"SELECT avg(score) FROM R WHERE major = 'History'",
+		"SELECT count(1) FROM R",
+	}
+	want := make(map[string]string, len(queries))
+	for _, q := range queries {
+		out := captureStdout(t, func() error {
+			return run([]string{"query", "-in", private, "-meta", meta, q})
+		})
+		want[q] = cliEstimate(t, out)
+	}
+
+	addrCh := make(chan net.Addr, 1)
+	serveNotify = func(a net.Addr) { addrCh <- a }
+	defer func() { serveNotify = nil }()
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- run([]string{"serve", "-col", col, "-meta", meta, "-addr", "127.0.0.1:0"})
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-serveDone:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not come up")
+	}
+
+	for _, q := range queries {
+		body, _ := json.Marshal(map[string]string{"query": q})
+		resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %q: status %d: %s", q, resp.StatusCode, raw)
+		}
+		var qr struct {
+			Estimate struct {
+				Text string `json:"text"`
+			} `json:"estimate"`
+		}
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			t.Fatalf("query %q: %v (%s)", q, err, raw)
+		}
+		if qr.Estimate.Text != want[q] {
+			t.Fatalf("query %q: -col served estimate %q != CSV CLI estimate %q", q, qr.Estimate.Text, want[q])
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down on SIGTERM")
+	}
+}
+
+// TestPackFlagValidation covers pack's and the -col source-selection usage
+// errors.
+func TestPackFlagValidation(t *testing.T) {
+	if err := run([]string{"pack"}); err == nil {
+		t.Fatal("pack without -in/-out should fail")
+	}
+	if err := run([]string{"pack", "-in", "x.csv"}); err == nil {
+		t.Fatal("pack without -out should fail")
+	}
+	if err := run([]string{"query", "-in", "x.csv", "-col", "x.pcol", "-meta", "m.json", "SELECT count(1) FROM R"}); err == nil {
+		t.Fatal("query with both -in and -col should fail")
+	}
+	if err := run([]string{"serve", "-in", "x.csv", "-col", "x.pcol", "-meta", "m.json"}); err == nil {
+		t.Fatal("serve with both -in and -col should fail")
+	}
+}

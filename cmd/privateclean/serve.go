@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"privateclean/internal/atomicio"
+	"privateclean/internal/colstore"
 	"privateclean/internal/estimator"
 	"privateclean/internal/faults"
 	"privateclean/internal/provenance"
@@ -28,10 +29,11 @@ var serveNotify func(net.Addr)
 // over HTTP until SIGINT/SIGTERM, then drains in-flight requests and exits.
 func cmdServe(args []string) (err error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	in := fs.String("in", "", "cleaned private CSV (required unless -stats)")
+	in := fs.String("in", "", "cleaned private CSV (required unless -stats or -col)")
 	metaPath := fs.String("meta", "", "view metadata JSON (required)")
 	provPath := fs.String("prov", "", "provenance JSON (optional)")
 	statsPath := fs.String("stats", "", "sufficient-statistics JSON from 'privateclean stats' (alternative to -in)")
+	colPath := fs.String("col", "", ".pcol columnar file from 'privateclean pack' (alternative to -in; opened via mmap, no parsing)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for intervals")
 	addr := fs.String("addr", ":8080", "listen address (host:port; use :0 for an ephemeral port)")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once serving (for scripts; robust with :0)")
@@ -45,24 +47,36 @@ func cmdServe(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return faults.Wrap(faults.ErrUsage, err)
 	}
-	if (*in == "") == (*statsPath == "") || *metaPath == "" {
-		return faults.Errorf(faults.ErrUsage, "serve: -meta and exactly one of -in or -stats are required")
+	if countSet(*in, *statsPath, *colPath) != 1 || *metaPath == "" {
+		return faults.Errorf(faults.ErrUsage, "serve: -meta and exactly one of -in, -stats, or -col are required")
 	}
 	tel, err := tf.setup()
 	if err != nil {
 		return err
 	}
 	defer tf.finish(&err)
-	tel.Redact.Allow(*in, *metaPath, *provPath, *statsPath, *addr)
+	tel.Redact.Allow(*in, *metaPath, *provPath, *statsPath, *colPath, *addr)
 
 	var r *relation.Relation
 	var st *estimator.Statistics
-	if *statsPath != "" {
+	switch {
+	case *statsPath != "":
 		if st, err = readStats(*statsPath); err != nil {
 			return err
 		}
-	} else if r, err = cf.load(*in); err != nil {
-		return err
+	case *colPath != "":
+		view, verr := colstore.Open(*colPath)
+		if verr != nil {
+			return verr
+		}
+		// The mapping must outlive every in-flight query; it is released when
+		// serve returns, after the server has drained.
+		defer view.Close()
+		r = view.Relation()
+	default:
+		if r, err = cf.load(*in); err != nil {
+			return err
+		}
 	}
 	meta, err := readMeta(*metaPath)
 	if err != nil {

@@ -1,0 +1,85 @@
+// Package colstore implements the .pcol binary columnar format: the
+// on-disk representation of a (cleaned) private relation that `serve -col`
+// and `query -col` open without parsing.
+//
+// CSV is the interchange format of the pipeline, but loading one means
+// tokenizing, validating, and dictionary-encoding every cell on every
+// startup. The estimators (PrivateClean Section 5) only ever consume the
+// dictionary encoding — a sorted domain plus one uint32 code per row — and
+// raw float64 columns, so .pcol stores exactly that: the serialized
+// relation.DiscreteIndex per discrete column and the packed float64 bits per
+// numeric column. Opening a packed view is a handful of CRC checks plus
+// pointer arithmetic; on Unix the column data is mmap'ed, so resident memory
+// is page-cache backed and startup cost is independent of row count.
+//
+// # File layout (version 1, little-endian throughout)
+//
+//	offset  size  field
+//	0       4     magic "PCOL"
+//	4       2     format version (1)
+//	6       2     flags (0 in version 1)
+//	8       8     row count
+//	16      4     column count
+//	20      8     directory offset
+//	28      4     CRC-32 (IEEE) of header bytes [0,28)
+//
+// Column data blocks follow the header in schema order. Every fixed-width
+// block (numeric values, discrete codes) starts on an 8-byte-aligned file
+// offset so a mapped file can be aliased directly as []float64 / []uint32;
+// alignment gaps are zero padding.
+//
+//	numeric column   rows × 8 bytes: IEEE-754 float64 bits
+//	discrete column  domain block: uvarint count, then per value
+//	                 (uvarint length, raw bytes), values strictly ascending;
+//	                 codes block (8-aligned): rows × 4 bytes uint32, each
+//	                 code < domain count
+//
+// The directory sits at the header's directory offset and holds one entry
+// per column in schema order:
+//
+//	name (uvarint length + bytes), kind (1 byte: 0 numeric, 1 discrete)
+//	numeric:  offset u64, size u64, CRC-32 u32
+//	discrete: domain count u32,
+//	          domain offset u64, size u64, CRC-32 u32,
+//	          codes  offset u64, size u64, CRC-32 u32
+//
+// The footer is the last 16 bytes of the file:
+//
+//	directory size u64, directory CRC-32 u32, magic "LOCP"
+//
+// Every column's blocks are addressed absolutely from the directory, so a
+// reader can locate, checksum, and decode any single column without touching
+// the others. The header, footer, and directory carry their own CRCs; the
+// per-block CRCs make corruption attributable to a specific column.
+//
+// Readers must treat the file as untrusted input: Decode bounds-checks every
+// offset against the file and classifies all corruption as
+// faults.ErrBadInput, never panicking (FuzzColstoreRead enforces this).
+package colstore
+
+// Format constants. Changing any of these is a format revision: bump
+// formatVersion and teach Decode both layouts.
+const (
+	magic       = "PCOL"
+	footerMagic = "LOCP"
+
+	formatVersion = 1
+
+	headerSize = 32
+	footerSize = 16
+
+	kindNumeric  = 0
+	kindDiscrete = 1
+
+	// maxRows bounds the row count a header may declare. Real inputs are
+	// nowhere near it; it exists so size arithmetic on hostile headers cannot
+	// overflow before the bounds checks run.
+	maxRows = 1 << 40
+
+	// maxCols bounds the column count a header may declare, for the same
+	// reason.
+	maxCols = 1 << 20
+)
+
+// align8 rounds an offset up to the next multiple of 8.
+func align8(off uint64) uint64 { return (off + 7) &^ 7 }

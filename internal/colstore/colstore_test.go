@@ -1,0 +1,203 @@
+package colstore
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/relation"
+)
+
+// testRelation builds a relation exercising the format's edge cases: NaN,
+// infinities, signed zero, NULLs, empty strings, unicode, and a
+// single-valued column.
+func testRelation(t testing.TB) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "amount", Kind: relation.Numeric},
+		relation.Column{Name: "category", Kind: relation.Discrete},
+		relation.Column{Name: "note", Kind: relation.Discrete},
+		relation.Column{Name: "flag", Kind: relation.Discrete},
+		relation.Column{Name: "score", Kind: relation.Numeric},
+	)
+	rel, err := relation.FromColumns(schema,
+		map[string][]float64{
+			"amount": {1.5, math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0, 1e308},
+			"score":  {-3, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+		},
+		map[string][]string{
+			"category": {"b", "a", relation.Null, "ü–🚀", "", "a", "b"},
+			"note":     {"x", "x", "x", "x", "x", "x", "x"},
+			"flag":     {"yes", "no", "yes", "no", "yes", "no", "yes"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestRoundTrip(t *testing.T) {
+	rel := testRelation(t)
+	var buf bytes.Buffer
+	n, err := Write(&buf, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Write reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(got) {
+		t.Fatalf("round trip changed the relation:\n  in  %v\n  out %v", rel, got)
+	}
+	// The serialized dictionary encoding must be adopted verbatim: the
+	// decoded relation's index matches one built from scratch.
+	for _, name := range rel.Schema().DiscreteNames() {
+		want, err := rel.DiscreteIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotIx, err := got.DiscreteIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Domain, gotIx.Domain) || !reflect.DeepEqual(want.Codes, gotIx.Codes) {
+			t.Fatalf("column %q: decoded index differs from rebuilt index", name)
+		}
+		if err := got.CheckIndex(name); err != nil {
+			t.Fatalf("column %q: adopted index inconsistent: %v", name, err)
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "x", Kind: relation.Numeric},
+		relation.Column{Name: "d", Kind: relation.Discrete},
+	)
+	rel, err := relation.FromColumns(schema,
+		map[string][]float64{"x": {}}, map[string][]string{"d": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Write(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || got.Schema().Len() != 2 {
+		t.Fatalf("empty round trip: got %v", got)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	rel := testRelation(t)
+	var a, b bytes.Buffer
+	if _, err := Write(&a, rel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(&b, rel.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("packing the same relation twice produced different bytes")
+	}
+}
+
+func TestOpenView(t *testing.T) {
+	rel := testRelation(t)
+	path := filepath.Join(t.TempDir(), "view.pcol")
+	if _, err := WriteFile(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS == "linux" && !v.Mapped {
+		t.Error("expected a memory-mapped view on linux")
+	}
+	if !rel.Equal(v.Relation()) {
+		t.Fatal("mapped view differs from source relation")
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	_, err := Open(filepath.Join(t.TempDir(), "nope.pcol"))
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, faults.ErrBadInput) {
+		t.Fatalf("kind = %v, want ErrBadInput", faults.Kind(err))
+	}
+}
+
+// TestDecodeCorrupt flips each byte of a valid image in turn and asserts the
+// reader either still succeeds (padding bytes are not covered by any CRC) or
+// fails with a typed ErrBadInput — never a panic and never a wrong-but-valid
+// relation for a header/directory/data corruption the CRCs cover.
+func TestDecodeCorrupt(t *testing.T) {
+	rel := testRelation(t)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	for i := range img {
+		cp := make([]byte, len(img))
+		copy(cp, img)
+		cp[i] ^= 0xff
+		got, err := func() (r *relation.Relation, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("byte %d: Decode panicked: %v", i, p)
+				}
+			}()
+			return Decode(cp)
+		}()
+		if err != nil {
+			if !errors.Is(err, faults.ErrBadInput) {
+				t.Fatalf("byte %d: kind = %v, want ErrBadInput (%v)", i, faults.Kind(err), err)
+			}
+			continue
+		}
+		// A successful decode after a flip is only legitimate for padding
+		// bytes, which decode to the identical relation.
+		if !rel.Equal(got) {
+			t.Fatalf("byte %d: corrupted image decoded to a different relation", i)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	rel := testRelation(t)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	for n := 0; n < len(img); n++ {
+		if _, err := Decode(img[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		} else if !errors.Is(err, faults.ErrBadInput) {
+			t.Fatalf("truncation to %d: kind = %v, want ErrBadInput", n, faults.Kind(err))
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package colstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"privateclean/internal/faults"
+	"privateclean/internal/relation"
+)
+
+// FuzzColstoreRead drives Decode with arbitrary bytes. A .pcol file crosses
+// a trust boundary (it may come from another machine or a tampered cache),
+// so the reader must reject any corruption with a typed faults error and
+// never panic or read past the image. Anything the decoder accepts must
+// also survive a deterministic write/decode round trip.
+func FuzzColstoreRead(f *testing.F) {
+	valid := encodeTestImage(f)
+
+	seeds := [][]byte{
+		valid,
+		encodeEmptyImage(f),
+		{},
+		[]byte("PCOL"),
+		valid[:headerSize],
+		valid[:len(valid)-footerSize],
+		valid[:len(valid)/2],
+		bytes.Repeat([]byte{0xff}, headerSize+footerSize),
+	}
+	// A few targeted bit flips: magic, rows, directory offset, footer CRC.
+	for _, off := range []int{0, 8, 20, len(valid) - 8} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x40
+		seeds = append(seeds, mut)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rel, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, faults.ErrBadInput) {
+				t.Fatalf("Decode error is not typed as bad input: %v", err)
+			}
+			return
+		}
+		// Accepted images must re-encode deterministically and round-trip.
+		var buf bytes.Buffer
+		if _, werr := Write(&buf, rel); werr != nil {
+			t.Fatalf("accepted image but cannot re-encode: %v", werr)
+		}
+		back, rerr := Decode(buf.Bytes())
+		if rerr != nil {
+			t.Fatalf("re-encoded image does not decode: %v", rerr)
+		}
+		if !rel.Equal(back) {
+			t.Fatalf("round trip changed the relation")
+		}
+	})
+}
+
+func encodeTestImage(f *testing.F) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if _, err := Write(&buf, testRelation(f)); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeEmptyImage(f *testing.F) []byte {
+	f.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "n", Kind: relation.Numeric},
+		relation.Column{Name: "d", Kind: relation.Discrete},
+	)
+	rel, err := relation.FromColumns(schema,
+		map[string][]float64{"n": {}}, map[string][]string{"d": {}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Write(&buf, rel); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package colstore
+
+import "os"
+
+// mapFile reads path into memory on platforms without mmap support. The
+// release func is a no-op; the data is ordinary heap memory.
+func mapFile(path string) (data []byte, release func() error, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, func() error { return nil }, false, nil
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. The returned release func unmaps; the
+// data must not be touched after it runs. Empty files map to an empty slice
+// (mmap of length 0 is an error on most kernels, and Decode rejects the
+// short file anyway).
+func mapFile(path string) (data []byte, release func() error, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return []byte{}, func() error { return nil }, true, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, false, syscall.EFBIG
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, true, nil
+}

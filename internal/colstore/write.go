@@ -1,0 +1,295 @@
+package colstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"privateclean/internal/atomicio"
+	"privateclean/internal/faults"
+	"privateclean/internal/relation"
+)
+
+// blockRef locates one data block and its checksum.
+type blockRef struct {
+	off  uint64
+	size uint64
+	crc  uint32
+}
+
+// colLayout is the planned placement of one column's blocks.
+type colLayout struct {
+	name        string
+	kind        byte
+	domainCount uint32
+	domain      blockRef // discrete only
+	codes       blockRef // discrete only
+	values      blockRef // numeric only
+}
+
+// Write serializes rel into the .pcol format and returns the number of bytes
+// written. Discrete columns are written from their dictionary encoding
+// (building it if not already cached), numeric columns as raw float64 bits.
+func Write(w io.Writer, rel *relation.Relation) (int64, error) {
+	rows := uint64(rel.NumRows())
+	cols := rel.Schema().Columns()
+	if rows > maxRows {
+		return 0, faults.Errorf(faults.ErrBadInput, "colstore: %d rows exceeds the format bound", rows)
+	}
+	if uint64(len(cols)) > maxCols {
+		return 0, faults.Errorf(faults.ErrBadInput, "colstore: %d columns exceeds the format bound", len(cols))
+	}
+
+	// Plan the layout: domain blocks need their encoded size up front, so
+	// dictionary-encode every discrete column first.
+	layouts := make([]colLayout, len(cols))
+	indexes := make(map[string]*relation.DiscreteIndex, len(cols))
+	off := uint64(headerSize)
+	for i, c := range cols {
+		l := colLayout{name: c.Name}
+		switch c.Kind {
+		case relation.Numeric:
+			l.kind = kindNumeric
+			off = align8(off)
+			l.values = blockRef{off: off, size: rows * 8}
+			off += l.values.size
+		case relation.Discrete:
+			l.kind = kindDiscrete
+			ix, err := rel.DiscreteIndex(c.Name)
+			if err != nil {
+				return 0, faults.Wrap(faults.ErrBadInput, err)
+			}
+			indexes[c.Name] = ix
+			l.domainCount = uint32(ix.N())
+			l.domain = blockRef{off: off, size: domainSize(ix.Domain)}
+			off += l.domain.size
+			off = align8(off)
+			l.codes = blockRef{off: off, size: rows * 4}
+			off += l.codes.size
+		default:
+			return 0, faults.Errorf(faults.ErrBadInput, "colstore: column %q has unsupported kind %v", c.Name, c.Kind)
+		}
+		layouts[i] = l
+	}
+	dirOff := off
+
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+
+	// Header.
+	var hdr [headerSize]byte
+	copy(hdr[0:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], formatVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], 0)
+	binary.LittleEndian.PutUint64(hdr[8:16], rows)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(cols)))
+	binary.LittleEndian.PutUint64(hdr[20:28], dirOff)
+	binary.LittleEndian.PutUint32(hdr[28:32], crc32.ChecksumIEEE(hdr[:28]))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+
+	// Column data blocks, with zero padding up to each block's planned offset.
+	for i, c := range cols {
+		l := &layouts[i]
+		switch l.kind {
+		case kindNumeric:
+			if err := cw.pad(l.values.off); err != nil {
+				return cw.n, err
+			}
+			crc, err := writeNumeric(cw, rel.MustNumeric(c.Name))
+			if err != nil {
+				return cw.n, err
+			}
+			l.values.crc = crc
+		case kindDiscrete:
+			ix := indexes[c.Name]
+			if err := cw.pad(l.domain.off); err != nil {
+				return cw.n, err
+			}
+			crc, err := writeDomain(cw, ix.Domain)
+			if err != nil {
+				return cw.n, err
+			}
+			l.domain.crc = crc
+			if err := cw.pad(l.codes.off); err != nil {
+				return cw.n, err
+			}
+			if crc, err = writeCodes(cw, ix.Codes); err != nil {
+				return cw.n, err
+			}
+			l.codes.crc = crc
+		}
+	}
+
+	// Directory and footer.
+	if err := cw.pad(dirOff); err != nil {
+		return cw.n, err
+	}
+	dir := encodeDirectory(layouts)
+	if _, err := cw.Write(dir); err != nil {
+		return cw.n, err
+	}
+	var ftr [footerSize]byte
+	binary.LittleEndian.PutUint64(ftr[0:8], uint64(len(dir)))
+	binary.LittleEndian.PutUint32(ftr[8:12], crc32.ChecksumIEEE(dir))
+	copy(ftr[12:16], footerMagic)
+	if _, err := cw.Write(ftr[:]); err != nil {
+		return cw.n, err
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// WriteFile writes rel to path atomically (temp file + rename) and returns
+// the packed size in bytes.
+func WriteFile(path string, rel *relation.Relation) (int64, error) {
+	var n int64
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		var werr error
+		n, werr = Write(w, rel)
+		return werr
+	})
+	return n, err
+}
+
+// domainSize returns the encoded size of a domain block.
+func domainSize(domain []string) uint64 {
+	n := uint64(uvarintLen(uint64(len(domain))))
+	for _, v := range domain {
+		n += uint64(uvarintLen(uint64(len(v)))) + uint64(len(v))
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// writeNumeric emits a numeric column as packed little-endian float64 bits,
+// returning the block's CRC.
+func writeNumeric(w io.Writer, col []float64) (uint32, error) {
+	crc := crc32.NewIEEE()
+	var buf [512 * 8]byte
+	for len(col) > 0 {
+		n := len(col)
+		if n > 512 {
+			n = 512
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(col[i]))
+		}
+		chunk := buf[:n*8]
+		crc.Write(chunk)
+		if _, err := w.Write(chunk); err != nil {
+			return 0, err
+		}
+		col = col[n:]
+	}
+	return crc.Sum32(), nil
+}
+
+// writeCodes emits a code vector as packed little-endian uint32.
+func writeCodes(w io.Writer, codes []uint32) (uint32, error) {
+	crc := crc32.NewIEEE()
+	var buf [1024 * 4]byte
+	for len(codes) > 0 {
+		n := len(codes)
+		if n > 1024 {
+			n = 1024
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], codes[i])
+		}
+		chunk := buf[:n*4]
+		crc.Write(chunk)
+		if _, err := w.Write(chunk); err != nil {
+			return 0, err
+		}
+		codes = codes[n:]
+	}
+	return crc.Sum32(), nil
+}
+
+// writeDomain emits a domain block: uvarint count, then each value as
+// uvarint length + raw bytes. The domain is already sorted (DiscreteIndex
+// invariant), which Decode re-verifies.
+func writeDomain(w io.Writer, domain []string) (uint32, error) {
+	crc := crc32.NewIEEE()
+	buf := binary.AppendUvarint(nil, uint64(len(domain)))
+	for _, v := range domain {
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	crc.Write(buf)
+	if _, err := w.Write(buf); err != nil {
+		return 0, err
+	}
+	return crc.Sum32(), nil
+}
+
+// encodeDirectory serializes the column directory.
+func encodeDirectory(layouts []colLayout) []byte {
+	var dir []byte
+	for _, l := range layouts {
+		dir = binary.AppendUvarint(dir, uint64(len(l.name)))
+		dir = append(dir, l.name...)
+		dir = append(dir, l.kind)
+		switch l.kind {
+		case kindNumeric:
+			dir = appendBlockRef(dir, l.values)
+		case kindDiscrete:
+			dir = binary.LittleEndian.AppendUint32(dir, l.domainCount)
+			dir = appendBlockRef(dir, l.domain)
+			dir = appendBlockRef(dir, l.codes)
+		}
+	}
+	return dir
+}
+
+func appendBlockRef(dir []byte, b blockRef) []byte {
+	dir = binary.LittleEndian.AppendUint64(dir, b.off)
+	dir = binary.LittleEndian.AppendUint64(dir, b.size)
+	dir = binary.LittleEndian.AppendUint32(dir, b.crc)
+	return dir
+}
+
+// countingWriter tracks the absolute file offset so padding can be emitted
+// up to each block's planned position.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// pad writes zero bytes up to the absolute offset off.
+func (cw *countingWriter) pad(off uint64) error {
+	if uint64(cw.n) > off {
+		return fmt.Errorf("colstore: internal layout error: at offset %d, past planned %d", cw.n, off)
+	}
+	var zeros [8]byte
+	for uint64(cw.n) < off {
+		n := off - uint64(cw.n)
+		if n > 8 {
+			n = 8
+		}
+		if _, err := cw.Write(zeros[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -11,12 +11,16 @@ import (
 //
 //   - the resolved response channel (p, N, l) — which may walk the cleaning
 //     provenance graph to compute a weighted vertex cut; and
-//   - the per-domain-value match table over a column's dictionary encoding.
+//   - the materialized match bitset of a predicate over a column's
+//     dictionary encoding (one bit per row, population count precomputed).
 //
 // Both are pure functions of (attribute, predicate) for a fixed view, so a
 // long-lived query server attaches one cache to its Estimator and every
-// repeated predicate resolves in two map lookups. Results are identical with
-// and without the cache; the CLI's one-shot query path simply leaves it nil.
+// repeated predicate resolves in two map lookups: a cached count is just the
+// bitset's stored popcount, a cached sum a branch-per-row scan with no
+// predicate evaluation, and a conjunction a word-wise AND of the operand
+// bitsets. Results are identical with and without the cache; the CLI's
+// one-shot query path simply leaves it nil.
 //
 // Keys are the predicate's rendered description, which is canonical for
 // Eq/NotEq/In/And/Not-built predicates (values render quoted, so no two
@@ -26,20 +30,20 @@ import (
 // Predicate with a Match func but no description; both bypass the cache and
 // are recomputed per call.
 //
-// The cache is safe for concurrent use. Match tables are validated against
-// the column's current *DiscreteIndex identity, so a relation write (which
+// The cache is safe for concurrent use. Bitsets are validated against the
+// column's current *DiscreteIndex identity, so a relation write (which
 // replaces the index) transparently invalidates the stale entry.
 type ChannelCache struct {
-	mu     sync.RWMutex
-	chans  map[predKey]channelVal
-	tables map[predKey]matchEntry
+	mu    sync.RWMutex
+	chans map[predKey]channelVal
+	bits  map[predKey]bitsEntry
 }
 
 // NewChannelCache returns an empty cache ready for concurrent use.
 func NewChannelCache() *ChannelCache {
 	return &ChannelCache{
-		chans:  make(map[predKey]channelVal),
-		tables: make(map[predKey]matchEntry),
+		chans: make(map[predKey]channelVal),
+		bits:  make(map[predKey]bitsEntry),
 	}
 }
 
@@ -54,9 +58,9 @@ type channelVal struct {
 	l float64
 }
 
-type matchEntry struct {
-	ix  *relation.DiscreteIndex // index the table was built against
-	tbl []bool
+type bitsEntry struct {
+	ix *relation.DiscreteIndex // index the bitset was built against
+	b  *rowBits
 }
 
 // predCacheKey returns the cache key for pred and whether pred is cacheable.
@@ -87,37 +91,38 @@ func (c *ChannelCache) putChannel(k predKey, v channelVal) {
 	c.chans[k] = v
 }
 
-// Len reports how many channels and match tables are resident (for tests
+// Len reports how many channels and match bitsets are resident (for tests
 // and server introspection).
 func (c *ChannelCache) Len() (channels, tables int) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.chans), len(c.tables)
+	return len(c.chans), len(c.bits)
 }
 
-// matchTableFor returns the (possibly cached) match table of pred over ix.
-// An entry built against a superseded index — the column was rewritten and
+// bitsFor returns the (possibly cached) match bitset of pred over ix. An
+// entry built against a superseded index — the column was rewritten and
 // re-encoded — is rebuilt, never served stale.
-func (c *ChannelCache) matchTableFor(ix *relation.DiscreteIndex, pred Predicate) []bool {
+func (c *ChannelCache) bitsFor(ix *relation.DiscreteIndex, pred Predicate) *rowBits {
 	k, cacheable := predCacheKey(pred)
 	if !cacheable {
-		return matchTable(ix, pred)
+		return bitsFromSelection(ix.Codes, compileSelection(ix, pred))
 	}
 	c.mu.RLock()
-	e, ok := c.tables[k]
+	e, ok := c.bits[k]
 	c.mu.RUnlock()
 	if ok && e.ix == ix {
-		return e.tbl
+		return e.b
 	}
-	tbl := matchTable(ix, pred)
+	b := bitsFromSelection(ix.Codes, compileSelection(ix, pred))
 	c.mu.Lock()
-	c.tables[k] = matchEntry{ix: ix, tbl: tbl}
+	c.bits[k] = bitsEntry{ix: ix, b: b}
 	c.mu.Unlock()
-	return tbl
+	return b
 }
 
 // countMatches is countMatches routed through the estimator's cache (when
-// attached); behavior is otherwise identical to the package function.
+// attached); behavior is otherwise identical to the package function. A
+// cache hit answers from the bitset's precomputed population count.
 func (e *Estimator) countMatches(rel *relation.Relation, pred Predicate) (int, error) {
 	if e.Cache == nil {
 		return countMatches(rel, pred)
@@ -126,14 +131,7 @@ func (e *Estimator) countMatches(rel *relation.Relation, pred Predicate) (int, e
 	if err != nil {
 		return 0, err
 	}
-	match := e.Cache.matchTableFor(ix, pred)
-	n := 0
-	for _, c := range ix.Codes {
-		if match[c] {
-			n++
-		}
-	}
-	return n, nil
+	return e.Cache.bitsFor(ix, pred).ones, nil
 }
 
 // sumMatches is sumMatches routed through the estimator's cache.
@@ -149,17 +147,6 @@ func (e *Estimator) sumMatches(rel *relation.Relation, agg string, pred Predicat
 	if err != nil {
 		return 0, 0, err
 	}
-	match := e.Cache.matchTableFor(ix, pred)
-	for i, c := range ix.Codes {
-		x := vals[i]
-		if x != x { // NaN
-			continue
-		}
-		if match[c] {
-			matched += x
-		} else {
-			complement += x
-		}
-	}
+	matched, complement = sumBits(vals, e.Cache.bitsFor(ix, pred))
 	return matched, complement, nil
 }

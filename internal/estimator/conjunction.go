@@ -36,11 +36,12 @@ import (
 // intervals use the CLT over the iid per-row weight terms.
 
 // conjChannel resolves the per-attribute inverse-channel weights for one
-// predicate.
+// predicate. The predicate's rows are pre-evaluated into a match bitset
+// (served from the ChannelCache when attached), so the weight-product scan
+// below is branch-on-bit with no per-row predicate calls.
 type conjChannel struct {
 	pred   Predicate
-	match  func(string) bool // pred.Match with nil normalized to match-all
-	col    []string
+	bits   *rowBits
 	wTrue  float64 // weight when the private value satisfies the predicate
 	wFalse float64 // weight otherwise
 }
@@ -63,21 +64,17 @@ func (e *Estimator) conjChannels(rel *relation.Relation, preds []Predicate) ([]c
 		if p >= 1 {
 			return nil, fmt.Errorf("estimator: p = %v on %q leaves no signal to invert", p, pred.Attr)
 		}
-		col, err := rel.Discrete(pred.Attr)
+		// The nil-means-match-all predicate contract holds here too: channel
+		// resolved l = N for it and the compiled selection matches every row,
+		// so the weights come out right.
+		bits, err := e.bitsForPredicate(rel, pred)
 		if err != nil {
 			return nil, err
-		}
-		// Honor the nil-means-match-all predicate contract here too: channel
-		// already resolved l = N for it, so the weights come out right.
-		match := pred.Match
-		if match == nil {
-			match = func(string) bool { return true }
 		}
 		tauN := p * l / float64(n)
 		chans[i] = conjChannel{
 			pred:   pred,
-			match:  match,
-			col:    col,
+			bits:   bits,
 			wTrue:  (1 - tauN) / (1 - p),
 			wFalse: -tauN / (1 - p),
 		}
@@ -95,7 +92,7 @@ func conjStatistics(chans []conjChannel, vals []float64, rows int) (count, sum, 
 	for r := 0; r < rows; r++ {
 		w := 1.0
 		for i := range chans {
-			if chans[i].match(chans[i].col[r]) {
+			if chans[i].bits.get(r) {
 				w *= chans[i].wTrue
 			} else {
 				w *= chans[i].wFalse
@@ -187,24 +184,19 @@ func (e *Estimator) AvgConj(rel *relation.Relation, agg string, preds ...Predica
 	return Estimate{Value: v, CI: ratioCI(v, h, c)}, nil
 }
 
-// DirectCountConj is the nominal conjunction count.
+// DirectCountConj is the nominal conjunction count: the word-wise AND of
+// the per-predicate match bitsets, answered by population count.
 func DirectCountConj(rel *relation.Relation, preds ...Predicate) (float64, error) {
-	match, err := conjMatcher(rel, preds)
+	b, err := conjBits(rel, preds)
 	if err != nil {
 		return 0, err
 	}
-	c := 0.0
-	for r := 0; r < rel.NumRows(); r++ {
-		if match(r) {
-			c++
-		}
-	}
-	return c, nil
+	return float64(b.ones), nil
 }
 
-// DirectSumConj is the nominal conjunction sum.
+// DirectSumConj is the nominal conjunction sum over the intersected bitset.
 func DirectSumConj(rel *relation.Relation, agg string, preds ...Predicate) (float64, error) {
-	match, err := conjMatcher(rel, preds)
+	b, err := conjBits(rel, preds)
 	if err != nil {
 		return 0, err
 	}
@@ -212,12 +204,7 @@ func DirectSumConj(rel *relation.Relation, agg string, preds ...Predicate) (floa
 	if err != nil {
 		return 0, err
 	}
-	s := 0.0
-	for r := 0; r < rel.NumRows(); r++ {
-		if match(r) && !math.IsNaN(vals[r]) {
-			s += vals[r]
-		}
-	}
+	s, _ := sumBits(vals, b)
 	return s, nil
 }
 
@@ -237,32 +224,23 @@ func DirectAvgConj(rel *relation.Relation, agg string, preds ...Predicate) (floa
 	return s / c, nil
 }
 
-func conjMatcher(rel *relation.Relation, preds []Predicate) (func(int) bool, error) {
+// conjBits evaluates each predicate into a bitset and intersects them.
+func conjBits(rel *relation.Relation, preds []Predicate) (*rowBits, error) {
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("estimator: conjunction needs at least one predicate")
 	}
-	cols := make([][]string, len(preds))
-	for i, pred := range preds {
-		col, err := rel.Discrete(pred.Attr)
+	var acc *rowBits
+	for _, pred := range preds {
+		ix, err := rel.DiscreteIndex(pred.Attr)
 		if err != nil {
 			return nil, err
 		}
-		cols[i] = col
-	}
-	matches := make([]func(string) bool, len(preds))
-	for i, pred := range preds {
-		if pred.Match == nil {
-			matches[i] = func(string) bool { return true }
+		b := bitsFromSelection(ix.Codes, compileSelection(ix, pred))
+		if acc == nil {
+			acc = b
 		} else {
-			matches[i] = pred.Match
+			acc = acc.intersect(b)
 		}
 	}
-	return func(r int) bool {
-		for i := range matches {
-			if !matches[i](cols[i][r]) {
-				return false
-			}
-		}
-		return true
-	}, nil
+	return acc, nil
 }

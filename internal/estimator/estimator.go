@@ -56,32 +56,17 @@ func (e Estimate) Hi() float64 { return e.Value + e.CI }
 // String renders the estimate as "value ± ci".
 func (e Estimate) String() string { return fmt.Sprintf("%.6g ± %.3g", e.Value, e.CI) }
 
-// matchTable evaluates pred once per distinct value of a dictionary-encoded
-// column, so the row scans below test a code against a []bool instead of
-// calling pred.Match per row. A nil Match matches every row.
-func matchTable(ix *relation.DiscreteIndex, pred Predicate) []bool {
-	t := make([]bool, ix.N())
-	for i, v := range ix.Domain {
-		t[i] = pred.Match == nil || pred.Match(v)
-	}
-	return t
-}
-
 // countMatches returns the number of rows of rel whose pred.Attr value
-// satisfies pred.
+// satisfies pred. The predicate is compiled to a selection over the column's
+// dictionary and resolved from the dictionary's per-code row counts when
+// available — O(domain) — falling back to a tight loop over the code vector
+// (vector.go).
 func countMatches(rel *relation.Relation, pred Predicate) (int, error) {
 	ix, err := rel.DiscreteIndex(pred.Attr)
 	if err != nil {
 		return 0, err
 	}
-	match := matchTable(ix, pred)
-	n := 0
-	for _, c := range ix.Codes {
-		if match[c] {
-			n++
-		}
-	}
-	return n, nil
+	return countSelection(ix, compileSelection(ix, pred)), nil
 }
 
 // sumMatches returns the sum of agg over rows satisfying pred and over rows
@@ -95,18 +80,7 @@ func sumMatches(rel *relation.Relation, agg string, pred Predicate) (matched, co
 	if err != nil {
 		return 0, 0, err
 	}
-	match := matchTable(ix, pred)
-	for i, c := range ix.Codes {
-		x := vals[i]
-		if math.IsNaN(x) {
-			continue
-		}
-		if match[c] {
-			matched += x
-		} else {
-			complement += x
-		}
-	}
+	matched, complement = sumSelected(ix.Codes, vals, compileSelection(ix, pred))
 	return matched, complement, nil
 }
 
@@ -203,7 +177,7 @@ func (e *Estimator) resolveChannel(pred Predicate) (p float64, n int, l float64,
 	if n == 0 {
 		return 0, 0, 0, fmt.Errorf("estimator: attribute %q has an empty domain", base)
 	}
-	// A nil Match means match-all (the matchTable contract): the predicate
+	// A nil Match means match-all (the package-wide contract): the predicate
 	// selects the whole clean domain, whose dirty-domain selectivity is N.
 	match := pred.Match
 	if match == nil {

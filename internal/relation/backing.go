@@ -1,0 +1,89 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FromBacking builds a relation that adopts the given column slices without
+// copying. It exists for loaders that already own freshly materialized (or
+// memory-mapped) columns — the colstore reader — where FromColumns' defensive
+// copies would double memory and dominate load time.
+//
+// Every schema column must be present in the matching map with exactly rows
+// entries. The caller transfers ownership: the slices must not be resized or
+// mutated afterwards except through the relation API.
+func FromBacking(schema Schema, rows int, numeric map[string][]float64, discrete map[string][]string) (*Relation, error) {
+	if rows < 0 {
+		return nil, fmt.Errorf("relation: negative row count %d", rows)
+	}
+	r := New(schema)
+	r.rows = rows
+	for _, c := range schema.cols {
+		switch c.Kind {
+		case Numeric:
+			col, ok := numeric[c.Name]
+			if !ok {
+				return nil, fmt.Errorf("relation: missing numeric column %q", c.Name)
+			}
+			if len(col) != rows {
+				return nil, fmt.Errorf("relation: column %q has %d values, want %d", c.Name, len(col), rows)
+			}
+			r.numeric[c.Name] = col
+		case Discrete:
+			col, ok := discrete[c.Name]
+			if !ok {
+				return nil, fmt.Errorf("relation: missing discrete column %q", c.Name)
+			}
+			if len(col) != rows {
+				return nil, fmt.Errorf("relation: column %q has %d values, want %d", c.Name, len(col), rows)
+			}
+			r.discrete[c.Name] = col
+		}
+	}
+	return r, nil
+}
+
+// AdoptIndex installs a pre-built dictionary encoding for a discrete column,
+// so loaders that persist the encoding (colstore) can skip buildIndex
+// entirely. The index is validated against the DiscreteIndex invariants —
+// sorted unique domain, one in-range code per row — but NOT against the
+// column's values; the caller vouches that Domain[Codes[i]] == column[i]
+// (colstore materializes the column from the index, making that true by
+// construction).
+func (r *Relation) AdoptIndex(name string, ix *DiscreteIndex) error {
+	col, err := r.Discrete(name)
+	if err != nil {
+		return err
+	}
+	if len(ix.Codes) != len(col) {
+		return fmt.Errorf("relation: index for %q has %d codes, column has %d rows", name, len(ix.Codes), len(col))
+	}
+	if !sort.StringsAreSorted(ix.Domain) {
+		return fmt.Errorf("relation: index for %q has unsorted domain", name)
+	}
+	for i := 1; i < len(ix.Domain); i++ {
+		if ix.Domain[i-1] == ix.Domain[i] {
+			return fmt.Errorf("relation: index for %q has duplicate domain value %q", name, ix.Domain[i])
+		}
+	}
+	n := uint32(len(ix.Domain))
+	counts := make([]uint32, n)
+	for i, c := range ix.Codes {
+		if c >= n {
+			return fmt.Errorf("relation: index for %q has out-of-range code %d at row %d (domain size %d)", name, c, i, n)
+		}
+		counts[c]++
+	}
+	// The range check above already walked every code, so the per-code row
+	// counts come for free; installing them here keeps the adopted index on
+	// the same O(domain) counting fast path as a built one.
+	ix.Counts = counts
+	r.dmu.Lock()
+	defer r.dmu.Unlock()
+	if r.dindex == nil {
+		r.dindex = make(map[string]*DiscreteIndex)
+	}
+	r.dindex[name] = ix
+	return nil
+}

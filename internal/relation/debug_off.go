@@ -1,0 +1,12 @@
+//go:build !pcdebug
+
+package relation
+
+// debugAssertEnabled reports whether cache-hit index verification is
+// compiled in.
+const debugAssertEnabled = false
+
+// debugCheckIndex is a no-op in normal builds. Builds tagged `pcdebug`
+// verify every DiscreteIndex cache hit against the column, catching cleaners
+// that mutate backing slices without calling InvalidateIndex.
+func debugCheckIndex(name string, ix *DiscreteIndex, col []string) {}

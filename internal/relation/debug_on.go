@@ -1,0 +1,17 @@
+//go:build pcdebug
+
+package relation
+
+// debugAssertEnabled reports whether cache-hit index verification is
+// compiled in.
+const debugAssertEnabled = true
+
+// debugCheckIndex panics when a cached DiscreteIndex disagrees with its
+// column. Enabled by `go test -tags pcdebug`; the panic turns a silent
+// wrong-answer bug (stale dictionary feeding the estimators) into an
+// immediate failure at the offending cache hit.
+func debugCheckIndex(name string, ix *DiscreteIndex, col []string) {
+	if err := checkIndexAgainst(name, ix, col); err != nil {
+		panic(err)
+	}
+}

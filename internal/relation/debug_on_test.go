@@ -1,0 +1,25 @@
+//go:build pcdebug
+
+package relation
+
+import "testing"
+
+// TestDebugAssertStaleIndex verifies that pcdebug builds turn a stale cache
+// hit into a panic at the point of use. Run with: go test -tags pcdebug.
+func TestDebugAssertStaleIndex(t *testing.T) {
+	schema := MustSchema(Column{Name: "d", Kind: Discrete})
+	r, err := FromColumns(schema, nil, map[string][]string{"d": {"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DiscreteIndex("d"); err != nil {
+		t.Fatal(err)
+	}
+	r.MustDiscrete("d")[0] = "mutated-in-place"
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale cache hit did not panic under pcdebug")
+		}
+	}()
+	r.DiscreteIndex("d")
+}

@@ -19,6 +19,12 @@ type DiscreteIndex struct {
 	// Codes holds one entry per row: Codes[i] is the position of row i's
 	// value in Domain, so Domain[Codes[i]] is the row's value.
 	Codes []uint32
+	// Counts holds one entry per domain value: Counts[c] is the number of
+	// rows whose code is c. Every in-tree constructor (buildIndex,
+	// AdoptIndex) materializes it, turning predicate counting into an
+	// O(domain) sum instead of an O(rows) scan. A hand-assembled index may
+	// leave it nil; consumers must fall back to scanning Codes then.
+	Counts []uint32
 }
 
 // N returns the domain size.
@@ -50,10 +56,12 @@ func buildIndex(col []string) *DiscreteIndex {
 		sorted[r] = domain[o]
 		rank[o] = uint32(r)
 	}
+	counts := make([]uint32, len(domain))
 	for i, c := range codes {
 		codes[i] = rank[c]
+		counts[rank[c]]++
 	}
-	return &DiscreteIndex{Domain: sorted, Codes: codes}
+	return &DiscreteIndex{Domain: sorted, Codes: codes, Counts: counts}
 }
 
 // DiscreteIndex returns the cached dictionary encoding of a discrete column,
@@ -70,6 +78,7 @@ func (r *Relation) DiscreteIndex(name string) (*DiscreteIndex, error) {
 	r.dmu.Lock()
 	defer r.dmu.Unlock()
 	if ix, ok := r.dindex[name]; ok {
+		debugCheckIndex(name, ix, r.discrete[name])
 		return ix, nil
 	}
 	col, err := r.Discrete(name)

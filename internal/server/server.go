@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	POST /v1/query    {"query": "SELECT ..."} -> corrected Estimate with CI
+//	POST /v1/query/batch {"queries": [...]} -> per-query results/errors in order
 //	GET  /v1/describe schema + mechanism metadata for the served view
 //	GET  /healthz     liveness
 //	GET  /metrics     Prometheus text exposition of the telemetry registry
@@ -145,9 +146,9 @@ func New(cfg Config) (*Server, error) {
 	// The endpoint paths and server-specific outcome codes appear as metric
 	// labels; they are code-chosen strings, not data, so they join the safe
 	// vocabulary.
-	tel.Redact.Allow("/v1/query", "/v1/describe", "/v1/statusz", "/v1/tracez",
+	tel.Redact.Allow("/v1/query", "/v1/query/batch", "/v1/describe", "/v1/statusz", "/v1/tracez",
 		"/healthz", "/metrics",
-		"timeout", "shed", "method_not_allowed", "not_found", "serve", "serve_query", "drain",
+		"timeout", "shed", "method_not_allowed", "not_found", "serve", "serve_query", "serve_batch", "drain",
 		"200", "400", "404", "405", "408", "422", "429", "500", "503")
 	return &Server{
 		start: time.Now(),
@@ -179,6 +180,7 @@ func (s *Server) RegisterUDF(name string, f func(string) bool) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.instrument("/v1/query", s.handleQuery))
+	mux.HandleFunc("/v1/query/batch", s.instrument("/v1/query/batch", s.handleBatch))
 	mux.HandleFunc("/v1/describe", s.instrument("/v1/describe", s.handleDescribe))
 	mux.HandleFunc("/v1/statusz", s.instrument("/v1/statusz", s.handleStatusz))
 	mux.HandleFunc("/v1/tracez", s.instrument("/v1/tracez", s.handleTracez))

@@ -12,6 +12,12 @@
 // -max-regress 0.15 to fail (exit 1) when any matched benchmark's ns/op
 // regresses by more than 15% against the baseline.
 //
+// Repeated runs of the same benchmark (go test -count N) collapse to the
+// run with the lowest ns/op before diffing — the minimum is the standard
+// noise-robust statistic, since interference only ever slows a run down.
+// Gating jobs pair this with -count 3 so one descheduled run cannot fail
+// the build.
+//
 // Benchmark names are matched after stripping the trailing -<GOMAXPROCS>
 // suffix, so a baseline captured on one machine still lines up with runs on
 // another core count; the table notes both CPU strings for context.
@@ -69,6 +75,25 @@ func pct(base, cur float64) float64 {
 	return 100 * (cur - base) / base
 }
 
+// collapseBest folds repeated runs of the same benchmark (go test -count N)
+// into the one with the lowest ns/op, preserving first-occurrence order.
+func collapseBest(results []result) []result {
+	best := map[string]int{}
+	out := results[:0:0]
+	for _, r := range results {
+		k := key(r.Name)
+		if i, ok := best[k]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		best[k] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_pipeline.json", "committed baseline report")
 	current := flag.String("current", "-", "fresh report ('-' for stdin)")
@@ -86,6 +111,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
+
+	base.Results = collapseBest(base.Results)
+	cur.Results = collapseBest(cur.Results)
 
 	baseBy := map[string]result{}
 	for _, r := range base.Results {
