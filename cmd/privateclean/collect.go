@@ -160,6 +160,7 @@ func cmdReport(args []string) (err error) {
 	seed := fs.Int64("seed", 0, "base seed for the per-row randomization streams; 0 (default) draws fresh entropy from crypto/rand — set only for tests/repro, a known seed voids the local-DP guarantee")
 	clientID := fs.String("client", "", "client identifier mixed into batch IDs (default: hostname); keeps distinct clients' identical rows from deduplicating against each other")
 	retries := fs.Int("retries", 8, "attempts per batch when the collector sheds (429) or reports transient failure (5xx)")
+	mechanism := fs.String("mechanism", "", "assert the metadata's discrete mechanism (grr, krr, rrbin); errors before randomizing if the view metadata was built with a different one")
 	cf := addCSVFlags(fs)
 	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -181,6 +182,18 @@ func cmdReport(args []string) (err error) {
 	meta, err := readMeta(*metaPath)
 	if err != nil {
 		return err
+	}
+	if *mechanism != "" {
+		if _, err := privacy.MechanismByName(*mechanism); err != nil {
+			return faults.Errorf(faults.ErrUsage, "report: %v", err)
+		}
+		want := privacy.CanonicalMechanismName(*mechanism)
+		for _, name := range sortedKeys(meta.Discrete) {
+			if got := privacy.CanonicalMechanismName(meta.Discrete[name].Mechanism); got != want {
+				return faults.Errorf(faults.ErrBadMeta,
+					"report: metadata privatizes %q with mechanism %q, -mechanism asserts %q", name, got, want)
+			}
+		}
 	}
 	mech := privacy.MechanismFor(meta)
 	r, err := cf.load(*in)

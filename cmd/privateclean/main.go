@@ -311,6 +311,7 @@ func cmdPrivatize(args []string) (err error) {
 	metaPath := fs.String("meta", "", "output JSON for the view metadata (required)")
 	p := fs.Float64("p", 0.1, "randomization probability for discrete attributes")
 	b := fs.Float64("b", 10, "Laplace scale for numeric attributes")
+	mechanism := fs.String("mechanism", "", "discrete LDP mechanism: "+strings.Join(privacy.MechanismNames(), ", ")+" (default grr)")
 	targetErr := fs.Float64("error", 0, "if > 0, tune p and b from this count-error target instead")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for tuning")
 	seed := fs.Int64("seed", 1, "RNG seed")
@@ -328,6 +329,9 @@ func cmdPrivatize(args []string) (err error) {
 	}
 	if *in == "" || *out == "" || *metaPath == "" {
 		return faults.Errorf(faults.ErrUsage, "privatize: -in, -out, and -meta are required")
+	}
+	if _, err := privacy.MechanismByName(*mechanism); err != nil {
+		return faults.Errorf(faults.ErrUsage, "privatize: %v", err)
 	}
 	budget, err := parseBytes(*memBudget)
 	if err != nil {
@@ -383,6 +387,7 @@ func cmdPrivatize(args []string) (err error) {
 			}
 		}
 	}
+	params.Mechanism = *mechanism
 	policy, err := cf.policy()
 	if err != nil {
 		return err
@@ -422,7 +427,11 @@ func cmdPrivatize(args []string) (err error) {
 	fmt.Printf("released %d rows; total epsilon = %.4f\n", res.Rows, meta.TotalEpsilon())
 	for _, name := range sortedKeys(meta.Discrete) {
 		m := meta.Discrete[name]
-		fmt.Printf("  discrete %-16s p=%.4f N=%d eps=%.4f\n", m.Name, m.P, m.N(), m.Epsilon())
+		if mech := privacy.CanonicalMechanismName(m.Mechanism); mech != privacy.MechGRR {
+			fmt.Printf("  discrete %-16s p=%.4f N=%d eps=%.4f mechanism=%s\n", m.Name, m.P, m.N(), m.Epsilon(), mech)
+		} else {
+			fmt.Printf("  discrete %-16s p=%.4f N=%d eps=%.4f\n", m.Name, m.P, m.N(), m.Epsilon())
+		}
 	}
 	for _, name := range sortedKeys(meta.Numeric) {
 		m := meta.Numeric[name]
@@ -534,13 +543,29 @@ func cmdTune(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	printDiscreteParams(r, params)
+	return nil
+}
+
+// printDiscreteParams reports tuned/allocated per-attribute parameters. Both
+// epsilons are shown for discrete attributes: the Lemma-1 disclosure
+// ln(3/p - 2), which is what the GRR accounting ledger composes, and the
+// exact channel disclosure ln(N(1-p)/p + 1), which is what an adversary can
+// actually distinguish — for domains larger than three values the exact
+// figure is strictly larger, and hiding it understates the release.
+func printDiscreteParams(r *relation.Relation, params privacy.Params) {
 	for _, name := range sortedKeys(params.P) {
-		fmt.Printf("discrete %-16s p=%.4f (eps=%.4f)\n", name, params.P[name], privacy.EpsilonDiscrete(params.P[name]))
+		p := params.P[name]
+		if n, err := r.DomainSize(name); err == nil && n >= 2 {
+			fmt.Printf("discrete %-16s p=%.4f (eps_lemma1=%.4f eps_exact=%.4f N=%d)\n",
+				name, p, privacy.EpsilonDiscrete(p), privacy.EpsilonDiscreteExact(p, n), n)
+		} else {
+			fmt.Printf("discrete %-16s p=%.4f (eps=%.4f)\n", name, p, privacy.EpsilonDiscrete(p))
+		}
 	}
 	for _, name := range sortedKeys(params.B) {
 		fmt.Printf("numeric  %-16s b=%.4f\n", name, params.B[name])
 	}
-	return nil
 }
 
 func cmdMinSize(args []string) (err error) {
@@ -595,12 +620,7 @@ func cmdEpsilon(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	for _, name := range sortedKeys(params.P) {
-		fmt.Printf("discrete %-16s p=%.4f (eps=%.4f)\n", name, params.P[name], privacy.EpsilonDiscrete(params.P[name]))
-	}
-	for _, name := range sortedKeys(params.B) {
-		fmt.Printf("numeric  %-16s b=%.4f\n", name, params.B[name])
-	}
+	printDiscreteParams(r, params)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -200,6 +201,61 @@ func TestServiceRejections(t *testing.T) {
 	}
 	if rec := do(t, h, http.MethodPost, "/v1/stats", nil); rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("POST /v1/stats = %d, want 405", rec.Code)
+	}
+}
+
+// TestServiceCrossMechanismMismatch is the end-to-end regression for the
+// fingerprint-collision bug: a collector pinned to GRR metadata must reject
+// batches randomized under k-RR over the *identical* (p, domain) — before
+// the mechanism name joined the fingerprint, those two channels pinned
+// identically and mixed silently.
+func TestServiceCrossMechanismMismatch(t *testing.T) {
+	s := newTestService(t, t.TempDir(), nil) // pinned to GRR collectMeta()
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	krrMeta := collectMeta()
+	dm := krrMeta.Discrete["major"]
+	dm.Mechanism = privacy.MechKRR
+	krrMeta.Discrete["major"] = dm
+	if privacy.MechanismFingerprint(krrMeta) == s.Mechanism() {
+		t.Fatal("grr and krr metas share a fingerprint: the collision regression is back")
+	}
+
+	batch := makeBatches(t, krrMeta, 1, 1, 3)[0]
+	rec := postBatch(t, h, batch)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("krr batch against grr collector = %d, want 422 (%s)", rec.Code, rec.Body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "mechanism_mismatch" {
+		t.Fatalf("error code %q, want mechanism_mismatch", eb.Error.Code)
+	}
+
+	// And the same reports are accepted by a collector pinned to the krr
+	// meta — the reject above is about channel identity, not about k-RR.
+	s2 := newTestService(t, t.TempDir(), func(c *Config) { c.Meta = krrMeta })
+	defer s2.Shutdown(context.Background())
+	mustPost(t, s2.Handler(), batch)
+}
+
+// TestServiceRejectsUnknownMechanismMeta: a collector must refuse to start
+// on metadata naming a mechanism the registry does not know — guessing
+// inversion constants would corrupt every estimate it serves.
+func TestServiceRejectsUnknownMechanismMeta(t *testing.T) {
+	meta := collectMeta()
+	dm := meta.Discrete["major"]
+	dm.Mechanism = "exponential"
+	meta.Discrete["major"] = dm
+	_, err := New(Config{Dir: t.TempDir(), Meta: meta, Tel: telemetry.Noop()})
+	if !errors.Is(err, privacy.ErrUnknownMechanism) {
+		t.Fatalf("New with unknown mechanism: %v, want ErrUnknownMechanism", err)
+	}
+	if !errors.Is(err, faults.ErrBadMeta) {
+		t.Fatalf("New with unknown mechanism: %v, want faults.ErrBadMeta", err)
 	}
 }
 

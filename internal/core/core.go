@@ -405,7 +405,11 @@ type Explanation struct {
 	P float64
 	N int
 	L float64
-	// TauP and TauN are the channel's true/false-positive probabilities.
+	// Mechanism is the canonical name of the discrete mechanism the
+	// attribute was randomized under ("grr" for legacy metadata).
+	Mechanism string
+	// TauP and TauN are the channel's true/false-positive probabilities
+	// under that mechanism.
 	TauP, TauN float64
 	// Forked reports whether the attribute's provenance graph required the
 	// weighted (Section 7) treatment.
@@ -414,10 +418,15 @@ type Explanation struct {
 	CleanDomainSize int
 }
 
-// String renders the explanation.
+// String renders the explanation. The mechanism is shown only when it is
+// not the default GRR, keeping the rendering stable for existing output.
 func (ex Explanation) String() string {
-	return fmt.Sprintf("attr=%s base=%s p=%.4g N=%d l=%.4g tau_p=%.4g tau_n=%.4g forked=%t |M|=%d",
+	s := fmt.Sprintf("attr=%s base=%s p=%.4g N=%d l=%.4g tau_p=%.4g tau_n=%.4g forked=%t |M|=%d",
 		ex.Attr, ex.BaseAttr, ex.P, ex.N, ex.L, ex.TauP, ex.TauN, ex.Forked, ex.CleanDomainSize)
+	if ex.Mechanism != "" && ex.Mechanism != privacy.MechGRR {
+		s += " mechanism=" + ex.Mechanism
+	}
+	return s
 }
 
 // Explain parses a query with a single-attribute WHERE clause and reports
@@ -449,11 +458,16 @@ func ExplainQuery(sql string, viewMeta *privacy.ViewMeta, prov *provenance.Store
 	if err != nil {
 		return Explanation{}, err
 	}
+	mech, err := meta.Mech()
+	if err != nil {
+		return Explanation{}, fmt.Errorf("core: attribute %q: %w", base, err)
+	}
 	ex := Explanation{
-		Attr:     pred.Attr,
-		BaseAttr: base,
-		P:        meta.P,
-		N:        meta.N(),
+		Attr:      pred.Attr,
+		BaseAttr:  base,
+		P:         meta.P,
+		N:         meta.N(),
+		Mechanism: privacy.CanonicalMechanismName(meta.Mechanism),
 	}
 	var g *provenance.Graph
 	if prov != nil {
@@ -474,8 +488,11 @@ func ExplainQuery(sql string, viewMeta *privacy.ViewMeta, prov *provenance.Store
 		ex.CleanDomainSize = ex.N
 	}
 	if ex.N > 0 {
-		ex.TauN = ex.P * ex.L / float64(ex.N)
-		ex.TauP = (1 - ex.P) + ex.TauN
+		// Channel returns tauN and denom = tauP - tauN; for GRR these are
+		// p·l/N and 1-p, reproducing the pre-registry floats exactly.
+		tauN, denom := mech.Channel(ex.P, ex.N, ex.L)
+		ex.TauN = tauN
+		ex.TauP = denom + tauN
 	}
 	return ex, nil
 }

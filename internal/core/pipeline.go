@@ -50,14 +50,22 @@ import (
 // other version rather than guessing. Version 2 added the mechanism tag.
 const checkpointVersion = 2
 
-// mechanismTag names the RNG-consumption pattern of the privatize hot loop.
-// "grr-skip/2" is geometric skip-sampling (one Float64 per kept run, one
-// Intn per resample — see privacy.RandomizedResponse). A chunk's bytes are a
+// mechanismTagFor names the RNG-consumption pattern of the privatize hot
+// loop under the job's discrete mechanism (privacy.DiscreteMech.Tag). The
+// default GRR tag is "grr-skip/2": geometric skip-sampling, one Float64 per
+// kept run, one Intn per resample (see privacy.RandomizedResponse) — the
+// exact tag every pre-registry checkpoint carries. A chunk's bytes are a
 // pure function of (data, params, chunk stream) only under a fixed pattern,
-// so any change to how draws are consumed must bump this tag; resume then
-// refuses checkpoints whose durable chunks were produced by a different
-// pattern instead of splicing two mechanisms into one view.
-const mechanismTag = "grr-skip/2"
+// so any change to how a mechanism consumes draws must bump its tag; resume
+// then refuses checkpoints whose durable chunks were produced by a
+// different pattern instead of splicing two mechanisms into one view.
+func mechanismTagFor(params privacy.Params) (string, error) {
+	mech, err := privacy.MechanismByName(params.Mechanism)
+	if err != nil {
+		return "", faults.Wrap(faults.ErrBadParams, err)
+	}
+	return mech.Tag(), nil
+}
 
 // DefaultChunkSize is the number of rows privatized per chunk when the job
 // does not choose one.
@@ -239,7 +247,10 @@ func fingerprintFile(path string) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// fingerprintParams hashes the GRR parameters in a stable order.
+// fingerprintParams hashes the mechanism parameters in a stable order. The
+// mechanism name is appended only when it selects a non-default mechanism,
+// so checkpoints taken by pre-registry builds (always GRR, no component)
+// still resume under this build.
 func fingerprintParams(params privacy.Params) string {
 	h := sha256.New()
 	for _, m := range []map[string]float64{params.P, params.B} {
@@ -252,6 +263,9 @@ func fingerprintParams(params privacy.Params) string {
 			fmt.Fprintf(h, "%s=%v;", k, m[k])
 		}
 		io.WriteString(h, "|")
+	}
+	if name := params.Mechanism; name != "" && name != privacy.MechGRR {
+		fmt.Fprintf(h, "mechanism=%s;|", name)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -331,9 +345,13 @@ func (job *PrivatizeJob) Run() (res *PrivatizeResult, err error) {
 
 	rows := r.NumRows()
 	chunks := (rows + job.ChunkSize - 1) / job.ChunkSize
+	mechTag, err := mechanismTagFor(job.Params)
+	if err != nil {
+		return nil, err
+	}
 	ck := &checkpoint{
 		Version:          checkpointVersion,
-		Mechanism:        mechanismTag,
+		Mechanism:        mechTag,
 		InputSHA:         inputSHA,
 		ParamsSHA:        fingerprintParams(job.Params),
 		Seed:             job.Seed,
@@ -767,6 +785,16 @@ func (job *PrivatizeJob) loadInput() (*relation.Relation, *csvio.Report, error) 
 // viewMetaFor computes the release metadata without consuming randomness:
 // domains for discrete attributes, observed sensitivities for numeric ones.
 func viewMetaFor(r *relation.Relation, params privacy.Params) (*privacy.ViewMeta, error) {
+	mech, err := privacy.MechanismByName(params.Mechanism)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadParams, err)
+	}
+	// GRR is stamped as the empty string so default-mechanism metadata stays
+	// byte-identical with pre-registry releases.
+	mechName := params.Mechanism
+	if mechName == privacy.MechGRR {
+		mechName = ""
+	}
 	meta := &privacy.ViewMeta{
 		Discrete: make(map[string]privacy.DiscreteMeta),
 		Numeric:  make(map[string]privacy.NumericMeta),
@@ -780,7 +808,12 @@ func viewMetaFor(r *relation.Relation, params privacy.Params) (*privacy.ViewMeta
 		if len(domain) == 0 && r.NumRows() > 0 {
 			return nil, faults.Errorf(faults.ErrBadInput, "core: attribute %q has an empty domain", name)
 		}
-		meta.Discrete[name] = privacy.DiscreteMeta{Name: name, P: params.P[name], Domain: domain}
+		if len(domain) > 0 {
+			if err := mech.Validate(params.P[name], len(domain)); err != nil {
+				return nil, fmt.Errorf("core: attribute %q: %w", name, err)
+			}
+		}
+		meta.Discrete[name] = privacy.DiscreteMeta{Name: name, P: params.P[name], Domain: domain, Mechanism: mechName}
 	}
 	for _, name := range r.Schema().NumericNames() {
 		col, err := r.Numeric(name)
@@ -940,8 +973,8 @@ func (job *PrivatizeJob) readCheckpoint(fresh *checkpoint) (*checkpoint, error) 
 	switch {
 	case ck.Version != checkpointVersion:
 		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint version %d, want %d", ck.Version, checkpointVersion)
-	case ck.Mechanism != mechanismTag:
-		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint mechanism %q, this build privatizes with %q", ck.Mechanism, mechanismTag)
+	case ck.Mechanism != fresh.Mechanism:
+		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint mechanism %q, this job privatizes with %q", ck.Mechanism, fresh.Mechanism)
 	case ck.InputSHA != fresh.InputSHA:
 		return nil, faults.Errorf(faults.ErrCorruptCheckpoint, "core: checkpoint was taken against a different input file")
 	case ck.ParamsSHA != fresh.ParamsSHA:

@@ -542,8 +542,13 @@ func (job *PrivatizeJob) readCheckpointForTest(src *PrivatizeJob) (*checkpoint, 
 	if err != nil {
 		return nil, err
 	}
+	mechTag, err := mechanismTagFor(src.Params)
+	if err != nil {
+		return nil, err
+	}
 	fresh := &checkpoint{
 		Version:   checkpointVersion,
+		Mechanism: mechTag,
 		InputSHA:  inputSHA,
 		ParamsSHA: fingerprintParams(src.Params),
 		Seed:      src.Seed,

@@ -92,6 +92,14 @@ func (job *PrivatizeJob) profileInput() (*csvio.Profile, error) {
 // metadata values (and the same empty-domain error) without a resident
 // relation.
 func viewMetaFromProfile(prof *csvio.Profile, schema relation.Schema, params privacy.Params) (*privacy.ViewMeta, error) {
+	mech, err := privacy.MechanismByName(params.Mechanism)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadParams, err)
+	}
+	mechName := params.Mechanism
+	if mechName == privacy.MechGRR {
+		mechName = ""
+	}
 	meta := &privacy.ViewMeta{
 		Discrete: make(map[string]privacy.DiscreteMeta),
 		Numeric:  make(map[string]privacy.NumericMeta),
@@ -102,7 +110,12 @@ func viewMetaFromProfile(prof *csvio.Profile, schema relation.Schema, params pri
 		if len(domain) == 0 && prof.Rows > 0 {
 			return nil, faults.Errorf(faults.ErrBadInput, "core: attribute %q has an empty domain", name)
 		}
-		meta.Discrete[name] = privacy.DiscreteMeta{Name: name, P: params.P[name], Domain: domain}
+		if len(domain) > 0 {
+			if err := mech.Validate(params.P[name], len(domain)); err != nil {
+				return nil, fmt.Errorf("core: attribute %q: %w", name, err)
+			}
+		}
+		meta.Discrete[name] = privacy.DiscreteMeta{Name: name, P: params.P[name], Domain: domain, Mechanism: mechName}
 	}
 	for _, name := range schema.NumericNames() {
 		meta.Numeric[name] = privacy.NumericMeta{Name: name, B: params.B[name], Delta: prof.Deltas[name]}
@@ -149,9 +162,13 @@ func (job *PrivatizeJob) runStream(inputSHA string, start time.Time) (*Privatize
 
 	rows := prof.Rows
 	chunks := (rows + job.ChunkSize - 1) / job.ChunkSize
+	mechTag, err := mechanismTagFor(job.Params)
+	if err != nil {
+		return nil, err
+	}
 	ck := &checkpoint{
 		Version:          checkpointVersion,
-		Mechanism:        mechanismTag,
+		Mechanism:        mechTag,
 		InputSHA:         inputSHA,
 		ParamsSHA:        fingerprintParams(job.Params),
 		Seed:             job.Seed,

@@ -56,6 +56,13 @@ type channelVal struct {
 	p float64
 	n int
 	l float64
+	// tauN and denom are the governing mechanism's inversion constants at
+	// (p, n, l): tauN = P[private value matches | true value does not] and
+	// denom = tau_p - tau_n, the signal every corrected estimate divides
+	// by. They are resolved once from the mechanism registry so the
+	// estimate math never branches on the mechanism name.
+	tauN  float64
+	denom float64
 }
 
 type bitsEntry struct {

@@ -57,12 +57,12 @@ func (e *Estimator) conjChannels(rel *relation.Relation, preds []Predicate) ([]c
 			return nil, fmt.Errorf("estimator: conjunction has two predicates on %q; combine them into one", pred.Attr)
 		}
 		seen[pred.Attr] = true
-		p, n, l, err := e.channel(pred)
+		ch, err := e.channel(pred)
 		if err != nil {
 			return nil, err
 		}
-		if p >= 1 {
-			return nil, fmt.Errorf("estimator: p = %v on %q leaves no signal to invert", p, pred.Attr)
+		if ch.denom <= 0 {
+			return nil, fmt.Errorf("estimator: p = %v on %q leaves no signal to invert", ch.p, pred.Attr)
 		}
 		// The nil-means-match-all predicate contract holds here too: channel
 		// resolved l = N for it and the compiled selection matches every row,
@@ -71,12 +71,12 @@ func (e *Estimator) conjChannels(rel *relation.Relation, preds []Predicate) ([]c
 		if err != nil {
 			return nil, err
 		}
-		tauN := p * l / float64(n)
+		tauN := ch.tauN
 		chans[i] = conjChannel{
 			pred:   pred,
 			bits:   bits,
-			wTrue:  (1 - tauN) / (1 - p),
-			wFalse: -tauN / (1 - p),
+			wTrue:  (1 - tauN) / ch.denom,
+			wFalse: -tauN / ch.denom,
 		}
 	}
 	return chans, nil

@@ -140,28 +140,29 @@ type Estimator struct {
 
 // channel resolves everything the corrected estimators need about a
 // predicate: the randomization probability p of the governing attribute,
-// the dirty-domain size N, and the predicate's dirty-domain selectivity l.
-// With a Cache attached, resolved channels are served read-through (the
-// resolution walks the provenance graph, so a resident server amortizes it
-// across requests).
-func (e *Estimator) channel(pred Predicate) (p float64, n int, l float64, err error) {
+// the dirty-domain size N, the predicate's dirty-domain selectivity l, and
+// the mechanism's inversion constants (tauN, denom) at that point. With a
+// Cache attached, resolved channels are served read-through (the resolution
+// walks the provenance graph, so a resident server amortizes it across
+// requests).
+func (e *Estimator) channel(pred Predicate) (channelVal, error) {
 	key, cacheable := predCacheKey(pred)
 	if cacheable && e.Cache != nil {
 		if ch, ok := e.Cache.getChannel(key); ok {
-			return ch.p, ch.n, ch.l, nil
+			return ch, nil
 		}
 	}
-	p, n, l, err = e.resolveChannel(pred)
+	ch, err := e.resolveChannel(pred)
 	if err == nil && cacheable && e.Cache != nil {
-		e.Cache.putChannel(key, channelVal{p: p, n: n, l: l})
+		e.Cache.putChannel(key, ch)
 	}
-	return p, n, l, err
+	return ch, err
 }
 
 // resolveChannel is the uncached channel resolution.
-func (e *Estimator) resolveChannel(pred Predicate) (p float64, n int, l float64, err error) {
+func (e *Estimator) resolveChannel(pred Predicate) (channelVal, error) {
 	if e.Meta == nil {
-		return 0, 0, 0, fmt.Errorf("estimator: nil view metadata")
+		return channelVal{}, fmt.Errorf("estimator: nil view metadata")
 	}
 	attr := pred.Attr
 	base := attr
@@ -170,12 +171,16 @@ func (e *Estimator) resolveChannel(pred Predicate) (p float64, n int, l float64,
 	}
 	meta, err := e.Meta.DiscreteFor(base)
 	if err != nil {
-		return 0, 0, 0, err
+		return channelVal{}, err
 	}
-	p = meta.P
-	n = meta.N()
+	mech, err := meta.Mech()
+	if err != nil {
+		return channelVal{}, fmt.Errorf("estimator: attribute %q: %w", base, err)
+	}
+	p := meta.P
+	n := meta.N()
 	if n == 0 {
-		return 0, 0, 0, fmt.Errorf("estimator: attribute %q has an empty domain", base)
+		return channelVal{}, fmt.Errorf("estimator: attribute %q has an empty domain", base)
 	}
 	// A nil Match means match-all (the package-wide contract): the predicate
 	// selects the whole clean domain, whose dirty-domain selectivity is N.
@@ -183,6 +188,8 @@ func (e *Estimator) resolveChannel(pred Predicate) (p float64, n int, l float64,
 	if match == nil {
 		match = func(string) bool { return true }
 	}
+	l := 0.0
+	resolved := false
 	if e.Prov != nil {
 		if g, ok := e.Prov.Graph(attr); ok {
 			if e.UnweightedCut {
@@ -190,17 +197,20 @@ func (e *Estimator) resolveChannel(pred Predicate) (p float64, n int, l float64,
 			} else {
 				l = g.Selectivity(match)
 			}
-			return p, n, l, nil
+			resolved = true
 		}
 	}
-	// No cleaning recorded for this attribute: the clean domain is the
-	// dirty domain, so count matching distinct values directly.
-	for _, v := range meta.Domain {
-		if match(v) {
-			l++
+	if !resolved {
+		// No cleaning recorded for this attribute: the clean domain is the
+		// dirty domain, so count matching distinct values directly.
+		for _, v := range meta.Domain {
+			if match(v) {
+				l++
+			}
 		}
 	}
-	return p, n, l, nil
+	tauN, denom := mech.Channel(p, n, l)
+	return channelVal{p: p, n: n, l: l, tauN: tauN, denom: denom}, nil
 }
 
 func (e *Estimator) confidence() float64 {
@@ -218,36 +228,37 @@ func (e *Estimator) confidence() float64 {
 //
 //	ĉ ± z · (1/(1−p)) · sqrt(S·s_p·(1−s_p)).
 func (e *Estimator) Count(rel *relation.Relation, pred Predicate) (Estimate, error) {
-	p, n, l, err := e.channel(pred)
+	ch, err := e.channel(pred)
 	if err != nil {
 		return Estimate{}, err
 	}
-	if p >= 1 {
-		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", p)
+	if ch.denom <= 0 {
+		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", ch.p)
 	}
 	cPriv, err := e.countMatches(rel, pred)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return e.countEstimate(p, n, l, float64(cPriv), float64(rel.NumRows()))
+	return e.countEstimate(ch, float64(cPriv), float64(rel.NumRows()))
 }
 
 // countEstimate is the Eq. 3 scalar math, shared by the relation-backed and
 // statistics-backed count estimators: invert the channel over the observed
-// private count cPriv out of s rows.
-func (e *Estimator) countEstimate(p float64, n int, l, cPriv, s float64) (Estimate, error) {
+// private count cPriv out of s rows. The mechanism enters only through the
+// precomputed (tauN, denom) constants; for GRR they are p·l/N and 1-p, the
+// exact float expressions of the pre-registry code.
+func (e *Estimator) countEstimate(ch channelVal, cPriv, s float64) (Estimate, error) {
 	if s == 0 {
 		return Estimate{}, fmt.Errorf("estimator: empty relation")
 	}
-	tauN := p * l / float64(n)
-	est := (cPriv - s*tauN) / (1 - p)
+	est := (cPriv - s*ch.tauN) / ch.denom
 
 	sp := cPriv / s
 	z, err := stats.ZScore(e.confidence())
 	if err != nil {
 		return Estimate{}, err
 	}
-	ci := z / (1 - p) * math.Sqrt(s*sp*(1-sp))
+	ci := z / ch.denom * math.Sqrt(s*sp*(1-sp))
 	return Estimate{Value: est, CI: ci}, nil
 }
 
@@ -266,12 +277,12 @@ func (e *Estimator) countEstimate(p float64, n int, l, cPriv, s float64) (Estima
 // the private relation (the 1/(1−p) factor carries the channel inversion
 // into the interval, matching the paper's analytic bound in Eq. 6).
 func (e *Estimator) Sum(rel *relation.Relation, agg string, pred Predicate) (Estimate, error) {
-	p, n, l, err := e.channel(pred)
+	ch, err := e.channel(pred)
 	if err != nil {
 		return Estimate{}, err
 	}
-	if p >= 1 {
-		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", p)
+	if ch.denom <= 0 {
+		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", ch.p)
 	}
 	hp, hpc, err := e.sumMatches(rel, agg, pred)
 	if err != nil {
@@ -296,26 +307,26 @@ func (e *Estimator) Sum(rel *relation.Relation, agg string, pred Predicate) (Est
 	if err != nil {
 		return Estimate{}, err
 	}
-	return e.sumEstimate(p, n, l, hp, hpc, float64(cPriv), float64(rel.NumRows()), muP, varP)
+	return e.sumEstimate(ch, hp, hpc, float64(cPriv), float64(rel.NumRows()), muP, varP)
 }
 
 // sumEstimate is the Eq. 5 scalar math, shared by the relation-backed and
 // statistics-backed sum estimators: hp/hpc are the private sums over the
 // predicate and its complement, cPriv the private matching count, s the row
 // count, muP/varP the aggregate column's private mean and variance.
-func (e *Estimator) sumEstimate(p float64, n int, l, hp, hpc, cPriv, s, muP, varP float64) (Estimate, error) {
+func (e *Estimator) sumEstimate(ch channelVal, hp, hpc, cPriv, s, muP, varP float64) (Estimate, error) {
 	if s == 0 {
 		return Estimate{}, fmt.Errorf("estimator: empty relation")
 	}
-	tauN := p * l / float64(n)
-	est := ((1-tauN)*hp - tauN*hpc) / (1 - p)
+	tauN := ch.tauN
+	est := ((1-tauN)*hp - tauN*hpc) / ch.denom
 
 	sp := cPriv / s
 	z, err := stats.ZScore(e.confidence())
 	if err != nil {
 		return Estimate{}, err
 	}
-	ci := 2 * z / (1 - p) * math.Sqrt(s*(sp*(1-sp)*muP*muP+varP))
+	ci := 2 * z / ch.denom * math.Sqrt(s*(sp*(1-sp)*muP*muP+varP))
 	return Estimate{Value: est, CI: ci}, nil
 }
 
@@ -336,7 +347,7 @@ func (e *Estimator) sumEstimate(p float64, n int, l, hp, hpc, cPriv, s, muP, var
 // embodies is *subtracting the false-positive mass* — which this ablation
 // omits — not the extra query per se.)
 func (e *Estimator) SumIgnoringFalsePositives(rel *relation.Relation, agg string, pred Predicate) (Estimate, error) {
-	p, n, l, err := e.channel(pred)
+	ch, err := e.channel(pred)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -348,7 +359,7 @@ func (e *Estimator) SumIgnoringFalsePositives(rel *relation.Relation, agg string
 	if s == 0 {
 		return Estimate{}, fmt.Errorf("estimator: empty relation")
 	}
-	tauP := (1 - p) + p*l/float64(n)
+	tauP := ch.denom + ch.tauN
 	if tauP <= 0 {
 		return Estimate{}, fmt.Errorf("estimator: τ_p = %v leaves no signal to invert", tauP)
 	}

@@ -2,7 +2,11 @@ package estimator
 
 import (
 	"math"
+	"math/rand"
 	"testing"
+
+	"privateclean/internal/privacy"
+	"privateclean/internal/relation"
 )
 
 // The statistical regression suite: with K deterministic seeds, the
@@ -143,6 +147,135 @@ func TestCountCoverageCalibrated(t *testing.T) {
 	if s.coverage < 0.90 || s.coverage > 0.99 {
 		t.Errorf("calibrated count: empirical 95%% CI coverage = %v, want within [0.90, 0.99]", s.coverage)
 	}
+}
+
+// privatizedMech privatizes under a named mechanism (privatized's GRR-only
+// signature predates the registry).
+func privatizedMech(t *testing.T, r *relation.Relation, seed int64, p, b float64, mechName string) (*relation.Relation, *privacy.ViewMeta) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	params := privacy.Uniform(r.Schema(), p, b)
+	params.Mechanism = mechName
+	v, meta, err := privacy.Privatize(rng, r, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, meta
+}
+
+// binaryRel builds a 2-value discrete attribute with a correlated numeric
+// column for the rrbin estimator suite (rrbin only admits binary domains).
+func binaryRel(t *testing.T) *relation.Relation {
+	t.Helper()
+	var cats []string
+	var vals []float64
+	for i := 0; i < 650; i++ {
+		cats = append(cats, "no")
+		vals = append(vals, 10)
+	}
+	for i := 0; i < 350; i++ {
+		cats = append(cats, "yes")
+		vals = append(vals, 30)
+	}
+	r, err := relation.FromColumns(testSchema,
+		map[string][]float64{"value": vals},
+		map[string][]string{"category": cats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestStatisticalSuiteMechanismMatrix runs the unbiasedness and coverage
+// assertions under every non-default mechanism: the mechanism's channel
+// constants feed the same Eq. 3/Eq. 5 inversion, so a wrong tauN or denom
+// shows up as Monte-Carlo bias here even when GRR stays green.
+func TestStatisticalSuiteMechanismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical suite: K seeded privatizations; skipped with -short")
+	}
+	const K = 120
+	t.Run("krr", func(t *testing.T) {
+		r := skewedRel(t)
+		const p, b = 0.3, 5.0
+		pred := Eq("category", "b")
+		countTruth, sumTruth := 300.0, 6000.0
+		counts := make([]mcSample, 0, K)
+		sums := make([]mcSample, 0, K)
+		for seed := int64(1); seed <= K; seed++ {
+			v, meta := privatizedMech(t, r, 55000+seed, p, b, privacy.MechKRR)
+			est := &Estimator{Meta: meta, Confidence: 0.95}
+			c, err := est.Count(v, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts = append(counts, mcSample{c.Value, c.Lo() <= countTruth && countTruth <= c.Hi()})
+			s, err := est.Sum(v, "value", pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums = append(sums, mcSample{s.Value, s.Lo() <= sumTruth && sumTruth <= s.Hi()})
+		}
+		for name, s := range map[string]mcSummary{
+			"krr count": checkUnbiased(t, "krr count", countTruth, counts),
+			"krr sum":   checkUnbiased(t, "krr sum", sumTruth, sums),
+		} {
+			if s.coverage < 0.90 {
+				t.Errorf("%s: empirical 95%% CI coverage = %v, want >= 0.90", name, s.coverage)
+			}
+		}
+	})
+	t.Run("rrbin", func(t *testing.T) {
+		r := binaryRel(t)
+		const p, b = 0.25, 4.0
+		pred := Eq("category", "yes")
+		countTruth, sumTruth := 350.0, 350*30.0
+		counts := make([]mcSample, 0, K)
+		sums := make([]mcSample, 0, K)
+		for seed := int64(1); seed <= K; seed++ {
+			v, meta := privatizedMech(t, r, 66000+seed, p, b, privacy.MechRRBin)
+			est := &Estimator{Meta: meta, Confidence: 0.95}
+			c, err := est.Count(v, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts = append(counts, mcSample{c.Value, c.Lo() <= countTruth && countTruth <= c.Hi()})
+			s, err := est.Sum(v, "value", pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums = append(sums, mcSample{s.Value, s.Lo() <= sumTruth && sumTruth <= s.Hi()})
+		}
+		for name, s := range map[string]mcSummary{
+			"rrbin count": checkUnbiased(t, "rrbin count", countTruth, counts),
+			"rrbin sum":   checkUnbiased(t, "rrbin sum", sumTruth, sums),
+		} {
+			if s.coverage < 0.90 {
+				t.Errorf("%s: empirical 95%% CI coverage = %v, want >= 0.90", name, s.coverage)
+			}
+		}
+	})
+	// The stats path reads the same channel constants through CountStats.
+	t.Run("krr_stats_path", func(t *testing.T) {
+		r := skewedRel(t)
+		pred := In("category", "c", "d")
+		countTruth := 190.0
+		samples := make([]mcSample, 0, 80)
+		for seed := int64(1); seed <= 80; seed++ {
+			v, meta := privatizedMech(t, r, 44000+seed, 0.25, 0, privacy.MechKRR)
+			st := collect(t, v, 256)
+			est := &Estimator{Meta: meta, Confidence: 0.95}
+			c, err := est.CountStats(st, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples = append(samples, mcSample{c.Value, c.Lo() <= countTruth && countTruth <= c.Hi()})
+		}
+		s := checkUnbiased(t, "krr count over statistics", countTruth, samples)
+		if s.coverage < 0.90 {
+			t.Errorf("krr count over statistics: empirical 95%% CI coverage = %v, want >= 0.90", s.coverage)
+		}
+	})
 }
 
 // TestStatisticalSuiteStatsPath: the sufficient-statistics estimators see

@@ -295,28 +295,28 @@ func CollectStatistics(it relation.Iterator) (*Statistics, error) {
 // CountStats is Count over sufficient statistics instead of a resident
 // relation.
 func (e *Estimator) CountStats(st *Statistics, pred Predicate) (Estimate, error) {
-	p, n, l, err := e.channel(pred)
+	ch, err := e.channel(pred)
 	if err != nil {
 		return Estimate{}, err
 	}
-	if p >= 1 {
-		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", p)
+	if ch.denom <= 0 {
+		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", ch.p)
 	}
 	cPriv, err := st.countMatches(pred)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return e.countEstimate(p, n, l, float64(cPriv), float64(st.Rows))
+	return e.countEstimate(ch, float64(cPriv), float64(st.Rows))
 }
 
 // SumStats is Sum over sufficient statistics.
 func (e *Estimator) SumStats(st *Statistics, agg string, pred Predicate) (Estimate, error) {
-	p, n, l, err := e.channel(pred)
+	ch, err := e.channel(pred)
 	if err != nil {
 		return Estimate{}, err
 	}
-	if p >= 1 {
-		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", p)
+	if ch.denom <= 0 {
+		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", ch.p)
 	}
 	hp, hpc, err := st.sumMatches(agg, pred)
 	if err != nil {
@@ -341,7 +341,7 @@ func (e *Estimator) SumStats(st *Statistics, agg string, pred Predicate) (Estima
 	if err != nil {
 		return Estimate{}, err
 	}
-	return e.sumEstimate(p, n, l, hp, hpc, float64(cPriv), float64(st.Rows), muP, varP)
+	return e.sumEstimate(ch, hp, hpc, float64(cPriv), float64(st.Rows), muP, varP)
 }
 
 // AvgStats is Avg over sufficient statistics: the ratio of SumStats and

@@ -13,12 +13,19 @@ import (
 // uniformly over all attributes (numerical and discrete) and derives the
 // per-attribute mechanism parameters:
 //
-//   - each discrete attribute d_i gets p_i = PForEpsilon(eps_i), and
+//   - each discrete attribute d_i gets p_i = PForEpsilonExact(eps_i, N_i)
+//     with N_i the attribute's observed domain size, so the *exact*
+//     per-attribute epsilon (EpsilonDiscreteExact) meets the budget share —
+//     the paper's 3-value inversion PForEpsilon would overshoot the true
+//     local-DP level for any larger domain; and
 //   - each numerical attribute a_j gets b_j = Delta_j / eps_j, with
 //     Delta_j the attribute's observed max-min range.
 //
-// By Theorem 1 the released view's TotalEpsilon is then at most eps (equal,
-// up to constant columns whose epsilon is 0 regardless of b).
+// By Theorem 1 the released view's TotalEpsilonExact is then at most eps
+// (equal, up to constant columns whose epsilon is 0 regardless of b, and
+// single-valued discrete columns, which fall back to the Lemma 1 inversion
+// because any p perfectly hides a constant). The Lemma 1 accounting
+// TotalEpsilon is smaller still for domains above 3 values.
 func AllocateEpsilon(r *relation.Relation, eps float64) (Params, error) {
 	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return Params{}, faults.Errorf(faults.ErrBadParams, "privacy: total epsilon must be positive and finite, got %v", eps)
@@ -33,7 +40,7 @@ func AllocateEpsilon(r *relation.Relation, eps float64) (Params, error) {
 
 	params := Params{P: make(map[string]float64, len(discrete)), B: make(map[string]float64, len(numeric))}
 	for _, name := range discrete {
-		p, err := PForEpsilon(per)
+		p, err := pForBudget(r, name, per)
 		if err != nil {
 			return Params{}, err
 		}
@@ -55,6 +62,22 @@ func AllocateEpsilon(r *relation.Relation, eps float64) (Params, error) {
 		params.B[name] = b
 	}
 	return params, nil
+}
+
+// pForBudget inverts a per-attribute epsilon share into a randomization
+// probability using the attribute's observed domain size (exact inversion).
+// Domains below 2 distinct values fall back to the Lemma 1 inversion: a
+// constant column is perfectly hidden at any p, so the exact form has
+// nothing to invert.
+func pForBudget(r *relation.Relation, name string, eps float64) (float64, error) {
+	n, err := r.DomainSize(name)
+	if err != nil {
+		return 0, err
+	}
+	if n < 2 {
+		return PForEpsilon(eps)
+	}
+	return PForEpsilonExact(eps, n)
 }
 
 // AllocateEpsilonWeighted is AllocateEpsilon with caller-chosen weights:
@@ -93,7 +116,7 @@ func AllocateEpsilonWeighted(r *relation.Relation, eps float64, weights map[stri
 	params := Params{P: make(map[string]float64, len(discrete)), B: make(map[string]float64, len(numeric))}
 	for _, name := range discrete {
 		w, _ := weightOf(name)
-		p, err := PForEpsilon(eps * w / total)
+		p, err := pForBudget(r, name, eps*w/total)
 		if err != nil {
 			return Params{}, err
 		}

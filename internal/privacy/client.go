@@ -11,6 +11,7 @@ package privacy
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"math"
 	"sort"
 	"strconv"
@@ -33,16 +34,25 @@ type Report struct {
 }
 
 // DiscreteMechanism is the public disclosure of the randomized-response
-// channel for one discrete attribute: with probability P the true value is
-// resampled uniformly from the N-value domain, so any particular alternative
-// is reported with probability Q = P/N and the true value survives with
-// probability Keep = 1-P+P/N. Epsilon is the Lemma 1 accounting constant.
+// channel for one discrete attribute under mechanism Name: with probability
+// P the true value is resampled (how depends on the mechanism), so any
+// particular alternative is reported with probability Q and the true value
+// survives with probability Keep.
+//
+// Epsilon is the mechanism's *exact* local-DP parameter at (P, N) —
+// ln(Keep/Q) — the figure a client actually consents to. EpsilonLemma1 is
+// the paper's Lemma 1 accounting constant ln(3/p - 2), reported only for
+// GRR, where it is what the batch pipeline's composition (TotalEpsilon)
+// sums; for N > 3 it understates Epsilon, which is exactly why the
+// disclosure carries both.
 type DiscreteMechanism struct {
-	P       float64 `json:"p"`
-	Q       float64 `json:"q"`
-	Keep    float64 `json:"keep"`
-	N       int     `json:"n"`
-	Epsilon float64 `json:"epsilon"`
+	Name          string  `json:"mechanism"`
+	P             float64 `json:"p"`
+	Q             float64 `json:"q"`
+	Keep          float64 `json:"keep"`
+	N             int     `json:"n"`
+	Epsilon       float64 `json:"epsilon"`
+	EpsilonLemma1 float64 `json:"epsilon_lemma1,omitempty"`
 }
 
 // NumericMechanism is the public disclosure of the Laplace channel for one
@@ -73,11 +83,23 @@ func MechanismFor(meta *ViewMeta) Mechanism {
 	}
 	for name, dm := range meta.Discrete {
 		n := dm.N()
-		q := 0.0
-		if n > 0 {
-			q = dm.P / float64(n)
+		d := DiscreteMechanism{
+			Name:    CanonicalMechanismName(dm.Mechanism),
+			P:       dm.P,
+			N:       n,
+			Epsilon: dm.EpsilonExact(),
 		}
-		m.Discrete[name] = DiscreteMechanism{P: dm.P, Q: q, Keep: 1 - dm.P + q, N: n, Epsilon: dm.Epsilon()}
+		if dm.Mechanism == "" || dm.Mechanism == MechGRR {
+			d.EpsilonLemma1 = EpsilonDiscrete(dm.P)
+		}
+		if mech, err := dm.Mech(); err == nil && n > 0 {
+			// Q and Keep are the single-value channel probabilities:
+			// tau_n at l = 1 and tau_p = denom + tau_n.
+			tauN, denom := mech.Channel(dm.P, n, 1)
+			d.Q = tauN
+			d.Keep = denom + tauN
+		}
+		m.Discrete[name] = d
 	}
 	for name, nm := range meta.Numeric {
 		m.Numeric[name] = NumericMechanism{B: nm.B, Delta: nm.Delta, Epsilon: nm.Epsilon()}
@@ -86,18 +108,26 @@ func MechanismFor(meta *ViewMeta) Mechanism {
 }
 
 // MechanismFingerprint returns the SHA-256 of a canonical rendering of the
-// mechanism parameters: attributes in sorted order, discrete attributes with
-// (p, domain), numeric attributes with (b, delta). Rows is excluded — it
-// describes one dataset, not the channel. Two metas fingerprint equal iff
-// they induce the same randomization channel.
+// mechanism parameters: a format-version component, then attributes in
+// sorted order — discrete attributes with (mechanism name, p, domain),
+// numeric attributes with (b, delta). Rows is excluded — it describes one
+// dataset, not the channel. Two metas fingerprint equal iff they induce the
+// same randomization channel.
 //
 // Every component is length-prefixed ("<len>:<bytes>"), which makes the
 // rendering injective: a domain ["a|b"] cannot canonicalize like ["a","b"],
 // and names or values containing any delimiter byte cannot forge another
-// mechanism's rendering. Without that, two channels that randomize
+// mechanism's rendering. The mechanism name is itself a component — always
+// spelled out, "grr" included — so GRR and k-RR over identical (p, domain)
+// never share a fingerprint. Without that, two channels that randomize
 // differently could share a fingerprint, and the collector's mechanism
 // pinning would let them mix — corrupting the estimator inversion the
 // pinning exists to protect.
+//
+// Format v2 ("pcfp2"): v1 carried neither the version nor the mechanism
+// component, so every fingerprint changed when the registry landed —
+// collectors pin the fingerprint in their checkpoint and refuse to append
+// v2-randomized batches to a v1-pinned store (see docs/COLLECT.md).
 func MechanismFingerprint(meta *ViewMeta) string {
 	var sb strings.Builder
 	comp := func(s string) {
@@ -105,6 +135,8 @@ func MechanismFingerprint(meta *ViewMeta) string {
 		sb.WriteByte(':')
 		sb.WriteString(s)
 	}
+	comp("pcfp2")
+	sb.WriteByte('\n')
 	names := make([]string, 0, len(meta.Discrete))
 	for name := range meta.Discrete {
 		names = append(names, name)
@@ -114,6 +146,7 @@ func MechanismFingerprint(meta *ViewMeta) string {
 		dm := meta.Discrete[name]
 		sb.WriteString("d|")
 		comp(name)
+		comp(CanonicalMechanismName(dm.Mechanism))
 		comp(strconv.FormatFloat(dm.P, 'g', -1, 64))
 		for _, v := range dm.Domain {
 			comp(v)
@@ -215,12 +248,17 @@ func PrivatizeRecord(rng Rand, meta *ViewMeta, discrete map[string]string, numer
 		if len(dm.Domain) == 0 {
 			return Report{}, faults.Errorf(faults.ErrBadMeta, "privacy: empty domain for discrete attribute %q", name)
 		}
+		mech, err := dm.Mech()
+		if err != nil {
+			return Report{}, err
+		}
 		v, ok := discrete[name]
 		if !ok {
 			v = relation.Null
 		}
-		if dm.P > 0 && rng.Float64() < dm.P {
-			v = dm.Domain[rng.Intn(len(dm.Domain))]
+		v, err = mech.RandomizeValue(rng, v, dm.Domain, dm.P)
+		if err != nil {
+			return Report{}, fmt.Errorf("privacy: attribute %q: %w", name, err)
 		}
 		rep.Discrete[name] = v
 	}

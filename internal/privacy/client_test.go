@@ -119,6 +119,73 @@ func TestPrivatizeRecordFlipRate(t *testing.T) {
 	}
 }
 
+// TestPrivatizeRecordFlipRatePerMechanism pins the client-path keep rate for
+// every registered mechanism. The keep probabilities differ per mechanism at
+// the same p — GRR keeps with 1-p+p/n (a resample can land home), k-RR and
+// rrbin with exactly 1-p — so a dispatch bug that routed one mechanism's
+// record through another's sampler shifts the rate by whole sigmas.
+func TestPrivatizeRecordFlipRatePerMechanism(t *testing.T) {
+	const n = 20000
+	const p = 0.4
+	for _, tc := range []struct {
+		mech   string
+		domain []string
+		keep   float64
+	}{
+		{MechGRR, []string{"a", "b", "c", "d"}, 1 - p + p/4},
+		{MechKRR, []string{"a", "b", "c", "d"}, 1 - p},
+		{MechRRBin, []string{"a", "b"}, 1 - p},
+	} {
+		meta := &ViewMeta{
+			Discrete: map[string]DiscreteMeta{"bit": {P: p, Domain: tc.domain, Mechanism: tc.mech}},
+		}
+		kept := 0
+		for i := 0; i < n; i++ {
+			rep, err := PrivatizeRecord(StreamRand(13, i), meta, map[string]string{"bit": "a"}, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.mech, err)
+			}
+			if rep.Discrete["bit"] == "a" {
+				kept++
+			}
+		}
+		sigma := math.Sqrt(tc.keep * (1 - tc.keep) / float64(n))
+		if got := float64(kept) / n; math.Abs(got-tc.keep) > 4*sigma {
+			t.Errorf("%s: keep rate %v, want %v +/- %v", tc.mech, got, tc.keep, 4*sigma)
+		}
+	}
+}
+
+// TestPrivatizeRecordDeterministicPerMechanism: the same per-record stream
+// must reproduce the same report under every mechanism — reposting after a
+// crash depends on it.
+func TestPrivatizeRecordDeterministicPerMechanism(t *testing.T) {
+	for _, mech := range MechanismNames() {
+		domain := []string{"CS", "EE", "ME"}
+		if mech == MechRRBin {
+			domain = []string{"no", "yes"}
+		}
+		meta := &ViewMeta{
+			Discrete: map[string]DiscreteMeta{"major": {Name: "major", P: 0.5, Domain: domain, Mechanism: mech}},
+			Numeric:  map[string]NumericMeta{"score": {Name: "score", B: 5, Delta: 50}},
+			Rows:     100,
+		}
+		disc := map[string]string{"major": domain[0]}
+		num := map[string]float64{"score": 42}
+		a, err := PrivatizeRecord(StreamRand(7, 3), meta, disc, num)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		b, err := PrivatizeRecord(StreamRand(7, 3), meta, disc, num)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if a.Discrete["major"] != b.Discrete["major"] || a.Numeric["score"] != b.Numeric["score"] {
+			t.Errorf("%s: same stream produced different reports: %+v vs %+v", mech, a, b)
+		}
+	}
+}
+
 func TestMechanismFingerprint(t *testing.T) {
 	a, b := clientMeta(), clientMeta()
 	if MechanismFingerprint(a) != MechanismFingerprint(b) {

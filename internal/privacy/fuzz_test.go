@@ -1,0 +1,63 @@
+package privacy
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzMechanismMeta drives arbitrary bytes through the full mechanism-
+// metadata life cycle: decode, validate, fingerprint, marshal, re-decode,
+// re-validate, re-fingerprint. Two invariants hold for every accepted input:
+// the JSON round trip must re-validate (a released meta.json can always be
+// re-read), and the fingerprint must survive it unchanged — the fingerprint
+// is what a collector pins, so a round trip that perturbed it would strand
+// every client on restart. Unknown mechanism names must be rejected by
+// Validate, never silently fingerprinted as something else.
+func FuzzMechanismMeta(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"Discrete":{"major":{"Name":"major","P":0.2,"Domain":["a","b"]}},"Numeric":{},"Rows":10}`,
+		`{"Discrete":{"major":{"Name":"major","P":0.2,"Domain":["a","b","c"],"Mechanism":"krr"}},"Rows":5}`,
+		`{"Discrete":{"flag":{"Name":"flag","P":0.4,"Domain":["no","yes"],"Mechanism":"rrbin"}},"Rows":5}`,
+		`{"Discrete":{"major":{"Name":"major","P":0.2,"Domain":["a","b"],"Mechanism":"grr"}},"Rows":5}`,
+		`{"Discrete":{"major":{"Name":"major","P":0.2,"Domain":["a","b"],"Mechanism":"exponential"}},"Rows":5}`,
+		`{"Discrete":{"major":{"Name":"major","P":0.9,"Domain":["a","b","c"],"Mechanism":"krr"}},"Rows":5}`,
+		`{"Discrete":{"flag":{"Name":"flag","P":0.4,"Domain":["no","yes","maybe"],"Mechanism":"rrbin"}},"Rows":5}`,
+		`{"Numeric":{"score":{"Name":"score","B":2,"Delta":20}},"Rows":3}`,
+		`null`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta := &ViewMeta{}
+		if err := json.Unmarshal(data, meta); err != nil {
+			return // rejection is fine
+		}
+		if err := meta.Validate(); err != nil {
+			return // typed rejection is fine (unknown mechanism lands here)
+		}
+		// Every discrete attribute of a validated meta resolves a mechanism.
+		for name, dm := range meta.Discrete {
+			if _, err := dm.Mech(); err != nil {
+				t.Fatalf("validated meta has unresolvable mechanism for %q: %v", name, err)
+			}
+		}
+		fp := MechanismFingerprint(meta)
+		out, err := json.Marshal(meta)
+		if err != nil {
+			t.Fatalf("validated metadata failed to marshal: %v", err)
+		}
+		back := &ViewMeta{}
+		if err := json.Unmarshal(out, back); err != nil {
+			t.Fatalf("marshaled metadata failed to re-read: %v", err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped metadata no longer validates: %v", err)
+		}
+		if got := MechanismFingerprint(back); got != fp {
+			t.Fatalf("fingerprint changed across JSON round trip: %s -> %s", fp, got)
+		}
+	})
+}

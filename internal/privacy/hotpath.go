@@ -113,6 +113,17 @@ func LaplacePerturbInPlace(rng Rand, col []float64, b float64) error {
 // parameter validation as Privatize, so a nil error here means PrivatizeRange
 // over any row range cannot fail on parameters.
 func ViewMetaFor(r *relation.Relation, params Params) (*ViewMeta, error) {
+	mech, err := MechanismByName(params.Mechanism)
+	if err != nil {
+		return nil, faults.Wrap(faults.ErrBadParams, err)
+	}
+	// GRR is stored as the empty string so metadata for the default
+	// mechanism stays byte-identical with pre-registry releases no matter
+	// how the caller spelled it.
+	mechName := params.Mechanism
+	if mechName == MechGRR {
+		mechName = ""
+	}
 	meta := &ViewMeta{
 		Discrete: make(map[string]DiscreteMeta),
 		Numeric:  make(map[string]NumericMeta),
@@ -135,7 +146,12 @@ func ViewMetaFor(r *relation.Relation, params Params) (*ViewMeta, error) {
 			return nil, fmt.Errorf("privacy: attribute %q: %w", name,
 				faults.Errorf(faults.ErrBadInput, "privacy: empty domain for non-empty column"))
 		}
-		meta.Discrete[name] = DiscreteMeta{Name: name, P: p, Domain: domain}
+		if len(domain) > 0 {
+			if err := mech.Validate(p, len(domain)); err != nil {
+				return nil, fmt.Errorf("privacy: attribute %q: %w", name, err)
+			}
+		}
+		meta.Discrete[name] = DiscreteMeta{Name: name, P: p, Domain: domain, Mechanism: mechName}
 	}
 	for _, name := range r.Schema().NumericNames() {
 		b, ok := params.B[name]
@@ -183,8 +199,12 @@ func PrivatizeRange(rng Rand, r, view *relation.Relation, meta *ViewMeta, lo, hi
 		if err != nil {
 			return err
 		}
+		mech, err := dm.Mech()
+		if err != nil {
+			return fmt.Errorf("privacy: attribute %q: %w", name, err)
+		}
 		copy(dst[lo:hi], src[lo:hi])
-		if err := RandomizedResponseInPlace(rng, dst[lo:hi], dm.Domain, dm.P); err != nil {
+		if err := mech.RandomizeInPlace(rng, dst[lo:hi], dm.Domain, dm.P); err != nil {
 			return fmt.Errorf("privacy: attribute %q: %w", name, err)
 		}
 	}

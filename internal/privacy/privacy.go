@@ -41,6 +41,11 @@ type Params struct {
 	P map[string]float64
 	// B maps numeric attribute name -> Laplace noise scale, >= 0.
 	B map[string]float64
+	// Mechanism selects the discrete mechanism for every discrete
+	// attribute ("" and MechGRR both mean the paper's GRR; see
+	// MechanismByName). The Laplace mechanism for numeric attributes is
+	// unaffected.
+	Mechanism string
 }
 
 // Uniform builds Params that use the same p for every discrete attribute and
@@ -64,14 +69,41 @@ type DiscreteMeta struct {
 	Name   string
 	P      float64
 	Domain []string // sorted distinct values of the source attribute
+	// Mechanism names the discrete mechanism the view was randomized
+	// under; empty means GRR (the only mechanism before the registry
+	// existed, so legacy metadata decodes correctly).
+	Mechanism string `json:",omitempty"`
 }
 
 // N returns the dirty-domain size |Domain(d_i)|.
 func (m DiscreteMeta) N() int { return len(m.Domain) }
 
-// Epsilon returns the attribute's local differential privacy parameter
-// (Lemma 1). p == 0 yields +Inf (no privacy).
-func (m DiscreteMeta) Epsilon() float64 { return EpsilonDiscrete(m.P) }
+// Mech resolves the attribute's mechanism from the registry.
+func (m DiscreteMeta) Mech() (DiscreteMech, error) { return MechanismByName(m.Mechanism) }
+
+// Epsilon returns the attribute's local differential privacy parameter.
+// For GRR this is the paper's Lemma 1 constant ln(3/p - 2) — reproducing
+// the paper's accounting is this repository's contract (see
+// EpsilonDiscrete's caveat) — while the other mechanisms, which the paper
+// does not cover, report their exact eps. p == 0 yields +Inf (no privacy).
+func (m DiscreteMeta) Epsilon() float64 {
+	if m.Mechanism == "" || m.Mechanism == MechGRR {
+		return EpsilonDiscrete(m.P)
+	}
+	return m.EpsilonExact()
+}
+
+// EpsilonExact returns the attribute's exact local differential privacy
+// parameter under its recorded mechanism — the value a client actually
+// consents to. An unknown mechanism yields +Inf (assume no privacy rather
+// than overstate it).
+func (m DiscreteMeta) EpsilonExact() float64 {
+	mech, err := m.Mech()
+	if err != nil {
+		return math.Inf(1)
+	}
+	return mech.Epsilon(m.P, m.N())
+}
 
 // NumericMeta records the Laplace scale and observed sensitivity of one
 // randomized numeric attribute.
@@ -101,6 +133,22 @@ func (v *ViewMeta) TotalEpsilon() float64 {
 	total := 0.0
 	for _, m := range v.Discrete {
 		total += m.Epsilon()
+	}
+	for _, m := range v.Numeric {
+		total += m.Epsilon()
+	}
+	return total
+}
+
+// TotalEpsilonExact composes the exact per-attribute privacy parameters
+// (EpsilonExact / NumericMeta.Epsilon) into the relation-level eps. For GRR
+// over domains larger than 3 values this exceeds TotalEpsilon, because the
+// Lemma 1 accounting understates the per-attribute eps (see
+// EpsilonDiscrete's caveat); this is the figure a disclosure should quote.
+func (v *ViewMeta) TotalEpsilonExact() float64 {
+	total := 0.0
+	for _, m := range v.Discrete {
+		total += m.EpsilonExact()
 	}
 	for _, m := range v.Numeric {
 		total += m.Epsilon()

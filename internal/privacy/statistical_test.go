@@ -111,6 +111,130 @@ func TestGRRFrequenciesChiSquare(t *testing.T) {
 	}
 }
 
+// chiSquareMech generalizes chiSquareGRR to any registered mechanism by
+// reading the expectation straight off the channel constants: a row holding v
+// reports v with probability tauP = denom + tauN, and a row holding anything
+// else lands on v with probability tauN (at predicate width l = 1), so
+// e_v = tauP*c_v + tauN*(S - c_v). This couples the sampler to the very
+// constants the estimators invert — if they drift apart, both this test and
+// the unbiasedness suite fail.
+func chiSquareMech(t *testing.T, mechName string, view *relation.Relation, attr string, counts map[string]int, p float64) float64 {
+	t.Helper()
+	mech, err := MechanismByName(mechName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 0
+	for _, c := range counts {
+		s += c
+	}
+	n := len(counts)
+	tauN, denom := mech.Channel(p, n, 1)
+	tauP := denom + tauN
+	observed := make(map[string]int, n)
+	col, err := view.Discrete(attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range col {
+		observed[v]++
+	}
+	var chi2 float64
+	for v, c := range counts {
+		e := tauP*float64(c) + tauN*float64(s-c)
+		d := float64(observed[v]) - e
+		chi2 += d * d / e
+	}
+	pval, err := stats.ChiSquareSurvival(chi2, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pval
+}
+
+// binaryRel builds a single skewed 2-value attribute for the rrbin suite.
+func binaryRel(t *testing.T) (*relation.Relation, map[string]int) {
+	t.Helper()
+	counts := map[string]int{"no": 3200, "yes": 1800}
+	var col []string
+	for _, v := range []string{"no", "yes"} {
+		for i := 0; i < counts[v]; i++ {
+			col = append(col, v)
+		}
+	}
+	schema := relation.MustSchema(relation.Column{Name: "flag", Kind: relation.Discrete})
+	r, err := relation.FromColumns(schema, nil, map[string][]string{"flag": col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, counts
+}
+
+// TestMechanismFrequenciesChiSquare locks the k-RR and rrbin sampling
+// distributions the same way TestGRRFrequenciesChiSquare locks GRR's.
+func TestMechanismFrequenciesChiSquare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical suite: seeded privatizations; skipped with -short")
+	}
+	const seeds = 20
+	check := func(t *testing.T, mechName, attr string, r *relation.Relation, counts map[string]int, params Params) {
+		p := params.P[attr]
+		low := 0
+		for seed := int64(1); seed <= seeds; seed++ {
+			rng := rand.New(rand.NewSource(33000 + seed))
+			view, _, err := Privatize(rng, r, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pv := chiSquareMech(t, mechName, view, attr, counts, p)
+			if pv < 1e-4 {
+				t.Errorf("%s: chi-square p-value %v < 1e-4: frequencies do not match %s(p=%v)", attr, pv, mechName, p)
+			}
+			if pv < 0.05 {
+				low++
+			}
+		}
+		if low > seeds/2 {
+			t.Errorf("%s: %d/%d p-values below 0.05: frequencies systematically off %s(p=%v)", attr, low, seeds, mechName, p)
+		}
+	}
+	t.Run("krr", func(t *testing.T) {
+		r, counts := grrRel(t)
+		params := Params{P: map[string]float64{"attr_a": 0.3, "attr_b": 0.15}, B: map[string]float64{}, Mechanism: MechKRR}
+		for attr, c := range counts {
+			check(t, MechKRR, attr, r, c, params)
+		}
+	})
+	t.Run("rrbin", func(t *testing.T) {
+		r, counts := binaryRel(t)
+		params := Params{P: map[string]float64{"flag": 0.25}, B: map[string]float64{}, Mechanism: MechRRBin}
+		check(t, MechRRBin, "flag", r, counts, params)
+	})
+}
+
+// TestKRRChiSquareDetectsGRR is the cross-mechanism power check: k-RR output
+// tested against the GRR expectation at the same p must reject, proving the
+// suite distinguishes the two channels (they differ exactly by whether a
+// resample can land back on the input).
+func TestKRRChiSquareDetectsGRR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical suite: seeded privatizations; skipped with -short")
+	}
+	r, counts := grrRel(t)
+	params := Params{P: map[string]float64{"attr_a": 0.5, "attr_b": 0.5}, B: map[string]float64{}, Mechanism: MechKRR}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(34000 + seed))
+		view, _, err := Privatize(rng, r, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pval := chiSquareMech(t, MechGRR, view, "attr_b", counts["attr_b"], 0.5)
+		if pval > 1e-6 {
+			t.Fatalf("seed %d: p-value %v testing krr output against grr: no cross-mechanism power", seed, pval)
+		}
+	}
+}
+
 // TestGRRChiSquareDetectsWrongP is the power check: the same statistic
 // against an expectation computed with the wrong p must reject decisively,
 // proving the suite can actually see a mechanism regression.

@@ -1,6 +1,7 @@
 package privacy
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -18,6 +19,9 @@ import (
 // whole relation. The library entry points stay permissive because the
 // experiment harness deliberately explores the no-noise corner.
 func (params Params) Validate(schema relation.Schema, strict bool) error {
+	if _, err := MechanismByName(params.Mechanism); err != nil {
+		return faults.Wrap(faults.ErrBadParams, err)
+	}
 	for _, name := range schema.DiscreteNames() {
 		p, ok := params.P[name]
 		if !ok {
@@ -70,6 +74,17 @@ func (v *ViewMeta) Validate() error {
 		for i := 1; i < len(m.Domain); i++ {
 			if m.Domain[i] == m.Domain[i-1] {
 				return faults.Errorf(faults.ErrBadMeta, "privacy: attribute %q: duplicate domain value %q", key, m.Domain[i])
+			}
+		}
+		mech, err := MechanismByName(m.Mechanism)
+		if err != nil {
+			// Already classified ErrBadMeta (and ErrUnknownMechanism) by the
+			// registry; collectors branch on both.
+			return fmt.Errorf("privacy: attribute %q: %w", key, err)
+		}
+		if len(m.Domain) > 0 {
+			if err := mech.Validate(m.P, m.N()); err != nil {
+				return fmt.Errorf("privacy: attribute %q: %w", key, faults.Wrap(faults.ErrBadMeta, err))
 			}
 		}
 	}
