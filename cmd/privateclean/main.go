@@ -312,6 +312,7 @@ func cmdPrivatize(args []string) (err error) {
 	p := fs.Float64("p", 0.1, "randomization probability for discrete attributes")
 	b := fs.Float64("b", 10, "Laplace scale for numeric attributes")
 	mechanism := fs.String("mechanism", "", "discrete LDP mechanism: "+strings.Join(privacy.MechanismNames(), ", ")+" (default grr)")
+	bins := fs.Int("bins", privacy.DefaultBins, "bin count released per numeric attribute for binned-histogram estimation (quantiles, GROUP BY bin); 0 releases none")
 	targetErr := fs.Float64("error", 0, "if > 0, tune p and b from this count-error target instead")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for tuning")
 	seed := fs.Int64("seed", 1, "RNG seed")
@@ -388,6 +389,7 @@ func cmdPrivatize(args []string) (err error) {
 		}
 	}
 	params.Mechanism = *mechanism
+	params.Bins = *bins
 	policy, err := cf.policy()
 	if err != nil {
 		return err
@@ -504,6 +506,20 @@ func countSet(vals ...string) int {
 		}
 	}
 	return n
+}
+
+// printGroupRows prints a discrete GROUP BY result in sorted key order with
+// the direct-comparison column: counts render as integers, sums and
+// averages with full precision. Keys present only in the direct map (e.g.
+// zero-estimate groups GroupAvgs omits) are not printed.
+func printGroupRows(agg query.AggKind, groups map[string]estimator.Estimate, direct map[string]float64) {
+	format := "%-24s privateclean=%s direct=%.6g\n"
+	if agg == query.AggCount {
+		format = "%-24s privateclean=%s direct=%.0f\n"
+	}
+	for _, k := range sortedKeys(groups) {
+		fmt.Printf(format, k, groups[k], direct[k])
+	}
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -920,10 +936,32 @@ func cleanStream(cf *csvFlags, tel *telemetry.Set, meta *privacy.ViewMeta, prov 
 // statistics for count/sum/avg estimation — per-value counts and per-value
 // numeric sums plus one-pass moments — so query and serve can answer without
 // the relation.
+// conjList collects repeated -conj "a,b" attribute pairs.
+type conjList [][2]string
+
+func (c *conjList) String() string { return fmt.Sprintf("%d pairs", len(*c)) }
+
+func (c *conjList) Set(spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("want two comma-separated attributes, got %q", spec)
+	}
+	a, b := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	if a == "" || b == "" {
+		return fmt.Errorf("want two comma-separated attributes, got %q", spec)
+	}
+	*c = append(*c, [2]string{a, b})
+	return nil
+}
+
 func cmdStats(args []string) (err error) {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	in := fs.String("in", "", "cleaned private CSV (required)")
 	out := fs.String("out", "", "output statistics JSON (required)")
+	metaPath := fs.String("meta", "", "view metadata JSON; collects binned histograms under the released bin layout (enables quantile queries over the statistics)")
+	bins := fs.Int("bins", 0, "override the released bin count (requires -meta; 0 keeps the released layout)")
+	var conj conjList
+	fs.Var(&conj, "conj", "discrete attribute pair 'a,b' to record a pairwise joint for (repeatable; enables AND conjunctions over the statistics)")
 	cf := addCSVFlags(fs)
 	tf := addTelFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -932,19 +970,42 @@ func cmdStats(args []string) (err error) {
 	if *in == "" || *out == "" {
 		return faults.Errorf(faults.ErrUsage, "stats: -in and -out are required")
 	}
+	if *metaPath == "" && *bins != 0 {
+		return faults.Errorf(faults.ErrUsage, "stats: -bins needs -meta (the bin span comes from the released metadata)")
+	}
+	opts := estimator.CollectOpts{Joints: conj}
+	if *metaPath != "" {
+		meta, err := readMeta(*metaPath)
+		if err != nil {
+			return err
+		}
+		opts.BinEdges = make(map[string][]float64, len(meta.Numeric))
+		for name, nm := range meta.Numeric {
+			if *bins > 0 {
+				nm.Bins = *bins
+			}
+			if edges := nm.BinEdges(); edges != nil {
+				opts.BinEdges[name] = edges
+			}
+		}
+		if len(opts.BinEdges) == 0 {
+			return faults.Errorf(faults.ErrBadMeta,
+				"stats: the metadata releases no bin layout; re-run 'privateclean privatize' with -bins, or pass -bins here to impose one")
+		}
+	}
 	tel, err := tf.setup()
 	if err != nil {
 		return err
 	}
 	defer tf.finish(&err)
-	tel.Redact.Allow(*in, *out)
+	tel.Redact.Allow(*in, *out, *metaPath)
 	it, prof, err := openChunks(cf, *in)
 	if err != nil {
 		return err
 	}
 	defer it.Close()
 	sp := tel.Trace.StartSpan(nil, "collect_stats", telemetry.A("rows", prof.Rows))
-	st, err := estimator.CollectStatistics(it)
+	st, err := estimator.CollectStatisticsWith(it, opts)
 	sp.End()
 	if err != nil {
 		return err
@@ -952,7 +1013,8 @@ func cmdStats(args []string) (err error) {
 	if err := atomicio.WriteJSON(*out, st); err != nil {
 		return err
 	}
-	tel.Log.Info("stats collected", "rows", st.Rows, "columns", len(st.Columns))
+	tel.Log.Info("stats collected", "rows", st.Rows, "columns", len(st.Columns),
+		"hists", len(st.Hist), "joints", len(st.Joints))
 	fmt.Printf("stats ok: rows=%d columns=%d\n", st.Rows, len(st.Columns))
 	return nil
 }
@@ -1054,7 +1116,7 @@ func cmdQuery(args []string) (err error) {
 		case query.AggAvg:
 			pc, err = est.AvgConj(r, q.AggAttr, preds...)
 		default:
-			return fmt.Errorf("query: %s does not support AND conjunctions", q.Agg)
+			return faults.Errorf(faults.ErrBadQuery, "query: %s does not support AND conjunctions", q.Agg)
 		}
 		if err != nil {
 			return err
@@ -1064,43 +1126,80 @@ func cmdQuery(args []string) (err error) {
 	}
 
 	if q.GroupBy != "" {
-		if q.Agg != query.AggCount {
-			return fmt.Errorf("query: GROUP BY supports count(1) only")
+		if q.GroupBin {
+			var bins []estimator.BinEstimate
+			switch q.Agg {
+			case query.AggCount:
+				bins, err = est.GroupBinCounts(r, q.GroupBy)
+			case query.AggSum:
+				bins, err = est.GroupBinSums(r, q.GroupBy, q.AggAttr)
+			case query.AggAvg:
+				bins, err = est.GroupBinAvgs(r, q.GroupBy, q.AggAttr)
+			default:
+				return faults.Errorf(faults.ErrBadQuery,
+					"query: GROUP BY bin(%s) supports count(1), sum, and avg only", q.GroupBy)
+			}
+			if err != nil {
+				return err
+			}
+			for _, b := range bins {
+				fmt.Printf("%-24s privateclean=%s\n", b.Label, b.Est)
+			}
+			return nil
 		}
-		groups, err := est.GroupCounts(r, q.GroupBy)
+		var groups map[string]estimator.Estimate
+		var direct map[string]float64
+		switch q.Agg {
+		case query.AggCount:
+			if groups, err = est.GroupCounts(r, q.GroupBy); err == nil {
+				direct, err = estimator.DirectGroupCounts(r, q.GroupBy)
+			}
+		case query.AggSum:
+			if groups, err = est.GroupSums(r, q.GroupBy, q.AggAttr); err == nil {
+				direct, err = estimator.DirectGroupSums(r, q.GroupBy, q.AggAttr)
+			}
+		case query.AggAvg:
+			if groups, err = est.GroupAvgs(r, q.GroupBy, q.AggAttr); err == nil {
+				direct, err = estimator.DirectGroupAvgs(r, q.GroupBy, q.AggAttr)
+			}
+		default:
+			return faults.Errorf(faults.ErrBadQuery, "query: GROUP BY supports count(1), sum, and avg only")
+		}
 		if err != nil {
 			return err
 		}
-		direct, err := estimator.DirectGroupCounts(r, q.GroupBy)
-		if err != nil {
-			return err
-		}
-		for _, k := range sortedKeys(groups) {
-			fmt.Printf("%-24s privateclean=%s direct=%.0f\n", k, groups[k], direct[k])
-		}
+		printGroupRows(q.Agg, groups, direct)
 		return nil
 	}
 
 	if q.Where == nil {
-		var e estimator.Estimate
 		switch q.Agg {
-		case query.AggCount:
-			e = est.TotalCount(r)
-		case query.AggSum:
-			e, err = est.TotalSum(r, q.AggAttr)
-		case query.AggAvg:
-			e, err = est.TotalAvg(r, q.AggAttr)
+		case query.AggCount, query.AggSum, query.AggAvg:
+			var e estimator.Estimate
+			switch q.Agg {
+			case query.AggCount:
+				e = est.TotalCount(r)
+			case query.AggSum:
+				e, err = est.TotalSum(r, q.AggAttr)
+			case query.AggAvg:
+				e, err = est.TotalAvg(r, q.AggAttr)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Printf("privateclean = %s\n", e)
+			return nil
 		}
+		// median/quantile/var/std fall through to the predicate path with the
+		// match-all predicate.
+	}
+
+	var pred estimator.Predicate
+	if q.Where != nil {
+		pred, err = query.CompilePredicate(q.Where, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("privateclean = %s\n", e)
-		return nil
-	}
-
-	pred, err := query.CompilePredicate(q.Where, nil)
-	if err != nil {
-		return err
 	}
 	var pc estimator.Estimate
 	var direct float64
@@ -1123,6 +1222,9 @@ func cmdQuery(args []string) (err error) {
 	case query.AggMedian:
 		pc, err = est.Median(r, q.AggAttr, pred)
 		direct = pc.Value
+	case query.AggQuantile:
+		pc, err = est.Percentile(r, q.AggAttr, pred, q.Q)
+		direct = pc.Value
 	case query.AggVar:
 		pc, err = est.Var(r, q.AggAttr, pred)
 		if err == nil {
@@ -1135,6 +1237,8 @@ func cmdQuery(args []string) (err error) {
 			dv, err = estimator.DirectVar(r, q.AggAttr, pred)
 			direct = math.Sqrt(dv)
 		}
+	default:
+		return faults.Errorf(faults.ErrBadQuery, "query: unsupported aggregate %s", q.Agg)
 	}
 	if err != nil {
 		return err
@@ -1144,79 +1248,149 @@ func cmdQuery(args []string) (err error) {
 }
 
 // queryStats answers a parsed query from sufficient statistics, printing in
-// the same format as the relation-backed path. Aggregates that need the raw
-// rows (median, var, std, AND conjunctions) are typed bad-query errors that
-// point the analyst back at -in.
+// the same format as the relation-backed path. Quantiles need recorded
+// histograms (stats -meta), conjunctions need a recorded joint (stats
+// -conj); aggregates that genuinely need the raw rows (var, std, binned
+// GROUP BY sum/avg) are typed bad-query errors naming -in/-col. The
+// dispatch mirrors the server's executeStats exactly.
 func queryStats(est *estimator.Estimator, st *estimator.Statistics, q *query.Query) error {
 	if len(q.AndWhere) > 0 {
-		return faults.Errorf(faults.ErrBadQuery,
-			"query: AND conjunctions need the joint row distribution; re-run against the view with -in")
-	}
-	if q.GroupBy != "" {
-		if q.Agg != query.AggCount {
-			return fmt.Errorf("query: GROUP BY supports count(1) only")
-		}
-		groups, err := est.GroupCountsStats(st, q.GroupBy)
+		preds, err := query.CompileConjunction(q.Conds(), nil)
 		if err != nil {
 			return err
 		}
-		direct, err := estimator.DirectGroupCountsStats(st, q.GroupBy)
+		if len(preds) == 1 {
+			// Conjuncts over one attribute merge into a single marginal
+			// predicate, answerable without a joint distribution.
+			return queryStatsScalar(est, st, q, preds[0], true)
+		}
+		var pc estimator.Estimate
+		switch q.Agg {
+		case query.AggCount:
+			pc, err = est.CountConjStats(st, preds...)
+		case query.AggSum:
+			pc, err = est.SumConjStats(st, q.AggAttr, preds...)
+		case query.AggAvg:
+			pc, err = est.AvgConjStats(st, q.AggAttr, preds...)
+		default:
+			return faults.Errorf(faults.ErrBadQuery, "query: %s does not support AND conjunctions", q.Agg)
+		}
 		if err != nil {
 			return err
 		}
-		for _, k := range sortedKeys(groups) {
-			fmt.Printf("%-24s privateclean=%s direct=%.0f\n", k, groups[k], direct[k])
-		}
+		fmt.Printf("privateclean = %s\n", pc)
 		return nil
 	}
-	if q.Where == nil {
-		var e estimator.Estimate
+	if q.GroupBy != "" {
+		if q.GroupBin {
+			if q.Agg != query.AggCount {
+				return faults.Errorf(faults.ErrBadQuery,
+					"query: %s GROUP BY bin(%s) needs per-bin numeric moments the statistics do not record; query the view with -in/-col", q.Agg, q.GroupBy)
+			}
+			bins, err := est.GroupBinCountsStats(st, q.GroupBy)
+			if err != nil {
+				return err
+			}
+			for _, b := range bins {
+				fmt.Printf("%-24s privateclean=%s\n", b.Label, b.Est)
+			}
+			return nil
+		}
+		var groups map[string]estimator.Estimate
+		var direct map[string]float64
 		var err error
 		switch q.Agg {
 		case query.AggCount:
-			e = est.TotalCountStats(st)
+			if groups, err = est.GroupCountsStats(st, q.GroupBy); err == nil {
+				direct, err = estimator.DirectGroupCountsStats(st, q.GroupBy)
+			}
 		case query.AggSum:
-			e, err = est.TotalSumStats(st, q.AggAttr)
+			if groups, err = est.GroupSumsStats(st, q.GroupBy, q.AggAttr); err == nil {
+				direct, err = estimator.DirectGroupSumsStats(st, q.GroupBy, q.AggAttr)
+			}
 		case query.AggAvg:
-			e, err = est.TotalAvgStats(st, q.AggAttr)
+			if groups, err = est.GroupAvgsStats(st, q.GroupBy, q.AggAttr); err == nil {
+				direct, err = estimator.DirectGroupAvgsStats(st, q.GroupBy, q.AggAttr)
+			}
 		default:
-			return faults.Errorf(faults.ErrBadQuery,
-				"query: %s needs the raw rows; re-run against the view with -in", q.Agg)
+			return faults.Errorf(faults.ErrBadQuery, "query: GROUP BY supports count(1), sum, and avg only")
 		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("privateclean = %s\n", e)
+		printGroupRows(q.Agg, groups, direct)
 		return nil
 	}
-	pred, err := query.CompilePredicate(q.Where, nil)
-	if err != nil {
-		return err
+	var pred estimator.Predicate
+	if q.Where != nil {
+		var err error
+		pred, err = query.CompilePredicate(q.Where, nil)
+		if err != nil {
+			return err
+		}
 	}
+	return queryStatsScalar(est, st, q, pred, q.Where != nil)
+}
+
+// queryStatsScalar answers a scalar aggregate over statistics under a single
+// predicate (zero-value pred with havePred false means match-all),
+// mirroring the server's statsScalar.
+func queryStatsScalar(est *estimator.Estimator, st *estimator.Statistics, q *query.Query, pred estimator.Predicate, havePred bool) error {
 	var pc estimator.Estimate
 	var direct float64
+	var err error
+	haveDirect := true
 	switch q.Agg {
 	case query.AggCount:
-		pc, err = est.CountStats(st, pred)
-		if err == nil {
-			direct, err = estimator.DirectCountStats(st, pred)
+		if !havePred {
+			pc = est.TotalCountStats(st)
+			haveDirect = false
+		} else {
+			pc, err = est.CountStats(st, pred)
+			if err == nil {
+				direct, err = estimator.DirectCountStats(st, pred)
+			}
 		}
 	case query.AggSum:
-		pc, err = est.SumStats(st, q.AggAttr, pred)
-		if err == nil {
-			direct, err = estimator.DirectSumStats(st, q.AggAttr, pred)
+		if !havePred {
+			pc, err = est.TotalSumStats(st, q.AggAttr)
+			haveDirect = false
+		} else {
+			pc, err = est.SumStats(st, q.AggAttr, pred)
+			if err == nil {
+				direct, err = estimator.DirectSumStats(st, q.AggAttr, pred)
+			}
 		}
 	case query.AggAvg:
-		pc, err = est.AvgStats(st, q.AggAttr, pred)
+		if !havePred {
+			pc, err = est.TotalAvgStats(st, q.AggAttr)
+			haveDirect = false
+		} else {
+			pc, err = est.AvgStats(st, q.AggAttr, pred)
+			if err == nil {
+				direct, err = estimator.DirectAvgStats(st, q.AggAttr, pred)
+			}
+		}
+	case query.AggMedian:
+		pc, err = est.MedianStats(st, q.AggAttr, pred)
 		if err == nil {
-			direct, err = estimator.DirectAvgStats(st, q.AggAttr, pred)
+			direct, err = estimator.DirectMedianStats(st, q.AggAttr, pred)
+		}
+	case query.AggQuantile:
+		pc, err = est.PercentileStats(st, q.AggAttr, pred, q.Q)
+		if err == nil {
+			direct, err = estimator.DirectPercentileStats(st, q.AggAttr, pred, q.Q)
 		}
 	default:
 		return faults.Errorf(faults.ErrBadQuery,
-			"query: %s needs the raw rows; re-run against the view with -in", q.Agg)
+			"query: %s needs the raw private rows, which statistics do not carry; query the view with -in/-col", q.Agg)
 	}
 	if err != nil {
 		return err
+	}
+	if !haveDirect {
+		fmt.Printf("privateclean = %s\n", pc)
+		return nil
 	}
 	fmt.Printf("privateclean = %s\ndirect       = %.6g\n", pc, direct)
 	return nil

@@ -40,6 +40,11 @@ func TestGoldenQueryColstore(t *testing.T) {
 		{"query_sum_in.golden", "SELECT sum(score) FROM R WHERE major IN ('Math', 'Mech. Eng.')"},
 		{"query_avg.golden", "SELECT avg(score) FROM R WHERE major = 'History'"},
 		{"query_groupby.golden", "SELECT count(1) FROM R GROUP BY major"},
+		{"query_quantile.golden", "SELECT quantile(score, 0.9) FROM R WHERE major = 'Math'"},
+		{"query_median.golden", "SELECT median(score) FROM R WHERE major = 'Math'"},
+		{"query_groupby_sum.golden", "SELECT sum(score) FROM R GROUP BY major"},
+		{"query_groupby_avg.golden", "SELECT avg(score) FROM R GROUP BY major"},
+		{"query_groupby_bin.golden", "SELECT count(1) FROM R GROUP BY bin(score)"},
 	}
 	for _, c := range cases {
 		out := captureStdout(t, func() error {
@@ -73,6 +78,8 @@ func TestServeColMatchesQueryCLI(t *testing.T) {
 		"SELECT sum(score) FROM R WHERE major = 'Math'",
 		"SELECT avg(score) FROM R WHERE major = 'History'",
 		"SELECT count(1) FROM R",
+		"SELECT median(score) FROM R WHERE major = 'Math'",
+		"SELECT quantile(score, 0.9) FROM R WHERE major = 'Math'",
 	}
 	want := make(map[string]string, len(queries))
 	for _, q := range queries {

@@ -77,6 +77,10 @@ func TestServeMatchesQueryCLI(t *testing.T) {
 		"SELECT sum(score) FROM R WHERE major = 'Math'",
 		"SELECT avg(score) FROM R WHERE major = 'History'",
 		"SELECT count(1) FROM R",
+		"SELECT median(score) FROM R WHERE major = 'Math'",
+		"SELECT quantile(score, 0.9) FROM R WHERE major = 'Math'",
+		"SELECT var(score) FROM R WHERE major = 'Math'",
+		"SELECT std(score) FROM R WHERE major = 'Math'",
 	}
 	want := make(map[string]string, len(queries))
 	for _, q := range queries {
@@ -150,5 +154,157 @@ func TestServeFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"serve", "-in", "x.csv"}); err == nil {
 		t.Fatal("serve without -meta should fail")
+	}
+}
+
+// cliGroupTexts parses the query CLI's GROUP BY output into key -> estimate
+// text ("value ± ci"), tolerating both the discrete format (with a trailing
+// direct column) and the binned format (without one).
+func cliGroupTexts(t *testing.T, out string) map[string]string {
+	t.Helper()
+	groups := map[string]string{}
+	for _, line := range strings.Split(out, "\n") {
+		key, rest, ok := strings.Cut(line, " privateclean=")
+		if !ok {
+			continue
+		}
+		est, _, _ := strings.Cut(rest, " direct=")
+		groups[strings.TrimRight(key, " ")] = est
+	}
+	if len(groups) == 0 {
+		t.Fatalf("no group lines in output %q", out)
+	}
+	return groups
+}
+
+// TestServeStatsRichAggregatesMatchQueryCLI is the byte-identity gate for the
+// statistics path: collect sufficient statistics with the released bin
+// layout, run the new aggregate shapes through `query -stats` and through
+// `serve -stats`, and require identical estimate texts — scalars and GROUP
+// BY buckets both.
+func TestServeStatsRichAggregatesMatchQueryCLI(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTempCSV(t, dir)
+	private := filepath.Join(dir, "private.csv")
+	meta := filepath.Join(dir, "meta.json")
+	stats := filepath.Join(dir, "stats.json")
+
+	for _, step := range [][]string{
+		{"privatize", "-in", data, "-out", private, "-meta", meta, "-p", "0.2", "-b", "0.5", "-seed", "7"},
+		{"stats", "-in", private, "-meta", meta, "-out", stats},
+	} {
+		if err := run(step); err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+	}
+
+	scalars := []string{
+		"SELECT count(1) FROM R WHERE major = 'Math'",
+		"SELECT count(1) FROM R",
+		"SELECT median(score) FROM R WHERE major = 'Math'",
+		"SELECT median(score) FROM R",
+		"SELECT quantile(score, 0.25) FROM R WHERE major = 'History'",
+	}
+	groupQueries := []string{
+		"SELECT count(1) FROM R GROUP BY major",
+		"SELECT sum(score) FROM R GROUP BY major",
+		"SELECT avg(score) FROM R GROUP BY major",
+		"SELECT count(1) FROM R GROUP BY bin(score)",
+	}
+	wantScalar := make(map[string]string, len(scalars))
+	for _, q := range scalars {
+		out := captureStdout(t, func() error {
+			return run([]string{"query", "-stats", stats, "-meta", meta, q})
+		})
+		wantScalar[q] = cliEstimate(t, out)
+	}
+	wantGroups := make(map[string]map[string]string, len(groupQueries))
+	for _, q := range groupQueries {
+		out := captureStdout(t, func() error {
+			return run([]string{"query", "-stats", stats, "-meta", meta, q})
+		})
+		wantGroups[q] = cliGroupTexts(t, out)
+	}
+
+	addrCh := make(chan net.Addr, 1)
+	serveNotify = func(a net.Addr) { addrCh <- a }
+	defer func() { serveNotify = nil }()
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- run([]string{"serve", "-stats", stats, "-meta", meta, "-addr", "127.0.0.1:0"})
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-serveDone:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not come up")
+	}
+
+	post := func(q string) []byte {
+		body, _ := json.Marshal(map[string]string{"query": q})
+		resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %q: status %d: %s", q, resp.StatusCode, raw)
+		}
+		return raw
+	}
+	for _, q := range scalars {
+		var qr struct {
+			Estimate struct {
+				Text string `json:"text"`
+			} `json:"estimate"`
+		}
+		if err := json.Unmarshal(post(q), &qr); err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		if qr.Estimate.Text != wantScalar[q] {
+			t.Fatalf("query %q: served estimate %q != CLI estimate %q", q, qr.Estimate.Text, wantScalar[q])
+		}
+	}
+	for _, q := range groupQueries {
+		var qr struct {
+			Groups []struct {
+				Key      string `json:"key"`
+				Estimate struct {
+					Text string `json:"text"`
+				} `json:"estimate"`
+			} `json:"groups"`
+		}
+		if err := json.Unmarshal(post(q), &qr); err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		got := make(map[string]string, len(qr.Groups))
+		for _, g := range qr.Groups {
+			got[g.Key] = g.Estimate.Text
+		}
+		want := wantGroups[q]
+		if len(got) != len(want) {
+			t.Fatalf("query %q: served %d groups, CLI printed %d\nserved: %v\ncli: %v", q, len(got), len(want), got, want)
+		}
+		for k, w := range want {
+			if got[k] != w {
+				t.Fatalf("query %q group %q: served %q != CLI %q", q, k, got[k], w)
+			}
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down on SIGTERM")
 	}
 }

@@ -820,11 +820,15 @@ func viewMetaFor(r *relation.Relation, params privacy.Params) (*privacy.ViewMeta
 		if err != nil {
 			return nil, err
 		}
-		delta := 0.0
+		delta, low := 0.0, 0.0
 		if lo, hi, err := stats.MinMax(col); err == nil {
-			delta = hi - lo
+			delta, low = hi-lo, lo
 		}
-		meta.Numeric[name] = privacy.NumericMeta{Name: name, B: params.B[name], Delta: delta}
+		bins := params.Bins
+		if bins < 0 {
+			bins = 0
+		}
+		meta.Numeric[name] = privacy.NumericMeta{Name: name, B: params.B[name], Delta: delta, Lo: low, Bins: bins}
 	}
 	return meta, nil
 }

@@ -118,7 +118,11 @@ func viewMetaFromProfile(prof *csvio.Profile, schema relation.Schema, params pri
 		meta.Discrete[name] = privacy.DiscreteMeta{Name: name, P: params.P[name], Domain: domain, Mechanism: mechName}
 	}
 	for _, name := range schema.NumericNames() {
-		meta.Numeric[name] = privacy.NumericMeta{Name: name, B: params.B[name], Delta: prof.Deltas[name]}
+		bins := params.Bins
+		if bins < 0 {
+			bins = 0
+		}
+		meta.Numeric[name] = privacy.NumericMeta{Name: name, B: params.B[name], Delta: prof.Deltas[name], Lo: prof.Lows[name], Bins: bins}
 	}
 	return meta, nil
 }

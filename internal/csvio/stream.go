@@ -50,6 +50,10 @@ type Profile struct {
 	// Deltas maps each numeric column to max-min over its finite cells (0
 	// when the column has none), the Proposition 1 sensitivity.
 	Deltas map[string]float64
+	// Lows maps each numeric column to the minimum over its finite cells (0
+	// when the column has none); with Deltas it anchors the released bin
+	// layout in the view metadata.
+	Lows map[string]float64
 	// Report is the row-policy accounting of the profile scan.
 	Report *Report
 	// DataBytes is the on-disk size of the source, for chunk sizing.
@@ -391,6 +395,7 @@ rowLoop:
 		Rows:    rep.Rows,
 		Domains: make(map[string][]string),
 		Deltas:  make(map[string]float64),
+		Lows:    make(map[string]float64),
 		Report:  rep,
 	}
 	for c, name := range header {
@@ -406,8 +411,10 @@ rowLoop:
 		case relation.Numeric:
 			if seenFinite[c] {
 				prof.Deltas[name] = maxs[c] - mins[c]
+				prof.Lows[name] = mins[c]
 			} else {
 				prof.Deltas[name] = 0
+				prof.Lows[name] = 0
 			}
 		}
 	}

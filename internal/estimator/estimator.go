@@ -514,15 +514,17 @@ func DirectGroupCounts(rel *relation.Relation, attr string) (map[string]float64,
 }
 
 // GroupSums estimates sum(agg) ... GROUP BY attr: one corrected sum per
-// distinct value of attr in the (cleaned) private relation.
+// distinct value of attr in the (cleaned) private relation. All groups
+// share a single vectorized pass over the code vector (groupAggregates)
+// instead of one relation scan per distinct value.
 func (e *Estimator) GroupSums(rel *relation.Relation, attr, agg string) (map[string]Estimate, error) {
-	domain, err := rel.Domain(attr)
+	g, err := e.groupPass(rel, attr, agg)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]Estimate, len(domain))
-	for _, v := range domain {
-		est, err := e.Sum(rel, agg, Eq(attr, v))
+	out := make(map[string]Estimate, len(g.ix.Domain))
+	for c, v := range g.ix.Domain {
+		est, err := e.groupSumEstimate(g, c, v, attr)
 		if err != nil {
 			return nil, err
 		}
@@ -532,28 +534,87 @@ func (e *Estimator) GroupSums(rel *relation.Relation, attr, agg string) (map[str
 }
 
 // GroupAvgs estimates avg(agg) ... GROUP BY attr with the corrected ratio
-// estimator per group. Groups whose estimated count is zero are omitted;
-// every other failure (missing aggregate column, bad metadata) propagates.
+// estimator per group, from the same single vectorized pass as GroupSums.
+// Groups whose estimated count is zero are omitted; every other failure
+// (missing aggregate column, bad metadata) propagates.
 func (e *Estimator) GroupAvgs(rel *relation.Relation, attr, agg string) (map[string]Estimate, error) {
-	domain, err := rel.Domain(attr)
+	g, err := e.groupPass(rel, attr, agg)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]Estimate, len(domain))
-	for _, v := range domain {
-		est, err := e.Avg(rel, agg, Eq(attr, v))
-		if errors.Is(err, ErrZeroEstimatedCount) {
-			continue // zero estimated count: no meaningful average
-		}
+	out := make(map[string]Estimate, len(g.ix.Domain))
+	for c, v := range g.ix.Domain {
+		h, err := e.groupSumEstimate(g, c, v, attr)
 		if err != nil {
 			return nil, err
 		}
-		out[v] = est
+		ch, err := e.channel(Eq(attr, v))
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := e.countEstimate(ch, float64(g.counts[c]), g.rows)
+		if err != nil {
+			return nil, err
+		}
+		if cnt.Value == 0 {
+			continue // zero estimated count: no meaningful average
+		}
+		val := h.Value / cnt.Value
+		out[v] = Estimate{Value: val, CI: ratioCI(val, h, cnt)}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("estimator: no group of %q has a nonzero estimated count", attr)
 	}
 	return out, nil
+}
+
+// groupPass holds the shared per-code aggregates and column moments of one
+// vectorized GROUP BY evaluation.
+type groupPass struct {
+	ix        *relation.DiscreteIndex
+	counts    []int
+	sums      []float64
+	total     float64
+	rows      float64
+	muP, varP float64
+}
+
+func (e *Estimator) groupPass(rel *relation.Relation, attr, agg string) (*groupPass, error) {
+	ix, err := rel.DiscreteIndex(attr)
+	if err != nil {
+		return nil, err
+	}
+	col, err := rel.Numeric(agg)
+	if err != nil {
+		return nil, err
+	}
+	if rel.NumRows() == 0 {
+		return nil, fmt.Errorf("estimator: empty relation")
+	}
+	muP, err := stats.Mean(col)
+	if err != nil {
+		return nil, err
+	}
+	varP, err := stats.Variance(col)
+	if err != nil {
+		return nil, err
+	}
+	counts, sums, total := groupAggregates(ix, col)
+	return &groupPass{ix: ix, counts: counts, sums: sums, total: total,
+		rows: float64(rel.NumRows()), muP: muP, varP: varP}, nil
+}
+
+// groupSumEstimate is one group's Eq. 5 inversion from the shared pass.
+func (e *Estimator) groupSumEstimate(g *groupPass, code int, v, attr string) (Estimate, error) {
+	ch, err := e.channel(Eq(attr, v))
+	if err != nil {
+		return Estimate{}, err
+	}
+	if ch.denom <= 0 {
+		return Estimate{}, fmt.Errorf("estimator: p = %v leaves no signal to invert (τ_p = τ_n)", ch.p)
+	}
+	hp := g.sums[code]
+	return e.sumEstimate(ch, hp, g.total-hp, float64(g.counts[code]), g.rows, g.muP, g.varP)
 }
 
 // DirectGroupSums returns the nominal per-group sums.

@@ -177,6 +177,11 @@ func (e *Estimator) Std(rel rowSource, agg string, pred Predicate) (Estimate, er
 
 // DirectMedian is the uncorrected baseline median.
 func DirectMedian(rel rowSource, agg string, pred Predicate) (float64, error) {
+	return DirectPercentile(rel, agg, pred, 0.5)
+}
+
+// DirectPercentile is the uncorrected baseline q-th quantile.
+func DirectPercentile(rel rowSource, agg string, pred Predicate, q float64) (float64, error) {
 	vals, err := matchedValues(rel, agg, pred)
 	if err != nil {
 		return 0, err
@@ -184,7 +189,7 @@ func DirectMedian(rel rowSource, agg string, pred Predicate) (float64, error) {
 	if len(vals) == 0 {
 		return 0, fmt.Errorf("estimator: no rows satisfy %s", pred)
 	}
-	return stats.Quantile(vals, 0.5)
+	return stats.Quantile(vals, q)
 }
 
 // DirectVar is the uncorrected baseline variance (it includes the injected

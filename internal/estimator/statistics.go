@@ -20,10 +20,18 @@ import (
 // everything count/sum/avg (including GROUP BY) need, in space proportional
 // to the domain sizes rather than the data.
 //
-// What cannot be answered from these marginals, by construction:
-// conjunction (multi-attribute AND) predicates, arbitrary Fn predicates over
-// values outside the recorded domain are fine, but median/quantile and other
-// order statistics need the raw column. Those paths keep requiring the
+// Two optional layouts extend the marginals past count/sum/avg:
+//
+//   - binned histograms (CollectOpts.BinEdges, normally the edges released in
+//     the view metadata): per-numeric-attribute bin counts plus per-discrete-
+//     value bin counts, which answer DP quantiles/median and GROUP BY bin;
+//   - pairwise joint marginals (CollectOpts.Joints, the -conj spec): per
+//     (value_a, value_b) cell counts and aggregate sums, which answer
+//     cross-attribute AND conjunctions over exactly the recorded pairs.
+//
+// What still cannot be answered from these marginals: var/std (needs the raw
+// column), conjunctions over unrecorded pairs or of three or more
+// attributes, and binned sum/avg GROUP BY. Those paths keep requiring the
 // relation and return a typed error here.
 //
 // Numerical caveat: sums are re-associated (accumulated per value, then
@@ -70,6 +78,39 @@ type ValueStats struct {
 	// attribute sum of aggregate cells over those rows (NaN cells skipped).
 	Count int                `json:"count"`
 	Sums  map[string]float64 `json:"sums,omitempty"`
+	// Bins maps numeric attribute -> per-bin counts of that attribute's
+	// non-NaN cells over this value's rows, under the same edges as the
+	// attribute's Histogram. Present only when the collector was configured
+	// with bin edges; it is what predicate-conditioned quantiles invert.
+	Bins map[string][]int `json:"bins,omitempty"`
+}
+
+// Histogram is the binned layout of one numeric attribute: Counts[k] is the
+// number of non-NaN cells in [Edges[k], Edges[k+1]) (the last bin is closed
+// on the right; out-of-range cells clamp into the end bins, so the counts
+// always sum to the column's non-NaN count).
+type Histogram struct {
+	Edges  []float64 `json:"edges"`
+	Counts []int     `json:"counts"`
+}
+
+// JointCell holds the marginals of one (value_a, value_b) cell of a pairwise
+// joint distribution: the row count plus per-numeric-attribute aggregate
+// sums, squared sums, and non-NaN counts over the cell's rows.
+type JointCell struct {
+	Count  int                `json:"count"`
+	Sums   map[string]float64 `json:"sums,omitempty"`
+	SumSqs map[string]float64 `json:"sumsqs,omitempty"`
+	NonNaN map[string]int     `json:"nonnan,omitempty"`
+}
+
+// JointStats is the pairwise joint distribution of two discrete attributes
+// (A < B lexicographically): Cells[va][vb] are the marginals of the rows
+// holding both values.
+type JointStats struct {
+	A     string                           `json:"a"`
+	B     string                           `json:"b"`
+	Cells map[string]map[string]*JointCell `json:"cells"`
 }
 
 // Statistics is the serializable sufficient-statistics summary of one
@@ -83,6 +124,53 @@ type Statistics struct {
 	Discrete map[string]map[string]*ValueStats `json:"discrete"`
 	// Numeric maps attribute -> column moments.
 	Numeric map[string]Moments `json:"numeric"`
+	// Hist maps numeric attribute -> binned histogram. Present only when
+	// the collector was configured with bin edges (pc stats -meta/-bins).
+	Hist map[string]*Histogram `json:"hist,omitempty"`
+	// Joints maps a normalized "a&b" pair key -> pairwise joint marginals.
+	// Present only for pairs named in the collector's -conj spec; use Joint
+	// for order-insensitive lookup (the key is cosmetic).
+	Joints map[string]*JointStats `json:"joints,omitempty"`
+}
+
+// Joint returns the recorded pairwise joint of two discrete attributes, in
+// either argument order.
+func (st *Statistics) Joint(a, b string) (*JointStats, bool) {
+	if b < a {
+		a, b = b, a
+	}
+	for _, j := range st.Joints {
+		if j.A == a && j.B == b {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// jointKey is the serialized map key of a normalized pair.
+func jointKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "&" + b
+}
+
+// binIndex places x into the bin layout of edges (len >= 2, ascending):
+// left-closed bins, last bin closed on the right, out-of-range values
+// clamped into the end bins.
+func binIndex(edges []float64, x float64) int {
+	i := sort.SearchFloat64s(edges, x)
+	k := i - 1
+	if i < len(edges) && edges[i] == x {
+		k = i
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > len(edges)-2 {
+		k = len(edges) - 2
+	}
+	return k
 }
 
 // Domain returns the sorted distinct values of a discrete attribute.
@@ -151,6 +239,17 @@ func (st *Statistics) sumMatches(agg string, pred Predicate) (matched, complemen
 	return matched, complement, nil
 }
 
+// CollectOpts configures the optional statistics layouts.
+type CollectOpts struct {
+	// BinEdges maps numeric attribute -> bin edges (len >= 2, strictly
+	// ascending), normally NumericMeta.BinEdges() from the view metadata so
+	// the stats path and the resident path bin identically.
+	BinEdges map[string][]float64
+	// Joints lists discrete attribute pairs whose joint distribution to
+	// record (the -conj spec). Order within a pair is irrelevant.
+	Joints [][2]string
+}
+
 // Collector accumulates Statistics over streamed windows of one relation.
 // Feed every window to Add in any order; all windows must share one schema.
 type Collector struct {
@@ -158,10 +257,77 @@ type Collector struct {
 	schema   relation.Schema
 	discrete []string
 	numeric  []string
+	opts     CollectOpts
 }
 
 // NewCollector creates an empty collector; the first Add fixes the schema.
 func NewCollector() *Collector { return &Collector{} }
+
+// NewCollectorWith creates an empty collector that additionally records the
+// layouts named in opts. Edge lists and pairs are validated here; that the
+// named attributes exist with the right kind is validated at the first Add,
+// when the schema is known.
+func NewCollectorWith(opts CollectOpts) (*Collector, error) {
+	for attr, edges := range opts.BinEdges {
+		if len(edges) < 2 {
+			return nil, faults.Errorf(faults.ErrBadParams, "estimator: attribute %q needs at least 2 bin edges, got %d", attr, len(edges))
+		}
+		for i := 1; i < len(edges); i++ {
+			if !(edges[i] > edges[i-1]) {
+				return nil, faults.Errorf(faults.ErrBadParams, "estimator: attribute %q bin edges must be strictly increasing (edge %d = %v, edge %d = %v)",
+					attr, i-1, edges[i-1], i, edges[i])
+			}
+		}
+	}
+	seen := make(map[string]bool, len(opts.Joints))
+	norm := make([][2]string, 0, len(opts.Joints))
+	for _, pair := range opts.Joints {
+		a, b := pair[0], pair[1]
+		if b < a {
+			a, b = b, a
+		}
+		if a == "" || b == "" || a == b {
+			return nil, faults.Errorf(faults.ErrBadParams, "estimator: joint pair needs two distinct attributes, got %q and %q", pair[0], pair[1])
+		}
+		if key := jointKey(a, b); !seen[key] {
+			seen[key] = true
+			norm = append(norm, [2]string{a, b})
+		}
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i][0] != norm[j][0] {
+			return norm[i][0] < norm[j][0]
+		}
+		return norm[i][1] < norm[j][1]
+	})
+	return &Collector{opts: CollectOpts{BinEdges: opts.BinEdges, Joints: norm}}, nil
+}
+
+// validateOpts checks the configured layouts against the (now known) schema.
+func (c *Collector) validateOpts() error {
+	for attr := range c.opts.BinEdges {
+		if !contains(c.numeric, attr) {
+			return faults.Errorf(faults.ErrBadParams, "estimator: bin edges name %q, which is not a numeric attribute of the schema", attr)
+		}
+	}
+	for _, pair := range c.opts.Joints {
+		for _, attr := range []string{pair[0], pair[1]} {
+			if !contains(c.discrete, attr) {
+				return faults.Errorf(faults.ErrBadParams, "estimator: joint pair names %q, which is not a discrete attribute of the schema", attr)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
 
 // NewCollectorFrom resumes accumulation from previously collected statistics
 // (e.g. a store checkpoint reloaded from JSON). A nil or schema-less st
@@ -183,6 +349,18 @@ func NewCollectorFrom(st *Statistics) (*Collector, error) {
 		discrete: schema.DiscreteNames(),
 		numeric:  schema.NumericNames(),
 	}
+	// The optional layouts resume from what the checkpoint recorded: the
+	// histogram edges and joint pairs are part of the stored statistics, so
+	// a resumed collector keeps accumulating into the same layout.
+	for attr, h := range st.Hist {
+		if c.opts.BinEdges == nil {
+			c.opts.BinEdges = make(map[string][]float64, len(st.Hist))
+		}
+		c.opts.BinEdges[attr] = h.Edges
+	}
+	for _, j := range st.Joints {
+		c.opts.Joints = append(c.opts.Joints, [2]string{j.A, j.B})
+	}
 	if st.Discrete == nil {
 		st.Discrete = make(map[string]map[string]*ValueStats, len(c.discrete))
 	}
@@ -190,16 +368,35 @@ func NewCollectorFrom(st *Statistics) (*Collector, error) {
 		if st.Discrete[a] == nil {
 			st.Discrete[a] = make(map[string]*ValueStats)
 		}
-		if len(c.numeric) > 0 {
-			for _, s := range st.Discrete[a] {
-				if s.Sums == nil {
-					s.Sums = make(map[string]float64, len(c.numeric))
-				}
+		for _, s := range st.Discrete[a] {
+			if len(c.numeric) > 0 && s.Sums == nil {
+				s.Sums = make(map[string]float64, len(c.numeric))
+			}
+			if len(c.opts.BinEdges) > 0 && s.Bins == nil {
+				s.Bins = make(map[string][]int, len(c.opts.BinEdges))
 			}
 		}
 	}
 	if st.Numeric == nil {
 		st.Numeric = make(map[string]Moments, len(c.numeric))
+	}
+	for _, j := range st.Joints {
+		for _, row := range j.Cells {
+			for _, cell := range row {
+				if cell.Sums == nil {
+					cell.Sums = make(map[string]float64, len(c.numeric))
+				}
+				if cell.SumSqs == nil {
+					cell.SumSqs = make(map[string]float64, len(c.numeric))
+				}
+				if cell.NonNaN == nil {
+					cell.NonNaN = make(map[string]int, len(c.numeric))
+				}
+			}
+		}
+	}
+	if err := c.validateOpts(); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -210,6 +407,9 @@ func (c *Collector) Add(win *relation.Relation) error {
 		c.schema = win.Schema()
 		c.discrete = c.schema.DiscreteNames()
 		c.numeric = c.schema.NumericNames()
+		if err := c.validateOpts(); err != nil {
+			return err
+		}
 		c.st = &Statistics{
 			Columns:  c.schema.Columns(),
 			Discrete: make(map[string]map[string]*ValueStats, len(c.discrete)),
@@ -218,23 +418,54 @@ func (c *Collector) Add(win *relation.Relation) error {
 		for _, a := range c.discrete {
 			c.st.Discrete[a] = make(map[string]*ValueStats)
 		}
+		if len(c.opts.BinEdges) > 0 {
+			c.st.Hist = make(map[string]*Histogram, len(c.opts.BinEdges))
+			for attr, edges := range c.opts.BinEdges {
+				c.st.Hist[attr] = &Histogram{Edges: edges, Counts: make([]int, len(edges)-1)}
+			}
+		}
+		if len(c.opts.Joints) > 0 {
+			c.st.Joints = make(map[string]*JointStats, len(c.opts.Joints))
+			for _, pair := range c.opts.Joints {
+				c.st.Joints[jointKey(pair[0], pair[1])] = &JointStats{
+					A: pair[0], B: pair[1], Cells: make(map[string]map[string]*JointCell),
+				}
+			}
+		}
 	} else if win.Schema().String() != c.schema.String() {
 		return faults.Errorf(faults.ErrBadInput,
 			"estimator: window schema %q differs from first window %q", win.Schema(), c.schema)
 	}
 	c.st.Rows += win.NumRows()
 	numCols := make([][]float64, len(c.numeric))
+	// binIdx[j] caches the per-row bin of numeric attribute j (-1 for NaN)
+	// when that attribute has configured edges; nil otherwise.
+	binIdx := make([][]int, len(c.numeric))
 	for i, a := range c.numeric {
 		col := win.MustNumeric(a)
 		numCols[i] = col
 		m := c.st.Numeric[a]
-		for _, x := range col {
+		edges := c.opts.BinEdges[a]
+		var hist *Histogram
+		if edges != nil {
+			hist = c.st.Hist[a]
+			binIdx[i] = make([]int, len(col))
+		}
+		for row, x := range col {
 			if math.IsNaN(x) {
+				if edges != nil {
+					binIdx[i][row] = -1
+				}
 				continue
 			}
 			m.Count++
 			m.Sum += x
 			m.SumSq += x * x
+			if edges != nil {
+				k := binIndex(edges, x)
+				binIdx[i][row] = k
+				hist.Counts[k]++
+			}
 		}
 		c.st.Numeric[a] = m
 	}
@@ -248,6 +479,9 @@ func (c *Collector) Add(win *relation.Relation) error {
 				if len(c.numeric) > 0 {
 					s.Sums = make(map[string]float64, len(c.numeric))
 				}
+				if len(c.opts.BinEdges) > 0 {
+					s.Bins = make(map[string][]int, len(c.opts.BinEdges))
+				}
 				vs[v] = s
 			}
 			s.Count++
@@ -255,6 +489,46 @@ func (c *Collector) Add(win *relation.Relation) error {
 				x := numCols[j][i]
 				if !math.IsNaN(x) {
 					s.Sums[na] += x
+				}
+				if binIdx[j] != nil {
+					if k := binIdx[j][i]; k >= 0 {
+						bins := s.Bins[na]
+						if bins == nil {
+							bins = make([]int, len(c.opts.BinEdges[na])-1)
+							s.Bins[na] = bins
+						}
+						bins[k]++
+					}
+				}
+			}
+		}
+	}
+	for _, pair := range c.opts.Joints {
+		j := c.st.Joints[jointKey(pair[0], pair[1])]
+		colA := win.MustDiscrete(pair[0])
+		colB := win.MustDiscrete(pair[1])
+		for i := range colA {
+			row := j.Cells[colA[i]]
+			if row == nil {
+				row = make(map[string]*JointCell)
+				j.Cells[colA[i]] = row
+			}
+			cell := row[colB[i]]
+			if cell == nil {
+				cell = &JointCell{
+					Sums:   make(map[string]float64, len(c.numeric)),
+					SumSqs: make(map[string]float64, len(c.numeric)),
+					NonNaN: make(map[string]int, len(c.numeric)),
+				}
+				row[colB[i]] = cell
+			}
+			cell.Count++
+			for k, na := range c.numeric {
+				x := numCols[k][i]
+				if !math.IsNaN(x) {
+					cell.Sums[na] += x
+					cell.SumSqs[na] += x * x
+					cell.NonNaN[na]++
 				}
 			}
 		}
@@ -276,7 +550,20 @@ func (c *Collector) Statistics() *Statistics {
 
 // CollectStatistics drains an iterator through a Collector.
 func CollectStatistics(it relation.Iterator) (*Statistics, error) {
-	c := NewCollector()
+	return collectInto(NewCollector(), it)
+}
+
+// CollectStatisticsWith drains an iterator through a Collector configured
+// with the optional layouts in opts.
+func CollectStatisticsWith(it relation.Iterator, opts CollectOpts) (*Statistics, error) {
+	c, err := NewCollectorWith(opts)
+	if err != nil {
+		return nil, err
+	}
+	return collectInto(c, it)
+}
+
+func collectInto(c *Collector, it relation.Iterator) (*Statistics, error) {
 	for {
 		win, err := it.Next()
 		if err == io.EOF {
@@ -506,6 +793,44 @@ func DirectGroupCountsStats(st *Statistics, attr string) (map[string]float64, er
 	out := make(map[string]float64, len(vs))
 	for v, s := range vs {
 		out[v] = float64(s.Count)
+	}
+	return out, nil
+}
+
+// DirectGroupSumsStats returns the nominal per-group sums of agg from
+// statistics.
+func DirectGroupSumsStats(st *Statistics, attr, agg string) (map[string]float64, error) {
+	vs, ok := st.Discrete[attr]
+	if !ok {
+		return nil, fmt.Errorf("estimator: no statistics for discrete attribute %q", attr)
+	}
+	if _, err := st.moments(agg); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(vs))
+	for v, s := range vs {
+		out[v] = s.Sums[agg]
+	}
+	return out, nil
+}
+
+// DirectGroupAvgsStats returns the nominal per-group averages of agg from
+// statistics: the per-value sum over the per-value row count, mirroring
+// DirectAvgStats (the store keeps no per-value non-NaN cell counts). Empty
+// groups are omitted.
+func DirectGroupAvgsStats(st *Statistics, attr, agg string) (map[string]float64, error) {
+	vs, ok := st.Discrete[attr]
+	if !ok {
+		return nil, fmt.Errorf("estimator: no statistics for discrete attribute %q", attr)
+	}
+	if _, err := st.moments(agg); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(vs))
+	for v, s := range vs {
+		if s.Count > 0 {
+			out[v] = s.Sums[agg] / float64(s.Count)
+		}
 	}
 	return out, nil
 }

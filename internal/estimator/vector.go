@@ -253,6 +253,38 @@ func sumBits(vals []float64, b *rowBits) (matched, complement float64) {
 	return matched, complement
 }
 
+// groupAggregates is the one-pass GROUP BY kernel over a dictionary-coded
+// column: per-code row counts and per-code aggregate sums, plus the
+// column's row-order total, in a single scan of the code vector. NaN
+// aggregate cells are skipped before the code dispatch, matching the scalar
+// loops. GroupSums/GroupAvgs build every group's (h_p, h_p^c, c_priv) from
+// this one pass instead of re-scanning the relation once per distinct
+// value; the complement sum total − sums[c] re-associates the additions
+// relative to a per-value scan, which moves estimates by float rounding
+// (~1e-16 relative), the same caveat the statistics path documents.
+func groupAggregates(ix *relation.DiscreteIndex, vals []float64) (counts []int, sums []float64, total float64) {
+	counts = make([]int, ix.N())
+	sums = make([]float64, ix.N())
+	if ix.Counts != nil {
+		for c, n := range ix.Counts {
+			counts[c] = int(n)
+		}
+	} else {
+		for _, c := range ix.Codes {
+			counts[c]++
+		}
+	}
+	for i, c := range ix.Codes {
+		x := vals[i]
+		if x != x {
+			continue
+		}
+		sums[c] += x
+		total += x
+	}
+	return counts, sums, total
+}
+
 // bitsForPredicate compiles pred against the column's dictionary and
 // materializes the match bitset, routed through the estimator's cache when
 // one is attached and the predicate is cacheable.
@@ -266,4 +298,3 @@ func (e *Estimator) bitsForPredicate(rel *relation.Relation, pred Predicate) (*r
 	}
 	return bitsFromSelection(ix.Codes, compileSelection(ix, pred)), nil
 }
-

@@ -166,11 +166,15 @@ func ViewMetaFor(r *relation.Relation, params Params) (*ViewMeta, error) {
 		if err != nil {
 			return nil, err
 		}
-		delta := 0.0
+		delta, low := 0.0, 0.0
 		if lo, hi, err := stats.MinMax(col); err == nil {
-			delta = hi - lo
+			delta, low = hi-lo, lo
 		}
-		meta.Numeric[name] = NumericMeta{Name: name, B: b, Delta: delta}
+		bins := params.Bins
+		if bins < 0 {
+			bins = 0
+		}
+		meta.Numeric[name] = NumericMeta{Name: name, B: b, Delta: delta, Lo: low, Bins: bins}
 	}
 	return meta, nil
 }

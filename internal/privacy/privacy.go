@@ -46,12 +46,17 @@ type Params struct {
 	// MechanismByName). The Laplace mechanism for numeric attributes is
 	// unaffected.
 	Mechanism string
+	// Bins is the bin count recorded in each NumericMeta for
+	// binned-histogram estimation (quantiles, GROUP BY bin). <= 0 records
+	// no bin layout; the binned estimators then refuse with a typed error.
+	Bins int
 }
 
 // Uniform builds Params that use the same p for every discrete attribute and
-// the same b for every numeric attribute of the schema.
+// the same b for every numeric attribute of the schema, with the default
+// released bin layout (DefaultBins).
 func Uniform(schema relation.Schema, p, b float64) Params {
-	params := Params{P: make(map[string]float64), B: make(map[string]float64)}
+	params := Params{P: make(map[string]float64), B: make(map[string]float64), Bins: DefaultBins}
 	for _, name := range schema.DiscreteNames() {
 		params.P[name] = p
 	}
@@ -111,11 +116,49 @@ type NumericMeta struct {
 	Name  string
 	B     float64
 	Delta float64 // max - min of the source column (Proposition 1's Delta_i)
+	// Lo is the minimum of the source column over its finite cells (0 when
+	// the column has none). Together with Delta it anchors the released bin
+	// layout: the binned-histogram estimators (quantiles, GROUP BY bin)
+	// derive their edges from [Lo, Lo+Delta].
+	Lo float64 `json:",omitempty"`
+	// Bins is the bin count released for binned-histogram estimation. 0
+	// means the release predates binned layouts (or was privatized with
+	// -bins 0); binned estimators then return a typed error instead of
+	// inventing edges the provider never published.
+	Bins int `json:",omitempty"`
 }
 
 // Epsilon returns the attribute's local differential privacy parameter
 // (Proposition 1). b == 0 yields +Inf (no privacy).
 func (m NumericMeta) Epsilon() float64 { return EpsilonNumeric(m.Delta, m.B) }
+
+// DefaultBins is the bin count privatize records when none is requested.
+const DefaultBins = 64
+
+// BinEdges returns the released bin layout for the attribute: Bins uniform
+// bins spanning [Lo - 4B, Lo + Delta + 4B]. The 4B pad keeps ~98% of the
+// Laplace noise mass inside the range; privatized values outside it are
+// clamped into the end bins by the collectors, so the histogram still sums
+// to the column's non-NaN count. A degenerate span (constant column, B = 0)
+// widens to unit width so edges stay strictly increasing. Returns nil when
+// Bins == 0 (no released layout).
+func (m NumericMeta) BinEdges() []float64 {
+	if m.Bins <= 0 {
+		return nil
+	}
+	lo := m.Lo - 4*m.B
+	hi := m.Lo + m.Delta + 4*m.B
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	edges := make([]float64, m.Bins+1)
+	width := (hi - lo) / float64(m.Bins)
+	for i := 0; i <= m.Bins; i++ {
+		edges[i] = lo + float64(i)*width
+	}
+	edges[m.Bins] = hi
+	return edges
+}
 
 // ViewMeta is the metadata released alongside a private view V = GRR(R). The
 // estimators in internal/estimator are parameterized by it.

@@ -6,6 +6,7 @@ import (
 
 	"privateclean/internal/relation"
 	"privateclean/internal/stats"
+	"privateclean/internal/stats/statcheck"
 )
 
 // The GRR distributional regression: after randomized response with
@@ -74,41 +75,15 @@ func chiSquareGRR(t *testing.T, view *relation.Relation, attr string, counts map
 	return pval
 }
 
-func TestGRRFrequenciesChiSquare(t *testing.T) {
-	if testing.Short() {
-		t.Skip("statistical suite: seeded privatizations; skipped with -short")
+// privatizedView privatizes r once under a fixed seed.
+func privatizedView(t *testing.T, r *relation.Relation, seed int64, params Params) *relation.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	view, _, err := Privatize(rng, r, params)
+	if err != nil {
+		t.Fatal(err)
 	}
-	r, counts := grrRel(t)
-	params := Params{P: map[string]float64{"attr_a": 0.3, "attr_b": 0.15}, B: map[string]float64{}}
-
-	const seeds = 20
-	for attr, c := range counts {
-		p := params.P[attr]
-		pvals := make([]float64, 0, seeds)
-		for seed := int64(1); seed <= seeds; seed++ {
-			rng := rand.New(rand.NewSource(31000 + seed))
-			view, _, err := Privatize(rng, r, params)
-			if err != nil {
-				t.Fatal(err)
-			}
-			pvals = append(pvals, chiSquareGRR(t, view, attr, c, p))
-		}
-		// Under the null every p-value is Uniform(0,1). With fixed seeds the
-		// observed values are constants; the thresholds just document how far
-		// from uniform a regression would have to push them.
-		low := 0
-		for _, pv := range pvals {
-			if pv < 1e-4 {
-				t.Errorf("%s: chi-square p-value %v < 1e-4: frequencies do not match GRR(p=%v)", attr, pv, p)
-			}
-			if pv < 0.05 {
-				low++
-			}
-		}
-		if low > seeds/2 {
-			t.Errorf("%s: %d/%d p-values below 0.05: frequencies systematically off GRR(p=%v)", attr, low, seeds, p)
-		}
-	}
+	return view
 }
 
 // chiSquareMech generalizes chiSquareGRR to any registered mechanism by
@@ -170,89 +145,67 @@ func binaryRel(t *testing.T) (*relation.Relation, map[string]int) {
 	return r, counts
 }
 
-// TestMechanismFrequenciesChiSquare locks the k-RR and rrbin sampling
-// distributions the same way TestGRRFrequenciesChiSquare locks GRR's.
+// TestMechanismFrequenciesChiSquare is the mechanism-distribution table:
+// one goodness-of-fit row per (mechanism × attribute) plus the power rows
+// proving the statistic rejects a wrong channel. The seeds and thresholds
+// carry over from the pre-harness suite; statcheck.RunPValues owns the
+// assertion rules (see docs/TESTING.md).
 func TestMechanismFrequenciesChiSquare(t *testing.T) {
-	if testing.Short() {
-		t.Skip("statistical suite: seeded privatizations; skipped with -short")
-	}
-	const seeds = 20
-	check := func(t *testing.T, mechName, attr string, r *relation.Relation, counts map[string]int, params Params) {
-		p := params.P[attr]
-		low := 0
-		for seed := int64(1); seed <= seeds; seed++ {
-			rng := rand.New(rand.NewSource(33000 + seed))
-			view, _, err := Privatize(rng, r, params)
-			if err != nil {
-				t.Fatal(err)
-			}
-			pv := chiSquareMech(t, mechName, view, attr, counts, p)
-			if pv < 1e-4 {
-				t.Errorf("%s: chi-square p-value %v < 1e-4: frequencies do not match %s(p=%v)", attr, pv, mechName, p)
-			}
-			if pv < 0.05 {
-				low++
-			}
-		}
-		if low > seeds/2 {
-			t.Errorf("%s: %d/%d p-values below 0.05: frequencies systematically off %s(p=%v)", attr, low, seeds, mechName, p)
-		}
-	}
-	t.Run("krr", func(t *testing.T) {
-		r, counts := grrRel(t)
-		params := Params{P: map[string]float64{"attr_a": 0.3, "attr_b": 0.15}, B: map[string]float64{}, Mechanism: MechKRR}
-		for attr, c := range counts {
-			check(t, MechKRR, attr, r, c, params)
-		}
-	})
-	t.Run("rrbin", func(t *testing.T) {
-		r, counts := binaryRel(t)
-		params := Params{P: map[string]float64{"flag": 0.25}, B: map[string]float64{}, Mechanism: MechRRBin}
-		check(t, MechRRBin, "flag", r, counts, params)
-	})
-}
+	grr, grrCounts := grrRel(t)
+	bin, binCounts := binaryRel(t)
+	grrParams := Params{P: map[string]float64{"attr_a": 0.3, "attr_b": 0.15}, B: map[string]float64{}}
+	krrParams := Params{P: map[string]float64{"attr_a": 0.3, "attr_b": 0.15}, B: map[string]float64{}, Mechanism: MechKRR}
+	binParams := Params{P: map[string]float64{"flag": 0.25}, B: map[string]float64{}, Mechanism: MechRRBin}
 
-// TestKRRChiSquareDetectsGRR is the cross-mechanism power check: k-RR output
-// tested against the GRR expectation at the same p must reject, proving the
-// suite distinguishes the two channels (they differ exactly by whether a
-// resample can land back on the input).
-func TestKRRChiSquareDetectsGRR(t *testing.T) {
-	if testing.Short() {
-		t.Skip("statistical suite: seeded privatizations; skipped with -short")
+	var rows []statcheck.PValueRow
+	for _, attr := range []string{"attr_a", "attr_b"} {
+		attr := attr
+		rows = append(rows,
+			statcheck.PValueRow{
+				Name: "grr/" + attr, Trials: 20, Seed: 31000,
+				Run: func(t *testing.T, seed int64) float64 {
+					view := privatizedView(t, grr, seed, grrParams)
+					return chiSquareGRR(t, view, attr, grrCounts[attr], grrParams.P[attr])
+				},
+			},
+			statcheck.PValueRow{
+				Name: "krr/" + attr, Trials: 20, Seed: 33000,
+				Run: func(t *testing.T, seed int64) float64 {
+					view := privatizedView(t, grr, seed, krrParams)
+					return chiSquareMech(t, MechKRR, view, attr, grrCounts[attr], krrParams.P[attr])
+				},
+			},
+		)
 	}
-	r, counts := grrRel(t)
-	params := Params{P: map[string]float64{"attr_a": 0.5, "attr_b": 0.5}, B: map[string]float64{}, Mechanism: MechKRR}
-	for seed := int64(1); seed <= 5; seed++ {
-		rng := rand.New(rand.NewSource(34000 + seed))
-		view, _, err := Privatize(rng, r, params)
-		if err != nil {
-			t.Fatal(err)
-		}
-		pval := chiSquareMech(t, MechGRR, view, "attr_b", counts["attr_b"], 0.5)
-		if pval > 1e-6 {
-			t.Fatalf("seed %d: p-value %v testing krr output against grr: no cross-mechanism power", seed, pval)
-		}
-	}
-}
-
-// TestGRRChiSquareDetectsWrongP is the power check: the same statistic
-// against an expectation computed with the wrong p must reject decisively,
-// proving the suite can actually see a mechanism regression.
-func TestGRRChiSquareDetectsWrongP(t *testing.T) {
-	if testing.Short() {
-		t.Skip("statistical suite: seeded privatizations; skipped with -short")
-	}
-	r, counts := grrRel(t)
-	params := Params{P: map[string]float64{"attr_a": 0.3, "attr_b": 0.3}, B: map[string]float64{}}
-	for seed := int64(1); seed <= 5; seed++ {
-		rng := rand.New(rand.NewSource(32000 + seed))
-		view, _, err := Privatize(rng, r, params)
-		if err != nil {
-			t.Fatal(err)
-		}
-		pval := chiSquareGRR(t, view, "attr_a", counts["attr_a"], 0.7)
-		if pval > 1e-6 {
-			t.Fatalf("seed %d: p-value %v against wrong p: chi-square has no power", seed, pval)
-		}
-	}
+	rows = append(rows,
+		statcheck.PValueRow{
+			Name: "rrbin/flag", Trials: 20, Seed: 33000,
+			Run: func(t *testing.T, seed int64) float64 {
+				view := privatizedView(t, bin, seed, binParams)
+				return chiSquareMech(t, MechRRBin, view, "flag", binCounts, 0.25)
+			},
+		},
+		// Cross-mechanism power: k-RR output tested against the GRR
+		// expectation at the same p must reject — the two channels differ
+		// exactly by whether a resample can land back on the input.
+		statcheck.PValueRow{
+			Name: "power/krr-against-grr-null", Trials: 5, Seed: 34000, Power: true,
+			Run: func(t *testing.T, seed int64) float64 {
+				params := Params{P: map[string]float64{"attr_a": 0.5, "attr_b": 0.5}, B: map[string]float64{}, Mechanism: MechKRR}
+				view := privatizedView(t, grr, seed, params)
+				return chiSquareMech(t, MechGRR, view, "attr_b", grrCounts["attr_b"], 0.5)
+			},
+		},
+		// Wrong-p power: the same statistic against an expectation computed
+		// with the wrong p must reject decisively.
+		statcheck.PValueRow{
+			Name: "power/grr-wrong-p", Trials: 5, Seed: 32000, Power: true,
+			Run: func(t *testing.T, seed int64) float64 {
+				params := Params{P: map[string]float64{"attr_a": 0.3, "attr_b": 0.3}, B: map[string]float64{}}
+				view := privatizedView(t, grr, seed, params)
+				return chiSquareGRR(t, view, "attr_a", grrCounts["attr_a"], 0.7)
+			},
+		},
+	)
+	statcheck.RunPValues(t, rows)
 }

@@ -172,6 +172,12 @@ func Exec(rel *relation.Relation, q *Query, udfs UDFs) (Result, error) {
 			return Result{}, err
 		}
 		return Result{Scalar: v}, nil
+	case AggQuantile:
+		v, err := estimator.DirectPercentile(rel, q.AggAttr, pred, q.Q)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Scalar: v}, nil
 	case AggVar:
 		v, err := estimator.DirectVar(rel, q.AggAttr, pred)
 		if err != nil {
@@ -219,6 +225,12 @@ func execConjunction(rel *relation.Relation, q *Query, udfs UDFs) (Result, error
 }
 
 func execGroupBy(rel *relation.Relation, q *Query) (Result, error) {
+	if q.GroupBin {
+		// Binned GROUP BY is defined by the released bin layout in the view
+		// metadata, which the exact oracle does not carry; it is answered by
+		// the estimator paths only.
+		return Result{}, fmt.Errorf("query: GROUP BY bin(%s) needs the view's released bin layout and has no exact-oracle form", q.GroupBy)
+	}
 	groupCol, err := rel.Discrete(q.GroupBy)
 	if err != nil {
 		return Result{}, err

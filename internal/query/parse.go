@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"privateclean/internal/faults"
@@ -24,6 +25,9 @@ const (
 	AggVar
 	// AggStd is STD(a) — a Section 10 extension aggregate.
 	AggStd
+	// AggQuantile is QUANTILE(a, q) with q in [0,1]; QUANTILE(a, 0.5) is
+	// MEDIAN(a).
+	AggQuantile
 )
 
 // String returns the SQL spelling of the aggregate.
@@ -41,6 +45,8 @@ func (k AggKind) String() string {
 		return "var"
 	case AggStd:
 		return "std"
+	case AggQuantile:
+		return "quantile"
 	default:
 		return fmt.Sprintf("AggKind(%d)", int(k))
 	}
@@ -106,14 +112,19 @@ func (c *Cond) String() string {
 // Query is a parsed aggregate query.
 type Query struct {
 	Agg     AggKind
-	AggAttr string // numerical attribute for SUM/AVG; empty for COUNT
+	AggAttr string  // numerical attribute for SUM/AVG; empty for COUNT
+	Q       float64 // quantile level for AggQuantile (0.5 for MEDIAN's spelling)
 	Table   string
 	Where   *Cond // first (or only) WHERE conjunct; nil when absent
 	// AndWhere holds additional conjuncts after the first when the WHERE
 	// clause is a conjunction cond_1 AND cond_2 AND ... (the Section 10
 	// SPJ-view extension).
 	AndWhere []*Cond
-	GroupBy  string // empty when absent
+	GroupBy  string // grouping attribute; empty when absent
+	// GroupBin is true for GROUP BY bin(attr): grouping over the released
+	// bin layout of the numeric attribute GroupBy instead of the distinct
+	// values of a discrete one.
+	GroupBin bool
 }
 
 // Conds returns all WHERE conjuncts in order (nil when there is no WHERE
@@ -132,9 +143,12 @@ func (q *Query) Conds() []*Cond {
 func (q *Query) String() string {
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
-	if q.Agg == AggCount {
+	switch q.Agg {
+	case AggCount:
 		sb.WriteString("count(1)")
-	} else {
+	case AggQuantile:
+		fmt.Fprintf(&sb, "quantile(%s, %g)", q.AggAttr, q.Q)
+	default:
 		fmt.Fprintf(&sb, "%s(%s)", q.Agg, q.AggAttr)
 	}
 	fmt.Fprintf(&sb, " FROM %s", q.Table)
@@ -147,7 +161,11 @@ func (q *Query) String() string {
 		sb.WriteString(c.String())
 	}
 	if q.GroupBy != "" {
-		fmt.Fprintf(&sb, " GROUP BY %s", q.GroupBy)
+		if q.GroupBin {
+			fmt.Fprintf(&sb, " GROUP BY bin(%s)", q.GroupBy)
+		} else {
+			fmt.Fprintf(&sb, " GROUP BY %s", q.GroupBy)
+		}
 	}
 	return sb.String()
 }
@@ -251,7 +269,20 @@ func parse(src string) (*Query, error) {
 		if t.kind != tokIdent {
 			return nil, fmt.Errorf("query: expected attribute after GROUP BY, got %s", t)
 		}
-		q.GroupBy = t.text
+		if strings.EqualFold(t.text, "bin") && p.peek().kind == tokPunct && p.peek().text == "(" {
+			p.next()
+			arg := p.next()
+			if arg.kind != tokIdent {
+				return nil, fmt.Errorf("query: GROUP BY bin needs a numerical attribute, got %s", arg)
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			q.GroupBy = arg.text
+			q.GroupBin = true
+		} else {
+			q.GroupBy = t.text
+		}
 	}
 	if t := p.next(); t.kind != tokEOF {
 		return nil, fmt.Errorf("query: unexpected trailing %s", t)
@@ -280,8 +311,10 @@ func (p *parser) parseAgg(q *Query) error {
 		q.Agg = AggVar
 	case "std", "stddev":
 		q.Agg = AggStd
+	case "quantile", "percentile":
+		q.Agg = AggQuantile
 	default:
-		return fmt.Errorf("query: unsupported aggregate %q (want count, sum, avg, median, var, or std)", t.text)
+		return fmt.Errorf("query: unsupported aggregate %q (want count, sum, avg, median, quantile, var, or std)", t.text)
 	}
 	if err := p.expectPunct("("); err != nil {
 		return err
@@ -298,6 +331,20 @@ func (p *parser) parseAgg(q *Query) error {
 			return fmt.Errorf("query: %s needs a numerical attribute, got %s", q.Agg, arg)
 		}
 		q.AggAttr = arg.text
+	}
+	if q.Agg == AggQuantile {
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		t := p.next()
+		if t.kind != tokNumber {
+			return fmt.Errorf("query: quantile needs a numeric level in [0,1], got %s", t)
+		}
+		level, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || level < 0 || level > 1 {
+			return fmt.Errorf("query: quantile level %q out of [0,1]", t.text)
+		}
+		q.Q = level
 	}
 	return p.expectPunct(")")
 }

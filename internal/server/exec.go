@@ -27,10 +27,35 @@ func toJSON(e estimator.Estimate) estimateJSON {
 }
 
 // groupEstimate is one GROUP BY bucket. Key may be a private cell value;
-// it appears only in the response body, never in logs or metrics.
+// it appears only in the response body, never in logs or metrics. For
+// GROUP BY bin(attr) the key is the bin's range label and buckets are
+// emitted in bin order rather than sorted by key.
 type groupEstimate struct {
 	Key      string       `json:"key"`
 	Estimate estimateJSON `json:"estimate"`
+}
+
+// sortedGroups renders a map of per-value estimates in sorted key order.
+func sortedGroups(groups map[string]estimator.Estimate) []groupEstimate {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]groupEstimate, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, groupEstimate{Key: k, Estimate: toJSON(groups[k])})
+	}
+	return out
+}
+
+// binGroups renders binned GROUP BY buckets in bin order.
+func binGroups(bins []estimator.BinEstimate) []groupEstimate {
+	out := make([]groupEstimate, 0, len(bins))
+	for _, b := range bins {
+		out = append(out, groupEstimate{Key: b.Label, Estimate: toJSON(b.Est)})
+	}
+	return out
 }
 
 // queryResponse is the /v1/query success body: exactly one of Estimate or
@@ -94,58 +119,74 @@ func (s *Server) execute(sp *telemetry.Span, sql string) (*queryResponse, error)
 	}
 
 	if q.GroupBy != "" {
-		if q.Agg != query.AggCount {
-			return nil, faults.Errorf(faults.ErrBadQuery, "query: GROUP BY supports count(1) only")
+		if q.GroupBin {
+			var bins []estimator.BinEstimate
+			switch q.Agg {
+			case query.AggCount:
+				bins, err = s.est.GroupBinCounts(s.rel, q.GroupBy)
+			case query.AggSum:
+				bins, err = s.est.GroupBinSums(s.rel, q.GroupBy, q.AggAttr)
+			case query.AggAvg:
+				bins, err = s.est.GroupBinAvgs(s.rel, q.GroupBy, q.AggAttr)
+			default:
+				return nil, faults.Errorf(faults.ErrBadQuery,
+					"query: GROUP BY bin(%s) supports count(1), sum, and avg only", q.GroupBy)
+			}
+			if err != nil {
+				return nil, err
+			}
+			resp.Groups = binGroups(bins)
+			return resp, nil
 		}
-		groups, err := s.est.GroupCounts(s.rel, q.GroupBy)
-		if err != nil {
-			return nil, err
-		}
-		keys := make([]string, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			resp.Groups = append(resp.Groups, groupEstimate{Key: k, Estimate: toJSON(groups[k])})
-		}
-		return resp, nil
-	}
-
-	if q.Where == nil {
-		var e estimator.Estimate
+		var groups map[string]estimator.Estimate
 		switch q.Agg {
 		case query.AggCount:
-			e = s.est.TotalCount(s.rel)
+			groups, err = s.est.GroupCounts(s.rel, q.GroupBy)
 		case query.AggSum:
-			e, err = s.est.TotalSum(s.rel, q.AggAttr)
+			groups, err = s.est.GroupSums(s.rel, q.GroupBy, q.AggAttr)
 		case query.AggAvg:
-			e, err = s.est.TotalAvg(s.rel, q.AggAttr)
+			groups, err = s.est.GroupAvgs(s.rel, q.GroupBy, q.AggAttr)
 		default:
-			return nil, faults.Errorf(faults.ErrBadQuery, "query: %s requires a WHERE predicate", q.Agg)
+			return nil, faults.Errorf(faults.ErrBadQuery, "query: GROUP BY supports count(1), sum, and avg only")
 		}
 		if err != nil {
 			return nil, err
 		}
-		ej := toJSON(e)
-		resp.Estimate = &ej
+		resp.Groups = sortedGroups(groups)
 		return resp, nil
 	}
 
-	pred, err := query.CompilePredicate(q.Where, s.udfs)
-	if err != nil {
-		return nil, faults.Wrap(faults.ErrBadQuery, err)
+	var pred estimator.Predicate
+	if q.Where != nil {
+		pred, err = query.CompilePredicate(q.Where, s.udfs)
+		if err != nil {
+			return nil, faults.Wrap(faults.ErrBadQuery, err)
+		}
 	}
 	var pc estimator.Estimate
 	switch q.Agg {
 	case query.AggCount:
-		pc, err = s.est.Count(s.rel, pred)
+		if q.Where == nil {
+			pc = s.est.TotalCount(s.rel)
+		} else {
+			pc, err = s.est.Count(s.rel, pred)
+		}
 	case query.AggSum:
-		pc, err = s.est.Sum(s.rel, q.AggAttr, pred)
+		if q.Where == nil {
+			pc, err = s.est.TotalSum(s.rel, q.AggAttr)
+		} else {
+			pc, err = s.est.Sum(s.rel, q.AggAttr, pred)
+		}
 	case query.AggAvg:
-		pc, err = s.est.Avg(s.rel, q.AggAttr, pred)
+		if q.Where == nil {
+			pc, err = s.est.TotalAvg(s.rel, q.AggAttr)
+		} else {
+			pc, err = s.est.Avg(s.rel, q.AggAttr, pred)
+		}
 	case query.AggMedian:
 		pc, err = s.est.Median(s.rel, q.AggAttr, pred)
+	case query.AggQuantile:
+		pc, err = s.est.Percentile(s.rel, q.AggAttr, pred, q.Q)
 	case query.AggVar:
 		pc, err = s.est.Var(s.rel, q.AggAttr, pred)
 	case query.AggStd:
@@ -163,67 +204,114 @@ func (s *Server) execute(sp *telemetry.Span, sql string) (*queryResponse, error)
 
 // executeStats answers from sufficient statistics. The dispatch mirrors the
 // `privateclean query -stats` CLI: count/sum/avg with single predicates,
-// totals, and GROUP BY counts work; anything needing the raw rows is the
-// analyst's bad-query problem, with the error pointing back at a full view.
+// totals, GROUP BY count/sum/avg, binned quantiles and GROUP BY bin counts
+// (when the statistics carry histograms), and two-attribute conjunctions
+// (when they carry the pairwise joint); anything needing the raw rows is
+// the analyst's bad-query problem, with the error naming the flag that
+// records what's missing.
 func (s *Server) executeStats(resp *queryResponse, q *query.Query) (*queryResponse, error) {
 	if len(q.AndWhere) > 0 {
-		return nil, faults.Errorf(faults.ErrBadQuery,
-			"query: AND conjunctions need the joint row distribution; serve the full view instead of statistics")
-	}
-	if q.GroupBy != "" {
-		if q.Agg != query.AggCount {
-			return nil, faults.Errorf(faults.ErrBadQuery, "query: GROUP BY supports count(1) only")
+		preds, err := query.CompileConjunction(q.Conds(), s.udfs)
+		if err != nil {
+			return nil, faults.Wrap(faults.ErrBadQuery, err)
 		}
-		groups, err := s.est.GroupCountsStats(s.stats, q.GroupBy)
+		if len(preds) == 1 {
+			// Conjuncts over one attribute merge into a single marginal
+			// predicate, answerable without a joint distribution.
+			return s.statsScalar(resp, q, preds[0])
+		}
+		var pc estimator.Estimate
+		switch q.Agg {
+		case query.AggCount:
+			pc, err = s.est.CountConjStats(s.stats, preds...)
+		case query.AggSum:
+			pc, err = s.est.SumConjStats(s.stats, q.AggAttr, preds...)
+		case query.AggAvg:
+			pc, err = s.est.AvgConjStats(s.stats, q.AggAttr, preds...)
+		default:
+			return nil, faults.Errorf(faults.ErrBadQuery, "query: %s does not support AND conjunctions", q.Agg)
+		}
 		if err != nil {
 			return nil, err
 		}
-		keys := make([]string, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			resp.Groups = append(resp.Groups, groupEstimate{Key: k, Estimate: toJSON(groups[k])})
-		}
+		e := toJSON(pc)
+		resp.Estimate = &e
 		return resp, nil
 	}
-	if q.Where == nil {
-		var e estimator.Estimate
+	if q.GroupBy != "" {
+		if q.GroupBin {
+			if q.Agg != query.AggCount {
+				return nil, faults.Errorf(faults.ErrBadQuery,
+					"query: %s GROUP BY bin(%s) needs per-bin numeric moments the statistics do not record; query the view with -in/-col", q.Agg, q.GroupBy)
+			}
+			bins, err := s.est.GroupBinCountsStats(s.stats, q.GroupBy)
+			if err != nil {
+				return nil, err
+			}
+			resp.Groups = binGroups(bins)
+			return resp, nil
+		}
+		var groups map[string]estimator.Estimate
 		var err error
 		switch q.Agg {
 		case query.AggCount:
-			e = s.est.TotalCountStats(s.stats)
+			groups, err = s.est.GroupCountsStats(s.stats, q.GroupBy)
 		case query.AggSum:
-			e, err = s.est.TotalSumStats(s.stats, q.AggAttr)
+			groups, err = s.est.GroupSumsStats(s.stats, q.GroupBy, q.AggAttr)
 		case query.AggAvg:
-			e, err = s.est.TotalAvgStats(s.stats, q.AggAttr)
+			groups, err = s.est.GroupAvgsStats(s.stats, q.GroupBy, q.AggAttr)
 		default:
-			return nil, faults.Errorf(faults.ErrBadQuery,
-				"query: %s needs the raw rows; serve the full view instead of statistics", q.Agg)
+			return nil, faults.Errorf(faults.ErrBadQuery, "query: GROUP BY supports count(1), sum, and avg only")
 		}
 		if err != nil {
 			return nil, err
 		}
-		ej := toJSON(e)
-		resp.Estimate = &ej
+		resp.Groups = sortedGroups(groups)
 		return resp, nil
 	}
-	pred, err := query.CompilePredicate(q.Where, s.udfs)
-	if err != nil {
-		return nil, faults.Wrap(faults.ErrBadQuery, err)
+	var pred estimator.Predicate
+	if q.Where != nil {
+		var err error
+		pred, err = query.CompilePredicate(q.Where, s.udfs)
+		if err != nil {
+			return nil, faults.Wrap(faults.ErrBadQuery, err)
+		}
 	}
+	return s.statsScalar(resp, q, pred)
+}
+
+// statsScalar answers a scalar aggregate over sufficient statistics under a
+// single (possibly zero-value, meaning match-all) predicate.
+func (s *Server) statsScalar(resp *queryResponse, q *query.Query, pred estimator.Predicate) (*queryResponse, error) {
+	havePred := pred.Attr != "" || pred.Match != nil
 	var pc estimator.Estimate
+	var err error
 	switch q.Agg {
 	case query.AggCount:
-		pc, err = s.est.CountStats(s.stats, pred)
+		if !havePred {
+			pc = s.est.TotalCountStats(s.stats)
+		} else {
+			pc, err = s.est.CountStats(s.stats, pred)
+		}
 	case query.AggSum:
-		pc, err = s.est.SumStats(s.stats, q.AggAttr, pred)
+		if !havePred {
+			pc, err = s.est.TotalSumStats(s.stats, q.AggAttr)
+		} else {
+			pc, err = s.est.SumStats(s.stats, q.AggAttr, pred)
+		}
 	case query.AggAvg:
-		pc, err = s.est.AvgStats(s.stats, q.AggAttr, pred)
+		if !havePred {
+			pc, err = s.est.TotalAvgStats(s.stats, q.AggAttr)
+		} else {
+			pc, err = s.est.AvgStats(s.stats, q.AggAttr, pred)
+		}
+	case query.AggMedian:
+		pc, err = s.est.MedianStats(s.stats, q.AggAttr, pred)
+	case query.AggQuantile:
+		pc, err = s.est.PercentileStats(s.stats, q.AggAttr, pred, q.Q)
 	default:
 		return nil, faults.Errorf(faults.ErrBadQuery,
-			"query: %s needs the raw rows; serve the full view instead of statistics", q.Agg)
+			"query: %s needs the raw private rows, which statistics do not carry; query the view with -in/-col", q.Agg)
 	}
 	if err != nil {
 		return nil, err

@@ -174,7 +174,7 @@ func TestErrorMapping(t *testing.T) {
 		{"parse error", "SELECT nonsense", http.StatusBadRequest, "bad_query"},
 		{"unknown column", "SELECT count(1) FROM R WHERE nope = 'x'", http.StatusBadRequest, "bad_query"},
 		{"unknown aggregate attr", "SELECT sum(nope) FROM R WHERE category = 'a'", http.StatusBadRequest, "bad_query"},
-		{"group by non-count", "SELECT avg(value) FROM R GROUP BY category", http.StatusBadRequest, "bad_query"},
+		{"group by median", "SELECT median(value) FROM R GROUP BY category", http.StatusBadRequest, "bad_query"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// histOf bins xs into n uniform bins over [lo, hi) with the right edge
+// closed, the same convention the release and the collector use.
+func histOf(xs []float64, lo, hi float64, n int) (edges, counts []float64) {
+	edges = make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	counts = make([]float64, n)
+	for _, x := range xs {
+		k := int(float64(n) * (x - lo) / (hi - lo))
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		counts[k]++
+	}
+	return edges, counts
+}
+
+func TestHistQuantileUniformWithinBin(t *testing.T) {
+	edges := []float64{0, 10, 20}
+	counts := []float64{10, 10}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 0}, {0.25, 5}, {0.5, 10}, {0.75, 15}, {1, 20},
+	} {
+		got, err := HistQuantile(edges, counts, tc.q)
+		if err != nil {
+			t.Fatalf("q=%v: %v", tc.q, err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("q=%v: got %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistQuantileSkipsEmptyBins(t *testing.T) {
+	// Mass only in the second and fourth bins: the inverse CDF must never
+	// land inside an empty bin, and q = 0 / q = 1 must snap to the edges of
+	// the first/last non-empty bin.
+	edges := []float64{0, 1, 2, 3, 4, 5}
+	counts := []float64{0, 4, 0, 4, 0}
+	lo, bin, err := HistQuantileBin(edges, counts, 0)
+	if err != nil || lo != 1 || bin != 1 {
+		t.Fatalf("q=0: got (%v, %d, %v), want (1, 1, nil)", lo, bin, err)
+	}
+	hi, bin, err := HistQuantileBin(edges, counts, 1)
+	if err != nil || hi != 4 || bin != 3 {
+		t.Fatalf("q=1: got (%v, %d, %v), want (4, 3, nil)", hi, bin, err)
+	}
+	mid, bin, err := HistQuantileBin(edges, counts, 0.5)
+	if err != nil || mid != 2 || bin != 1 {
+		t.Fatalf("q=0.5: got (%v, %d, %v), want (2, 1, nil)", mid, bin, err)
+	}
+	for _, q := range []float64{0.1, 0.3, 0.6, 0.9} {
+		x, _, err := HistQuantileBin(edges, counts, q)
+		if err != nil {
+			t.Fatalf("q=%v: %v", q, err)
+		}
+		if x > 2 && x < 3 {
+			t.Errorf("q=%v: quantile %v landed inside the empty bin [2,3)", q, x)
+		}
+	}
+}
+
+func TestHistQuantileAllMassOneBin(t *testing.T) {
+	edges := []float64{0, 1, 2, 3}
+	counts := []float64{0, 7, 0}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		x, bin, err := HistQuantileBin(edges, counts, q)
+		if err != nil {
+			t.Fatalf("q=%v: %v", q, err)
+		}
+		if bin != 1 || x < 1 || x > 2 {
+			t.Errorf("q=%v: got (%v, %d), want inside [1,2]", q, x, bin)
+		}
+	}
+}
+
+func TestHistQuantileRejectsBadInput(t *testing.T) {
+	good := []float64{0, 1, 2}
+	cases := []struct {
+		name   string
+		edges  []float64
+		counts []float64
+		q      float64
+	}{
+		{"negative count", good, []float64{3, -1}, 0.5},
+		{"NaN count", good, []float64{3, math.NaN()}, 0.5},
+		{"Inf count", good, []float64{3, math.Inf(1)}, 0.5},
+		{"non-increasing edges", []float64{0, 1, 1}, []float64{1, 1}, 0.5},
+		{"decreasing edges", []float64{0, 2, 1}, []float64{1, 1}, 0.5},
+		{"length mismatch", good, []float64{1}, 0.5},
+		{"no bins", []float64{0}, nil, 0.5},
+		{"q below 0", good, []float64{1, 1}, -0.1},
+		{"q above 1", good, []float64{1, 1}, 1.1},
+		{"q NaN", good, []float64{1, 1}, math.NaN()},
+	}
+	for _, tc := range cases {
+		if _, _, err := HistQuantileBin(tc.edges, tc.counts, tc.q); err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+		}
+	}
+	if _, _, err := HistQuantileBin(good, []float64{0, 0}, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("all-zero histogram: want ErrEmpty, got %v", err)
+	}
+}
+
+// TestHistMedianConvergesWithBins is the discretization property: as the
+// bins shrink, the binned median of a fixed sample approaches the exact
+// sample median, with error bounded by one bin width at every resolution.
+func TestHistMedianConvergesWithBins(t *testing.T) {
+	// A lumpy, asymmetric sample over [0, 100).
+	var xs []float64
+	for i := 0; i < 500; i++ {
+		xs = append(xs, float64(i%37)+0.5)
+	}
+	for i := 0; i < 300; i++ {
+		xs = append(xs, 50+float64(i%23)+0.25)
+	}
+	exact, err := Quantile(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevErr := math.Inf(1)
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		edges, counts := histOf(xs, 0, 100, n)
+		got, err := HistQuantile(edges, counts, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		width := 100.0 / float64(n)
+		e := math.Abs(got - exact)
+		if e > width {
+			t.Errorf("bins=%d: |binned median %v - exact %v| = %v exceeds bin width %v", n, got, exact, e, width)
+		}
+		// Convergence need not be strictly monotone bin-to-bin, but it must
+		// never regress past the previous resolution's bin-width bound.
+		if e > prevErr+width {
+			t.Errorf("bins=%d: error %v regressed past previous resolution's %v", n, e, prevErr)
+		}
+		prevErr = e
+	}
+	if prevErr > 0.1 {
+		t.Errorf("finest resolution error %v, want < 0.1", prevErr)
+	}
+}

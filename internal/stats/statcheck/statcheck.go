@@ -1,0 +1,224 @@
+// Package statcheck is the shared Monte-Carlo harness behind the
+// statistical regression suites (internal/privacy and internal/estimator).
+// A suite is a table of rows — one per (mechanism × estimator × regime)
+// cell — and every row runs the same seeded protocol, so the assertion
+// rules live in exactly one place:
+//
+//   - Unbiasedness (4-SE rule): the Monte-Carlo mean over K pinned seeds
+//     must land within 4 standard errors of the analytic truth, the
+//     standard error taken from the empirical spread. The tolerance scales
+//     with the mechanism's own noise instead of being hand-picked, and the
+//     pinned seeds make a failure a regression in the estimator math, not
+//     flakiness.
+//   - Coverage bands: a row may assert its confidence interval's empirical
+//     coverage against [Min, Max]. Min-only bands suit deliberately
+//     conservative intervals (the paper's 2x factors), two-sided bands pin
+//     calibrated intervals. Coverage is asserted only at full trial depth:
+//     at smoke depth the band granularity exceeds its width.
+//   - Power (WantBias): an inverted row proves the suite can see a broken
+//     channel — the Monte-Carlo mean must land MORE than 4 SE from truth.
+//     Without power rows, a harness bug that zeroes the estimates' spread
+//     would turn every unbiasedness check vacuous.
+//
+// The PC_STAT_TRIALS environment variable caps every row's trial count
+// (`make stat-smoke` sets it for the pre-commit path); unset or larger
+// than a row's own count, the row runs at full depth (`make stat-suite`).
+package statcheck
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TrialsEnv caps per-row Monte-Carlo trial counts when set to a positive
+// integer. See Trials.
+const TrialsEnv = "PC_STAT_TRIALS"
+
+// Trials returns the trial count a row should run: full, unless TrialsEnv
+// is set to a smaller positive integer.
+func Trials(full int) int {
+	if s := os.Getenv(TrialsEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 && n < full {
+			return n
+		}
+	}
+	return full
+}
+
+// Sample is one seeded run's estimate and whether its confidence interval
+// covered the truth.
+type Sample struct {
+	Value   float64
+	Covered bool
+}
+
+// Summary reduces a row's samples to the quantities the rules assert on.
+type Summary struct {
+	Mean     float64
+	StdErr   float64
+	Coverage float64
+	N        int
+}
+
+// Summarize computes the Monte-Carlo mean, its standard error (sample
+// standard deviation over sqrt(K)), and the empirical coverage rate.
+func Summarize(samples []Sample) Summary {
+	k := float64(len(samples))
+	var sum float64
+	covered := 0
+	for _, s := range samples {
+		sum += s.Value
+		if s.Covered {
+			covered++
+		}
+	}
+	mean := sum / k
+	var ss float64
+	for _, s := range samples {
+		d := s.Value - mean
+		ss += d * d
+	}
+	stderr := 0.0
+	if len(samples) > 1 {
+		stderr = math.Sqrt(ss/(k-1)) / math.Sqrt(k)
+	}
+	return Summary{Mean: mean, StdErr: stderr, Coverage: float64(covered) / k, N: len(samples)}
+}
+
+// Band is an empirical-coverage assertion: Coverage must be >= Min, and,
+// when Max > 0, <= Max. The zero Band asserts nothing.
+type Band struct {
+	Min, Max float64
+}
+
+// Row is one cell of a statistical suite.
+type Row struct {
+	// Name labels the subtest, conventionally "mechanism/estimator[/regime]".
+	Name string
+	// Truth is the analytic value the Monte-Carlo mean is compared to.
+	Truth float64
+	// Trials is the full-depth trial count (reducible via PC_STAT_TRIALS).
+	Trials int
+	// Seed is the base seed; trial i runs with Seed+i+1, so rows with
+	// distinct bases never share a privatization stream.
+	Seed int64
+	// Cover asserts the empirical CI coverage (full depth only).
+	Cover Band
+	// Slack is an extra systematic tolerance added to the 4-SE rule, for
+	// estimators whose target is only defined up to a discretization (a
+	// binned quantile resolves to one bin width: the zero-clamp on inverted
+	// bin counts biases the inverse-CDF within a bin, never across a well
+	// separated one). Leave zero for linear estimators — they owe exact
+	// unbiasedness.
+	Slack float64
+	// WantBias inverts the unbiasedness rule: the row passes only if the
+	// mean is decisively FAR from Truth (a power check).
+	WantBias bool
+	// Run performs one seeded trial.
+	Run func(t *testing.T, seed int64) Sample
+}
+
+// Run executes each row as a subtest. The whole table is skipped under
+// -short: every row privatizes K times.
+func Run(t *testing.T, rows []Row) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("statistical suite: seeded Monte-Carlo trials; skipped with -short")
+	}
+	for _, row := range rows {
+		row := row
+		t.Run(row.Name, func(t *testing.T) { runRow(t, row) })
+	}
+}
+
+func runRow(t *testing.T, row Row) {
+	t.Helper()
+	k := Trials(row.Trials)
+	samples := make([]Sample, 0, k)
+	for i := 0; i < k; i++ {
+		samples = append(samples, row.Run(t, row.Seed+int64(i)+1))
+	}
+	if t.Failed() {
+		return
+	}
+	s := Summarize(samples)
+	// The epsilon floor keeps degenerate rows (zero spread, e.g. b = 0
+	// deterministic numerics) from demanding bit-exact float equality.
+	tol := 4*s.StdErr + row.Slack + 1e-9*math.Max(1, math.Abs(row.Truth))
+	dist := math.Abs(s.Mean - row.Truth)
+	if row.WantBias {
+		if dist <= tol {
+			t.Errorf("%s: Monte-Carlo mean %v is within 4 SE (%.3g) of truth %v under a broken channel: the suite has no power to detect this regression",
+				row.Name, s.Mean, tol, row.Truth)
+		}
+		return
+	}
+	if dist > tol {
+		t.Errorf("%s: Monte-Carlo mean %v is %.3g from truth %v (> 4 SE = %.3g): estimator is biased",
+			row.Name, s.Mean, dist, row.Truth, tol)
+	}
+	if row.Cover.Min > 0 {
+		if k < row.Trials {
+			t.Logf("%s: coverage band skipped at reduced depth %d/%d trials", row.Name, k, row.Trials)
+			return
+		}
+		if s.Coverage < row.Cover.Min {
+			t.Errorf("%s: empirical CI coverage = %v, want >= %v", row.Name, s.Coverage, row.Cover.Min)
+		}
+		if row.Cover.Max > 0 && s.Coverage > row.Cover.Max {
+			t.Errorf("%s: empirical CI coverage = %v, want <= %v (interval is degenerately wide)", row.Name, s.Coverage, row.Cover.Max)
+		}
+	}
+}
+
+// PValueRow is one cell of a goodness-of-fit suite: K seeded p-values
+// against a distributional null (e.g. chi-square of privatized frequencies
+// against the channel expectation).
+type PValueRow struct {
+	Name   string
+	Trials int
+	Seed   int64
+	// Run returns one seeded trial's p-value under the row's null.
+	Run func(t *testing.T, seed int64) float64
+	// Power inverts the rule: every p-value must be below 1e-6, proving
+	// the statistic rejects a deliberately wrong null.
+	Power bool
+}
+
+// RunPValues executes each row as a subtest. Under the null each p-value is
+// Uniform(0,1); with pinned seeds the observed values are constants, and
+// the thresholds document how far from uniform a regression would have to
+// push them: no p-value below 1e-4, and at most half below 0.05.
+func RunPValues(t *testing.T, rows []PValueRow) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("statistical suite: seeded goodness-of-fit trials; skipped with -short")
+	}
+	for _, row := range rows {
+		row := row
+		t.Run(row.Name, func(t *testing.T) {
+			k := Trials(row.Trials)
+			low := 0
+			for i := 0; i < k; i++ {
+				pv := row.Run(t, row.Seed+int64(i)+1)
+				if row.Power {
+					if pv > 1e-6 {
+						t.Errorf("trial %d: p-value %v against a wrong null: statistic has no power", i+1, pv)
+					}
+					continue
+				}
+				if pv < 1e-4 {
+					t.Errorf("trial %d: p-value %v < 1e-4: distribution does not match the null", i+1, pv)
+				}
+				if pv < 0.05 {
+					low++
+				}
+			}
+			if !row.Power && low > k/2 {
+				t.Errorf("%d/%d p-values below 0.05: distribution systematically off the null", low, k)
+			}
+		})
+	}
+}

@@ -130,6 +130,67 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	return clean[lo]*(1-frac) + clean[hi]*frac, nil
 }
 
+// HistQuantile returns the q-quantile of a binned distribution by inverting
+// its cumulative histogram: counts[k] is the mass on [edges[k], edges[k+1])
+// and the returned value interpolates linearly inside the bin the inverse
+// CDF crosses (mass uniform within a bin). See HistQuantileBin for the
+// variant that also reports which bin that is.
+func HistQuantile(edges, counts []float64, q float64) (float64, error) {
+	x, _, err := HistQuantileBin(edges, counts, q)
+	return x, err
+}
+
+// HistQuantileBin is HistQuantile plus the index of the crossed bin, which
+// the delta-method confidence interval needs (the local density is
+// counts[bin]/width(bin)). Empty bins are skipped, so q = 0 lands on the
+// left edge of the first non-empty bin and q = 1 on the right edge of the
+// last. Counts must be finite and >= 0 (clamp estimated counts before
+// calling); an all-zero histogram returns ErrEmpty.
+func HistQuantileBin(edges, counts []float64, q float64) (float64, int, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	if len(counts) == 0 || len(edges) != len(counts)+1 {
+		return 0, 0, fmt.Errorf("stats: histogram needs len(edges) == len(counts)+1 >= 2, got %d edges over %d counts", len(edges), len(counts))
+	}
+	total := 0.0
+	for k, c := range counts {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return 0, 0, fmt.Errorf("stats: bin %d count %v must be finite and >= 0", k, c)
+		}
+		if edges[k+1] <= edges[k] {
+			return 0, 0, fmt.Errorf("stats: edges must be strictly increasing (edge %d = %v, edge %d = %v)", k, edges[k], k+1, edges[k+1])
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, ErrEmpty
+	}
+	target := q * total
+	cum, last := 0.0, -1
+	for k, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			frac := (target - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return edges[k] + frac*(edges[k+1]-edges[k]), k, nil
+		}
+		cum += c
+		last = k
+	}
+	// Floating-point shortfall at q near 1: the cumulative sum came up a few
+	// ulps short of target. The answer is the right edge of the last
+	// non-empty bin.
+	return edges[last+1], last, nil
+}
+
 // ZScore returns z such that P(|Z| <= z) = confidence for a standard normal
 // Z; e.g. ZScore(0.95) ~= 1.96. Confidence must be in (0, 1).
 func ZScore(confidence float64) (float64, error) {
